@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks default to quarter-scale workloads so that
+``pytest benchmarks/ --benchmark-only`` finishes in minutes; set
+``REPRO_BENCH_SCALE=1.0`` for the full Table I sizes (the setting used
+for the numbers recorded in EXPERIMENTS.md) and
+``REPRO_BENCH_ITERATIONS`` to override the QBP iteration count.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.harness import shared_initial_solution
+from repro.eval.paper_data import QBP_ITERATIONS
+from repro.eval.workloads import build_workload, workload_names
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", str(QBP_ITERATIONS)))
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_iterations() -> int:
+    return BENCH_ITERATIONS
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """All seven circuit twins at the benchmark scale."""
+    return {name: build_workload(name, scale=BENCH_SCALE) for name in workload_names()}
+
+
+@pytest.fixture(scope="session")
+def initials(workloads):
+    """One shared feasible start per circuit (the paper's protocol)."""
+    return {
+        name: shared_initial_solution(workload, seed=BENCH_SEED)
+        for name, workload in workloads.items()
+    }

@@ -1,0 +1,45 @@
+"""Benchmarks for the Section 2.2 applications (MCM/TCM and QAP)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mcm import repartition_mcm
+from repro.apps.qap import random_qap_instance, solve_qap
+from repro.core.assignment import Assignment
+
+CIRCUIT = "cktb"
+
+
+def test_bench_mcm_repartition(benchmark, workloads):
+    """The TCM flow: legalise an intuition-based assignment (PP(1,0))."""
+    workload = workloads[CIRCUIT]
+    circuit, topology = workload.circuit, workload.topology
+    rng = np.random.default_rng(0)
+    clusters = np.array([c.attrs["cluster"] for c in circuit.components])
+    slots = rng.integers(0, topology.num_partitions, size=int(clusters.max()) + 1)
+    designer = Assignment(slots[clusters], topology.num_partitions)
+
+    result = benchmark.pedantic(
+        repartition_mcm,
+        args=(circuit, topology, designer),
+        kwargs={"iterations": 40, "seed": 0},
+        rounds=1,
+    )
+    print(f"\n[MCM] deviation={result.total_deviation:.0f} "
+          f"moved={result.moved_components} feasible={result.feasible}")
+    assert result.feasible
+
+
+@pytest.mark.parametrize("n", [20, 50])
+def test_bench_qap(benchmark, n):
+    """Burkard's original heuristic on Nugent-style QAP instances."""
+    flow, distance = random_qap_instance(n, seed=1)
+    result = benchmark.pedantic(
+        solve_qap,
+        args=(flow, distance),
+        kwargs={"iterations": 100, "seed": 0},
+        rounds=1,
+    )
+    identity = float((flow * distance[: n, : n]).sum())  # loose reference
+    print(f"\n[QAP n={n}] cost={result.cost:.0f}")
+    assert sorted(result.permutation.tolist()) == list(range(n))

@@ -1,0 +1,57 @@
+"""Benchmark: the Figure 1 / Section 3.3 worked example.
+
+The paper's only figure accompanies its worked 3-component example; the
+reproduction here benchmarks constructing the 12x12 ``Q_hat`` exactly
+as printed, plus exactly solving the embedded problem, and asserts the
+published matrix structure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.embedding import embed_timing
+from repro.core.problem import PartitioningProblem
+from repro.core.qmatrix import build_q_dense
+from repro.netlist.circuit import Circuit
+from repro.solvers.exact import solve_exact
+from repro.timing.constraints import TimingConstraints
+from repro.topology.grid import grid_topology
+
+
+def paper_instance() -> PartitioningProblem:
+    circuit = Circuit("figure1")
+    for name in "abc":
+        circuit.add_component(name, size=1.0)
+    circuit.add_undirected_wire("a", "b", 5.0)
+    circuit.add_undirected_wire("b", "c", 2.0)
+    topology = grid_topology(2, 2, capacity=1.0)
+    timing = TimingConstraints(3)
+    timing.add(0, 1, 1.0, symmetric=True)
+    timing.add(1, 2, 1.0, symmetric=True)
+    return PartitioningProblem(circuit, topology, timing=timing)
+
+
+def build_qhat():
+    problem = paper_instance()
+    q = build_q_dense(problem)
+    return embed_timing(q, problem, penalty=50.0)
+
+
+def test_bench_figure1_qhat_construction(benchmark):
+    """Time Q -> Q_hat construction; check the printed structure."""
+    q_hat = benchmark(build_qhat)
+    assert q_hat.shape == (12, 12)
+    # Row (a,2) as printed: [-, -, -, -, 5, -, 50, 5, -, -, -, -].
+    assert np.array_equal(
+        q_hat[1], np.array([0, 0, 0, 0, 5, 0, 50, 5, 0, 0, 0, 0], dtype=float)
+    )
+    # 8 penalty entries per wired block pair, 4 block pairs.
+    assert int((q_hat == 50.0).sum()) == 16
+
+
+def test_bench_figure1_exact_solve(benchmark):
+    """Time the exact solve of the example; optimum is 14."""
+    problem = paper_instance()
+    result = benchmark(lambda: solve_exact(problem))
+    assert result.proven_optimal
+    assert result.cost == pytest.approx(14.0)

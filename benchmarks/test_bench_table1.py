@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table I (circuit descriptions).
+
+Measures workload construction (circuit synthesis + topology + timing
+budgets) and verifies that the generated statistics match the published
+Table I (scaled by REPRO_BENCH_SCALE).
+"""
+
+import pytest
+
+from repro.eval.paper_data import PAPER_TABLE1
+from repro.eval.tables import render_table1
+from repro.eval.workloads import build_workload, workload_names
+from repro.netlist.stats import circuit_stats
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_bench_build_workload(benchmark, name, bench_scale):
+    """Time the full workload build for one circuit."""
+    workload = benchmark.pedantic(
+        build_workload, args=(name,), kwargs={"scale": bench_scale}, rounds=1
+    )
+    paper = PAPER_TABLE1[name]
+    assert workload.circuit.num_components == max(
+        32, round(paper.num_components * bench_scale)
+    )
+    assert workload.circuit.num_wires == max(
+        workload.circuit.num_components, round(paper.num_wires * bench_scale)
+    )
+
+
+def test_bench_render_table1(benchmark, workloads):
+    """Render the Table I reproduction (printed with -s)."""
+    rows = [(circuit_stats(w.circuit), w.timing.num_pairs) for w in workloads.values()]
+    text = benchmark(render_table1, rows)
+    print("\n" + text)
+    for name in workload_names():
+        assert name in text

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Post-partitioning analysis: the designer-facing reports.
+
+Partition a circuit, then answer the questions a designer asks next:
+
+* how full is each module? (utilisation)
+* which wires cross modules, and how far? (cut statistics)
+* which timing budgets are binding? (slack report)
+* does the placement actually meet the cycle time? (STA verification)
+* how far did the tool move things from the starting point? (diff)
+
+Run:  python examples/analysis_report.py
+"""
+
+from repro.analysis import (
+    analyze_solution,
+    compare_assignments,
+    render_report,
+    timing_slack_report,
+)
+from repro.core import ObjectiveEvaluator, PartitioningProblem
+from repro.netlist import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.solvers import bootstrap_initial_solution, solve_qbp
+from repro.timing import TimingGraph, derive_budgets, verify_cycle_time
+from repro.topology import grid_topology
+
+
+def main() -> None:
+    spec = ClusteredCircuitSpec(
+        name="report-demo",
+        num_components=70,
+        num_wires=280,
+        num_clusters=7,
+        mean_delay=1.0,
+    )
+    circuit = generate_clustered_circuit(spec, seed=13)
+    topology = grid_topology(2, 2, capacity=circuit.total_size() / 4 * 1.2)
+
+    # Budgets derived from a cycle-time target via STA.
+    graph = TimingGraph.from_circuit(circuit)
+    cycle_time = 1.4 * graph.analyze(0.0).critical_path_delay
+    timing = derive_budgets(graph, cycle_time, min_budget=1.0)
+    problem = PartitioningProblem(circuit, topology, timing=timing)
+
+    initial = bootstrap_initial_solution(problem, seed=0)
+    result = solve_qbp(problem, iterations=60, initial=initial, seed=0)
+    final = result.best_feasible_assignment
+
+    print(render_report(analyze_solution(problem, final)))
+
+    slack = timing_slack_report(problem, final, top=3)
+    print(f"\n3 tightest budgets (j1, j2, slack): {slack.tightest_pairs}")
+
+    verdict = verify_cycle_time(graph, final, topology.delay_matrix, cycle_time)
+    print(
+        f"\ncycle-time verification: target {verdict.cycle_time:.2f}, "
+        f"achieved {verdict.achieved_delay:.2f} "
+        f"({'MET' if verdict.meets_cycle_time else 'VIOLATED'}, "
+        f"worst slack {verdict.worst_slack:.2f})"
+    )
+
+    diff = compare_assignments(
+        initial, final, sizes=circuit.sizes(), topology=topology
+    )
+    evaluator = ObjectiveEvaluator(problem)
+    print(
+        f"\nversus the initial solution: moved {diff.num_moved} components "
+        f"({100 * diff.moved_fraction:.0f}%), deviation {diff.total_deviation:.0f}, "
+        f"cost {evaluator.cost(initial):.0f} -> {evaluator.cost(final):.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

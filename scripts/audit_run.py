@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Post-run audit: which circuits' shared start came from the fallback?
+
+The harness uses the paper's zero-B bootstrap for the shared initial
+solution and falls back to the workload's hidden reference assignment
+when the bootstrap cannot reach feasibility.  This script rebuilds each
+workload, compares the run's recorded start cost against both candidate
+starts, and reports which path produced it — information EXPERIMENTS.md
+discloses per circuit.
+
+Usage: python scripts/audit_run.py [full_results.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.core.objective import ObjectiveEvaluator
+from repro.eval.workloads import build_workload
+
+
+def main() -> int:
+    results_path = Path(sys.argv[1] if len(sys.argv) > 1 else "full_results.json")
+    payload = json.loads(results_path.read_text())
+    rows = {row["name"]: row for row in payload["table3"]}
+
+    print("circuit | run start | reference cost | origin")
+    print("--------+-----------+----------------+-------")
+    for name, row in rows.items():
+        workload = build_workload(name)
+        evaluator = ObjectiveEvaluator(workload.problem)
+        ref_cost = evaluator.cost(workload.reference)
+        start = row["start_cost"]
+        origin = "reference fallback" if abs(start - ref_cost) < 1e-6 else "bootstrap"
+        print(f"{name:7s} | {start:9.0f} | {ref_cost:14.0f} | {origin}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Insert measured Table II/III results into EXPERIMENTS.md.
+
+Reads the JSON written by ``python -m repro.eval.run --table all --json
+full_results.json`` and replaces the block between the RESULTS markers
+in EXPERIMENTS.md with rendered markdown tables plus the paper-vs-
+measured shape analysis.
+
+Usage: python scripts/update_experiments.py [results.json] [EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.eval.paper_data import PAPER_TABLE2, PAPER_TABLE3
+
+BEGIN = "<!-- RESULTS:BEGIN -->"
+END = "<!-- RESULTS:END -->"
+
+
+def render_measured_table(rows: list[dict], paper: dict, title: str) -> str:
+    lines = [
+        f"## {title}",
+        "",
+        "| circuit | start | QBP final | (-%) | cpu(s) | GFM final | (-%) | cpu(s) | GKL final | (-%) | cpu(s) | feasible |",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            "| {name} | {start:.0f} | {qc:.0f} | {qi:.1f} | {qt:.1f} "
+            "| {gc:.0f} | {gi:.1f} | {gt:.1f} "
+            "| {kc:.0f} | {ki:.1f} | {kt:.1f} | {feas} |".format(
+                name=row["name"],
+                start=row["start_cost"],
+                qc=row["qbp_cost"],
+                qi=row["qbp_improvement"],
+                qt=row["qbp_cpu"],
+                gc=row["gfm_cost"],
+                gi=row["gfm_improvement"],
+                gt=row["gfm_cpu"],
+                kc=row["gkl_cost"],
+                ki=row["gkl_improvement"],
+                kt=row["gkl_cpu"],
+                feas="yes" if row["all_feasible"] else "NO",
+            )
+        )
+        p = paper[row["name"]]
+        lines.append(
+            "| *(paper)* | *{start}* | *{qc}* | *{qi}* | *{qt}* "
+            "| *{gc}* | *{gi}* | *{gt}* | *{kc}* | *{ki}* | *{kt}* | *yes* |".format(
+                start=p.start,
+                qc=p.qbp.final, qi=p.qbp.improvement_percent, qt=p.qbp.cpu_seconds,
+                gc=p.gfm.final, gi=p.gfm.improvement_percent, gt=p.gfm.cpu_seconds,
+                kc=p.gkl.final, ki=p.gkl.improvement_percent, kt=p.gkl.cpu_seconds,
+            )
+        )
+    return "\n".join(lines)
+
+
+def shape_analysis(rows2: list[dict], rows3: list[dict]) -> str:
+    def mean(rows, key):
+        return sum(r[key] for r in rows) / len(rows)
+
+    def wins(rows):
+        counts = {"qbp": 0, "gfm": 0, "gkl": 0}
+        for r in rows:
+            best = min(
+                ("qbp", r["qbp_cost"]), ("gfm", r["gfm_cost"]), ("gkl", r["gkl_cost"]),
+                key=lambda kv: kv[1],
+            )[0]
+            counts[best] += 1
+        return counts
+
+    lines = ["## Shape analysis (measured)", ""]
+    for label, rows in (("Table II", rows2), ("Table III", rows3)):
+        w = wins(rows)
+        lines.append(
+            f"* **{label}** mean improvements: QBP {mean(rows, 'qbp_improvement'):.1f}%, "
+            f"GFM {mean(rows, 'gfm_improvement'):.1f}%, "
+            f"GKL {mean(rows, 'gkl_improvement'):.1f}%; "
+            f"best-quality wins: QBP {w['qbp']}, GFM {w['gfm']}, GKL {w['gkl']}."
+        )
+        lines.append(
+            f"  Mean CPU: QBP {mean(rows, 'qbp_cpu'):.1f}s, "
+            f"GFM {mean(rows, 'gfm_cpu'):.1f}s, GKL {mean(rows, 'gkl_cpu'):.1f}s."
+        )
+    drop_qbp = (
+        sum(r["qbp_improvement"] for r in rows2) - sum(r["qbp_improvement"] for r in rows3)
+    ) / len(rows2)
+    drop_gfm = (
+        sum(r["gfm_improvement"] for r in rows2) - sum(r["gfm_improvement"] for r in rows3)
+    ) / len(rows2)
+    drop_gkl = (
+        sum(r["gkl_improvement"] for r in rows2) - sum(r["gkl_improvement"] for r in rows3)
+    ) / len(rows2)
+    lines.append(
+        f"* Improvement drop under timing (II → III): QBP {drop_qbp:.1f} points, "
+        f"GFM {drop_gfm:.1f}, GKL {drop_gkl:.1f}."
+    )
+    feasible = all(r["all_feasible"] for r in rows2 + rows3)
+    lines.append(
+        f"* Every reported solution violation-free: {'yes' if feasible else 'NO'}."
+    )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    results_path = Path(sys.argv[1] if len(sys.argv) > 1 else "full_results.json")
+    doc_path = Path(sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md")
+    payload = json.loads(results_path.read_text())
+    rows2, rows3 = payload["table2"], payload["table3"]
+
+    block = "\n\n".join(
+        [
+            BEGIN,
+            render_measured_table(
+                rows2, PAPER_TABLE2, "Table II — without timing constraints (measured vs paper)"
+            ),
+            render_measured_table(
+                rows3, PAPER_TABLE3, "Table III — with timing constraints (measured vs paper)"
+            ),
+            shape_analysis(rows2, rows3),
+            END,
+        ]
+    )
+    text = doc_path.read_text()
+    before = text.split(BEGIN)[0]
+    after = text.split(END)[1]
+    doc_path.write_text(before + block + after)
+    print(f"updated {doc_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists only so that
+``pip install -e . --no-use-pep517`` works in offline environments
+without the ``wheel`` package installed.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Solution analysis: designer-facing reports on a finished assignment.
+
+After partitioning, a designer wants to know *why* the numbers are what
+they are: per-partition utilisation, which nets cross partitions and at
+what cost, which timing constraints are tight, how two assignments
+differ.  This package computes those views from an
+:class:`~repro.core.assignment.Assignment` plus its problem.
+"""
+
+from repro.analysis.report import (
+    PartitionUtilization,
+    SolutionReport,
+    analyze_solution,
+    render_report,
+)
+from repro.analysis.compare import AssignmentDiff, compare_assignments
+from repro.analysis.wirelength import (
+    CutStatistics,
+    cut_statistics,
+    wirelength_by_partition_pair,
+)
+from repro.analysis.slack import TimingSlackReport, timing_slack_report
+
+__all__ = [
+    "AssignmentDiff",
+    "CutStatistics",
+    "PartitionUtilization",
+    "SolutionReport",
+    "TimingSlackReport",
+    "analyze_solution",
+    "compare_assignments",
+    "cut_statistics",
+    "render_report",
+    "timing_slack_report",
+    "wirelength_by_partition_pair",
+]

@@ -1,0 +1,87 @@
+"""Assignment comparison: what changed between two solutions.
+
+Used for the MCM deviation story (how far did the tool move from the
+designer's intent) and for solver-vs-solver debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.topology.partition import Topology
+
+
+@dataclass(frozen=True)
+class AssignmentDiff:
+    """Difference between two assignments over the same components."""
+
+    moved_components: Tuple[int, ...]
+    moved_fraction: float
+    total_moved_size: float
+    total_deviation: Optional[float]
+
+    @property
+    def num_moved(self) -> int:
+        return len(self.moved_components)
+
+
+def compare_assignments(
+    before: Assignment,
+    after: Assignment,
+    *,
+    sizes=None,
+    topology: Optional[Topology] = None,
+) -> AssignmentDiff:
+    """Diff two assignments.
+
+    Parameters
+    ----------
+    sizes:
+        Optional component sizes; enables ``total_moved_size`` and the
+        size-weighted deviation.
+    topology:
+        Optional positioned topology; enables ``total_deviation`` (the
+        paper's MCM metric: size-weighted Manhattan distance moved).
+    """
+    if before.num_components != after.num_components:
+        raise ValueError(
+            f"assignments cover different component counts: "
+            f"{before.num_components} vs {after.num_components}"
+        )
+    if before.num_partitions != after.num_partitions:
+        raise ValueError("assignments target different partition counts")
+
+    moved = tuple(int(j) for j in np.flatnonzero(before.part != after.part))
+    n = before.num_components
+    moved_fraction = len(moved) / n if n else 0.0
+
+    total_moved_size = 0.0
+    if sizes is not None:
+        sizes = np.asarray(sizes, dtype=float)
+        if sizes.shape != (n,):
+            raise ValueError(f"sizes must have length {n}, got {sizes.shape}")
+        total_moved_size = float(sizes[list(moved)].sum()) if moved else 0.0
+
+    deviation: Optional[float] = None
+    if topology is not None:
+        positions = topology.positions()
+        if positions is None:
+            raise ValueError("topology lacks positions; cannot compute deviation")
+        manhattan = np.abs(
+            positions[before.part] - positions[after.part]
+        ).sum(axis=1)
+        if sizes is not None:
+            deviation = float((manhattan * sizes).sum())
+        else:
+            deviation = float(manhattan.sum())
+
+    return AssignmentDiff(
+        moved_components=moved,
+        moved_fraction=moved_fraction,
+        total_moved_size=total_moved_size,
+        total_deviation=deviation,
+    )

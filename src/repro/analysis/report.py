@@ -1,0 +1,126 @@
+"""The full solution report: utilisation + interconnect + timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.slack import TimingSlackReport, timing_slack_report
+from repro.analysis.wirelength import CutStatistics, cut_statistics
+from repro.core.assignment import Assignment
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.utils.tables import TextTable
+
+
+@dataclass(frozen=True)
+class PartitionUtilization:
+    """Load summary for one partition."""
+
+    index: int
+    name: str
+    num_components: int
+    load: float
+    capacity: float
+
+    @property
+    def utilization(self) -> float:
+        """Load as a fraction of capacity (0 when capacity is 0)."""
+        return self.load / self.capacity if self.capacity else 0.0
+
+    @property
+    def overloaded(self) -> bool:
+        return self.load > self.capacity + 1e-9
+
+
+@dataclass(frozen=True)
+class SolutionReport:
+    """Everything a designer asks about a finished assignment."""
+
+    objective: float
+    linear_cost: float
+    quadratic_cost: float
+    utilizations: Tuple[PartitionUtilization, ...]
+    cut: CutStatistics
+    timing: TimingSlackReport
+
+    @property
+    def feasible(self) -> bool:
+        return self.timing.feasible and not any(
+            u.overloaded for u in self.utilizations
+        )
+
+    @property
+    def max_utilization(self) -> float:
+        return max((u.utilization for u in self.utilizations), default=0.0)
+
+
+def analyze_solution(
+    problem: PartitioningProblem, assignment: Assignment
+) -> SolutionReport:
+    """Build the full :class:`SolutionReport` for ``assignment``."""
+    part = problem.validate_assignment_shape(assignment.part)
+    evaluator = ObjectiveEvaluator(problem)
+    breakdown = evaluator.breakdown(part)
+
+    sizes = problem.sizes()
+    loads = np.bincount(part, weights=sizes, minlength=problem.num_partitions)
+    counts = np.bincount(part, minlength=problem.num_partitions)
+    utilizations = tuple(
+        PartitionUtilization(
+            index=i,
+            name=problem.topology.partitions[i].name,
+            num_components=int(counts[i]),
+            load=float(loads[i]),
+            capacity=float(problem.topology.partitions[i].capacity),
+        )
+        for i in range(problem.num_partitions)
+    )
+    return SolutionReport(
+        objective=breakdown.total,
+        linear_cost=breakdown.linear,
+        quadratic_cost=breakdown.quadratic,
+        utilizations=utilizations,
+        cut=cut_statistics(problem, assignment),
+        timing=timing_slack_report(problem, assignment),
+    )
+
+
+def render_report(report: SolutionReport) -> str:
+    """Readable multi-section text rendering of a report."""
+    lines = [
+        f"objective: {report.objective:g} "
+        f"(linear {report.linear_cost:g}, quadratic {report.quadratic_cost:g})",
+        f"feasible: {'yes' if report.feasible else 'NO'}",
+        "",
+    ]
+    table = TextTable(
+        ["partition", "components", "load", "capacity", "util%"],
+        title="partition utilisation:",
+    )
+    for u in report.utilizations:
+        table.add_row(
+            [u.name, u.num_components, round(u.load, 1), round(u.capacity, 1),
+             f"{100 * u.utilization:.1f}"]
+        )
+    lines.append(table.render())
+    lines.append("")
+    cut = report.cut
+    lines.append(
+        f"interconnect: {cut.cut_wires:g} of {cut.total_wires:g} wires cut "
+        f"({100 * cut.cut_fraction:.1f}%), weighted length "
+        f"{cut.total_weighted_length:g}, mean cut distance "
+        f"{cut.mean_cut_distance:.2f}"
+    )
+    timing = report.timing
+    if timing.num_constraints:
+        lines.append(
+            f"timing: {timing.num_constraints} constraints, "
+            f"{timing.violations} violated, {timing.tight} tight, "
+            f"worst slack {timing.worst_slack:g}, mean {timing.mean_slack:.2f}"
+        )
+    else:
+        lines.append("timing: unconstrained")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Timing-slack analysis of a finished assignment.
+
+For each timing constraint, the *assignment slack* is
+``D_C(j1, j2) - D(A(j1), A(j2))``: how much routing-delay headroom the
+placement leaves on that pair.  Negative slack is a violation; zero
+slack marks the constraints that pin the solution in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import PartitioningProblem
+
+
+@dataclass(frozen=True)
+class TimingSlackReport:
+    """Distribution of assignment slacks over all constraints."""
+
+    num_constraints: int
+    violations: int
+    tight: int
+    worst_slack: float
+    mean_slack: float
+    tightest_pairs: Tuple[Tuple[int, int, float], ...]
+
+    @property
+    def feasible(self) -> bool:
+        return self.violations == 0
+
+
+def timing_slack_report(
+    problem: PartitioningProblem,
+    assignment: Assignment,
+    *,
+    top: int = 10,
+    tight_tolerance: float = 1e-9,
+) -> TimingSlackReport:
+    """Compute the slack distribution under ``assignment``.
+
+    Parameters
+    ----------
+    top:
+        Number of tightest ``(j1, j2, slack)`` pairs to list.
+    tight_tolerance:
+        Slacks within this of zero count as "tight" (binding).
+    """
+    part = problem.validate_assignment_shape(assignment.part)
+    src, dst, budget = problem.timing.arrays()
+    if src.size == 0:
+        return TimingSlackReport(
+            num_constraints=0,
+            violations=0,
+            tight=0,
+            worst_slack=float("inf"),
+            mean_slack=float("inf"),
+            tightest_pairs=(),
+        )
+    delays = problem.delay_matrix[part[src], part[dst]]
+    slack = budget - delays
+    order = np.argsort(slack, kind="stable")[:top]
+    tightest = tuple(
+        (int(src[k]), int(dst[k]), float(slack[k])) for k in order
+    )
+    return TimingSlackReport(
+        num_constraints=int(src.size),
+        violations=int((slack < -tight_tolerance).sum()),
+        tight=int((np.abs(slack) <= tight_tolerance).sum()),
+        worst_slack=float(slack.min()),
+        mean_slack=float(slack.mean()),
+        tightest_pairs=tightest,
+    )

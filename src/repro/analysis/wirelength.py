@@ -1,0 +1,81 @@
+"""Interconnect analysis: cut statistics and wirelength decomposition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import PartitioningProblem
+
+
+@dataclass(frozen=True)
+class CutStatistics:
+    """How the wires fall across the partition boundary."""
+
+    total_wires: float
+    internal_wires: float
+    cut_wires: float
+    total_weighted_length: float
+    mean_cut_distance: float
+
+    @property
+    def cut_fraction(self) -> float:
+        """Fraction of wire multiplicity that crosses partitions."""
+        if self.total_wires == 0:
+            return 0.0
+        return self.cut_wires / self.total_wires
+
+
+def cut_statistics(
+    problem: PartitioningProblem, assignment: Assignment
+) -> CutStatistics:
+    """Cut and wirelength statistics for ``assignment``.
+
+    "Weighted length" is the paper's quadratic objective term:
+    ``sum a[j1,j2] * B[A(j1), A(j2)]`` (without the ``beta`` scale).
+    """
+    part = problem.validate_assignment_shape(assignment.part)
+    b = problem.cost_matrix
+    total = internal = cut = 0.0
+    weighted = 0.0
+    cut_distance = 0.0
+    for wire in problem.circuit.wires():
+        i1, i2 = part[wire.source], part[wire.target]
+        total += wire.weight
+        if i1 == i2:
+            internal += wire.weight
+        else:
+            cut += wire.weight
+            cut_distance += wire.weight * b[i1, i2]
+        weighted += wire.weight * b[i1, i2]
+    return CutStatistics(
+        total_wires=total,
+        internal_wires=internal,
+        cut_wires=cut,
+        total_weighted_length=weighted,
+        mean_cut_distance=(cut_distance / cut) if cut else 0.0,
+    )
+
+
+def wirelength_by_partition_pair(
+    problem: PartitioningProblem, assignment: Assignment
+) -> Dict[Tuple[int, int], float]:
+    """Weighted wirelength per ordered partition pair (zeros omitted).
+
+    Useful for spotting hot partition-to-partition channels (the
+    physical routing congestion the cost matrix ``B`` models).
+    """
+    part = problem.validate_assignment_shape(assignment.part)
+    b = problem.cost_matrix
+    out: Dict[Tuple[int, int], float] = {}
+    for wire in problem.circuit.wires():
+        i1, i2 = int(part[wire.source]), int(part[wire.target])
+        if i1 == i2:
+            continue
+        value = wire.weight * float(b[i1, i2])
+        if value:
+            out[(i1, i2)] = out.get((i1, i2), 0.0) + value
+    return out

@@ -1,0 +1,25 @@
+"""Applications and special cases (paper Section 2.2).
+
+* :mod:`repro.apps.mcm` - MCM/TCM re-partitioning: remove constraint
+  violations from a designer's initial chip-slot assignment with minimum
+  size-weighted Manhattan deviation (``PP(1, 0)``; Section 2.2.1),
+* :mod:`repro.apps.qap` - the Quadratic Assignment Problem special case
+  (``M = N``, unit sizes/capacities; Section 2.2.3), solved with the
+  *original* Burkard heuristic whose subproblems are Linear Assignment
+  Problems,
+* :mod:`repro.apps.gap_reduction` - the Generalized/Linear Assignment
+  special cases (``PP(1, 0)`` without timing; Section 2.2.2).
+"""
+
+from repro.apps.gap_reduction import solve_as_generalized_assignment
+from repro.apps.mcm import deviation_cost_matrix, repartition_mcm
+from repro.apps.qap import QapResult, random_qap_instance, solve_qap
+
+__all__ = [
+    "QapResult",
+    "deviation_cost_matrix",
+    "random_qap_instance",
+    "repartition_mcm",
+    "solve_as_generalized_assignment",
+    "solve_qap",
+]

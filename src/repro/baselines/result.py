@@ -1,0 +1,34 @@
+"""Result record shared by the interchange baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.assignment import Assignment
+
+
+@dataclass
+class InterchangeResult:
+    """Outcome of a GFM or GKL run.
+
+    Both baselines only ever apply violation-free moves starting from a
+    feasible solution, so the final assignment is feasible by
+    construction; ``feasible`` records the audit result anyway.
+    """
+
+    assignment: Assignment
+    cost: float
+    initial_cost: float
+    passes: int
+    moves_applied: int
+    feasible: bool
+    elapsed_seconds: float
+    pass_costs: List[float] = field(default_factory=list)
+
+    @property
+    def improvement_percent(self) -> float:
+        """Percentage cost reduction relative to the initial solution."""
+        if self.initial_cost == 0:
+            return 0.0
+        return 100.0 * (self.initial_cost - self.cost) / self.initial_cost

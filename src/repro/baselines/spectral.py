@@ -1,0 +1,165 @@
+"""Spectral partitioning baseline (Barnes-style, the paper's refs [4][5]).
+
+The paper positions its QBP formulation against earlier quadratic
+formulations - E.R. Barnes's spectral method for graph partitioning
+among them - noting that those "allow arbitrary partition capacities but
+restrict each component to be of equal size" and "cannot take Timing
+Constraints into considerations".  This module implements a faithful
+*descendant* of that approach so the claim is measurable:
+
+1. embed the components with the bottom eigenvectors of the weighted
+   graph Laplacian (the classic spectral relaxation of the cut
+   objective),
+2. seed one centroid per partition from the embedding (size-weighted
+   farthest-point sampling, then a few Lloyd refinements),
+3. assign components to partitions with the capacitated GAP solver,
+   using squared embedding distance to each centroid as the cost -
+   which is where arbitrary sizes/capacities enter (our generalization
+   over the historical equal-size restriction).
+
+Exactly as the paper says, the method has no native notion of timing
+constraints; :func:`spectral_partition` optionally post-repairs C2 with
+the min-conflicts finisher so it can participate in Table III-style
+comparisons at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.constraints import check_feasibility
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.solvers.gap import GapInfeasibleError, solve_gap
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+@dataclass(frozen=True)
+class SpectralResult:
+    """Outcome of a spectral partitioning run."""
+
+    assignment: Assignment
+    cost: float
+    feasible: bool
+    embedding_dimensions: int
+    elapsed_seconds: float
+
+
+def spectral_embedding(problem: PartitioningProblem, dimensions: int) -> np.ndarray:
+    """Bottom non-trivial Laplacian eigenvectors as an ``(N, d)`` embedding.
+
+    Uses the symmetrised wire weights; the all-ones eigenvector (the
+    Laplacian's kernel for a connected graph) is skipped.
+    """
+    n = problem.num_components
+    if dimensions < 1:
+        raise ValueError(f"dimensions must be >= 1, got {dimensions}")
+    a = problem.circuit.connection_matrix(symmetric=True)
+    degrees = a.sum(axis=1)
+    laplacian = np.diag(degrees) - a
+    # Dense symmetric eigensolve: N is at most a few hundred here.
+    _, vectors = np.linalg.eigh(laplacian)
+    take = min(dimensions, n - 1) if n > 1 else 1
+    return vectors[:, 1 : 1 + take]
+
+
+def _seed_centroids(
+    embedding: np.ndarray, sizes: np.ndarray, m: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Size-weighted farthest-point seeding, then Lloyd refinement."""
+    n = embedding.shape[0]
+    first = int(np.argmax(sizes))
+    chosen = [first]
+    for _ in range(1, min(m, n)):
+        distances = np.min(
+            [np.sum((embedding - embedding[c]) ** 2, axis=1) for c in chosen], axis=0
+        )
+        chosen.append(int(np.argmax(distances * np.maximum(sizes, 1e-12))))
+    centroids = embedding[chosen].copy()
+    while centroids.shape[0] < m:
+        # Degenerate tiny instances: duplicate with jitter.
+        jitter = rng.normal(scale=1e-6, size=(1, embedding.shape[1]))
+        centroids = np.vstack([centroids, centroids[-1] + jitter])
+
+    for _ in range(8):
+        distance_sq = (
+            np.sum((embedding[:, None, :] - centroids[None, :, :]) ** 2, axis=2)
+        )
+        nearest = np.argmin(distance_sq, axis=1)
+        moved = False
+        for i in range(m):
+            members = np.flatnonzero(nearest == i)
+            if members.size:
+                weights = sizes[members][:, None]
+                updated = (embedding[members] * weights).sum(axis=0) / weights.sum()
+                if not np.allclose(updated, centroids[i]):
+                    centroids[i] = updated
+                    moved = True
+        if not moved:
+            break
+    return centroids
+
+
+def spectral_partition(
+    problem: PartitioningProblem,
+    *,
+    dimensions: Optional[int] = None,
+    repair_timing: bool = True,
+    seed: RandomSource = None,
+) -> SpectralResult:
+    """Barnes-style spectral partitioning with capacitated assignment.
+
+    Parameters
+    ----------
+    dimensions:
+        Embedding dimensionality; defaults to ``min(M, N-1)``.
+    repair_timing:
+        When the problem has timing constraints, post-repair the
+        (timing-oblivious) spectral solution with min-conflicts; if the
+        repair fails the raw solution is returned with
+        ``feasible=False`` - faithfully reflecting the method's
+        historical limitation.
+    """
+    start_time = time.perf_counter()
+    rng = ensure_rng(seed)
+    n, m = problem.num_components, problem.num_partitions
+    if dimensions is None:
+        dimensions = max(1, min(m, n - 1))
+    embedding = spectral_embedding(problem, dimensions)
+    sizes = problem.sizes()
+
+    centroids = _seed_centroids(embedding, sizes, m, rng)
+    distance_sq = np.sum(
+        (embedding[:, None, :] - centroids[None, :, :]) ** 2, axis=2
+    )
+    try:
+        gap = solve_gap(distance_sq.T, sizes, problem.capacities())
+        part = gap.assignment
+    except GapInfeasibleError:
+        # Capacities too tight for the geometric assignment: fall back
+        # to pure best-fit via uniform costs.
+        gap = solve_gap(np.zeros((m, n)), sizes, problem.capacities())
+        part = gap.assignment
+
+    assignment = Assignment(part, m)
+    if repair_timing and problem.has_timing:
+        from repro.solvers.repair import repair_feasibility
+
+        repaired = repair_feasibility(problem, assignment, seed=rng)
+        if repaired is not None:
+            assignment = repaired
+
+    evaluator = ObjectiveEvaluator(problem)
+    report = check_feasibility(problem, assignment)
+    return SpectralResult(
+        assignment=assignment,
+        cost=evaluator.cost(assignment),
+        feasible=report.feasible,
+        embedding_dimensions=embedding.shape[1],
+        elapsed_seconds=time.perf_counter() - start_time,
+    )

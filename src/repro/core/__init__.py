@@ -1,0 +1,67 @@
+"""Problem core: the paper's ``PP(alpha, beta)`` and its QBP form.
+
+This package implements Sections 2 and 3 of the paper:
+
+* :class:`PartitioningProblem` - the full input bundle
+  ``(J, s, A, D_C, I, c, B, D, P, alpha, beta)``,
+* :class:`Assignment` - a solution ``A : J -> I`` with conversions to
+  the ``[x_ij]`` matrix and the flattened boolean vector ``y``
+  (``r = i + j*M``, the 0-based version of the paper's
+  ``r = i + (j-1)*M``),
+* constraint checking (C1 capacity / C2 timing / C3 GUB) with violation
+  reports,
+* :class:`ObjectiveEvaluator` - vectorised cost evaluation including the
+  incremental move/swap deltas shared by all solvers,
+* dense ``Q`` construction (:mod:`repro.core.qmatrix`) and the
+  timing-constraint embedding of Theorems 1 and 2
+  (:mod:`repro.core.embedding`).
+"""
+
+from repro.core.assignment import Assignment
+from repro.core.constraints import (
+    FeasibilityReport,
+    TimingIndex,
+    capacity_violations,
+    check_feasibility,
+    partition_loads,
+)
+from repro.core.embedding import (
+    RegionOfFeasiblePairs,
+    embed_timing,
+    matrices_coincident_over_region,
+    theorem1_penalty,
+    verify_theorem2_condition,
+)
+from repro.core.objective import CostBreakdown, ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.core.qmatrix import (
+    assignment_to_y,
+    build_q_dense,
+    flatten_index,
+    quadratic_form,
+    unflatten_index,
+    y_to_assignment,
+)
+
+__all__ = [
+    "Assignment",
+    "CostBreakdown",
+    "FeasibilityReport",
+    "ObjectiveEvaluator",
+    "PartitioningProblem",
+    "RegionOfFeasiblePairs",
+    "TimingIndex",
+    "assignment_to_y",
+    "build_q_dense",
+    "capacity_violations",
+    "check_feasibility",
+    "embed_timing",
+    "flatten_index",
+    "matrices_coincident_over_region",
+    "partition_loads",
+    "quadratic_form",
+    "theorem1_penalty",
+    "unflatten_index",
+    "verify_theorem2_condition",
+    "y_to_assignment",
+]

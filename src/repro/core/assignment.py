@@ -1,0 +1,163 @@
+"""Solutions: the assignment ``A : J -> I`` in its three representations.
+
+The paper moves between three equivalent encodings of a solution:
+
+1. the assignment map ``A(j) = i`` - stored here as an int vector
+   ``part`` with ``part[j] = i``,
+2. the binary matrix ``[x_ij]`` with ``x[i, j] = 1`` iff ``A(j) = i``
+   (which satisfies C3 by construction), and
+3. the flattened boolean column vector ``y`` of length ``M*N`` with
+   ``y[r] = x[i, j]`` for ``r = i + j*M`` (0-based; the paper writes the
+   1-based ``r = i + (j-1)*M``).
+
+:class:`Assignment` owns representation 1 and converts losslessly to and
+from the other two.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+class Assignment:
+    """An assignment of ``num_components`` components to ``num_partitions`` partitions.
+
+    Instances are lightweight and mutable via :meth:`move` / :meth:`swap`
+    (solvers mutate copies); use :meth:`copy` to snapshot.
+    """
+
+    __slots__ = ("num_partitions", "part")
+
+    def __init__(self, part: Sequence[int], num_partitions: int) -> None:
+        arr = np.asarray(part, dtype=int).copy()
+        if arr.ndim != 1:
+            raise ValueError(f"assignment must be 1-dimensional, got ndim={arr.ndim}")
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        if arr.size and (arr.min() < 0 or arr.max() >= num_partitions):
+            raise ValueError(f"assignment values must be in [0, {num_partitions})")
+        self.part = arr
+        self.num_partitions = int(num_partitions)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_components(self) -> int:
+        """Number of assigned components ``N``."""
+        return int(self.part.size)
+
+    def __getitem__(self, j: int) -> int:
+        return int(self.part[j])
+
+    def __setitem__(self, j: int, i: int) -> None:
+        if not 0 <= i < self.num_partitions:
+            raise ValueError(f"partition {i} out of range [0, {self.num_partitions})")
+        self.part[j] = i
+
+    def __len__(self) -> int:
+        return self.num_components
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return (
+            self.num_partitions == other.num_partitions
+            and np.array_equal(self.part, other.part)
+        )
+
+    def __hash__(self):
+        return hash((self.num_partitions, self.part.tobytes()))
+
+    def copy(self) -> "Assignment":
+        """Independent copy."""
+        return Assignment(self.part, self.num_partitions)
+
+    def move(self, j: int, i: int) -> "Assignment":
+        """Reassign component ``j`` to partition ``i`` (in place)."""
+        self[j] = i
+        return self
+
+    def swap(self, j1: int, j2: int) -> "Assignment":
+        """Exchange the partitions of components ``j1`` and ``j2`` (in place)."""
+        self.part[j1], self.part[j2] = self.part[j2], self.part[j1]
+        return self
+
+    def members(self, i: int) -> List[int]:
+        """Components currently assigned to partition ``i``."""
+        if not 0 <= i < self.num_partitions:
+            raise IndexError(f"partition {i} out of range [0, {self.num_partitions})")
+        return np.flatnonzero(self.part == i).tolist()
+
+    # ------------------------------------------------------------------
+    # Representation conversions
+    # ------------------------------------------------------------------
+    def to_x_matrix(self) -> np.ndarray:
+        """The binary ``M x N`` matrix ``[x_ij]``."""
+        x = np.zeros((self.num_partitions, self.num_components), dtype=int)
+        x[self.part, np.arange(self.num_components)] = 1
+        return x
+
+    @classmethod
+    def from_x_matrix(cls, x) -> "Assignment":
+        """Build from a binary ``[x_ij]``; validates C3 (one 1 per column)."""
+        mat = np.asarray(x)
+        if mat.ndim != 2:
+            raise ValueError(f"x matrix must be 2-dimensional, got ndim={mat.ndim}")
+        if not np.isin(mat, (0, 1)).all():
+            raise ValueError("x matrix must be binary")
+        column_sums = mat.sum(axis=0)
+        if not np.all(column_sums == 1):
+            bad = int(np.flatnonzero(column_sums != 1)[0])
+            raise ValueError(
+                f"x matrix violates C3: column {bad} has {int(column_sums[bad])} ones"
+            )
+        part = mat.argmax(axis=0)
+        return cls(part, mat.shape[0])
+
+    def to_y_vector(self) -> np.ndarray:
+        """The flattened boolean vector ``y`` (length ``M*N``, ``r = i + j*M``)."""
+        m, n = self.num_partitions, self.num_components
+        y = np.zeros(m * n, dtype=int)
+        y[self.part + np.arange(n) * m] = 1
+        return y
+
+    @classmethod
+    def from_y_vector(cls, y, num_partitions: int) -> "Assignment":
+        """Build from a flattened ``y``; validates length and C3."""
+        vec = np.asarray(y)
+        if vec.ndim != 1:
+            raise ValueError(f"y must be 1-dimensional, got ndim={vec.ndim}")
+        m = int(num_partitions)
+        if m <= 0 or vec.size % m != 0:
+            raise ValueError(
+                f"y length {vec.size} is not a multiple of num_partitions {m}"
+            )
+        n = vec.size // m
+        return cls.from_x_matrix(vec.reshape(n, m).T)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform_random(
+        cls, num_components: int, num_partitions: int, rng: np.random.Generator
+    ) -> "Assignment":
+        """A uniformly random assignment (ignores all constraints)."""
+        part = rng.integers(0, num_partitions, size=num_components)
+        return cls(part, num_partitions)
+
+    @classmethod
+    def round_robin(cls, num_components: int, num_partitions: int) -> "Assignment":
+        """Deterministic round-robin assignment ``j -> j mod M``."""
+        part = np.arange(num_components) % num_partitions
+        return cls(part, num_partitions)
+
+    def __repr__(self) -> str:
+        return (
+            f"Assignment(N={self.num_components}, M={self.num_partitions}, "
+            f"part={self.part.tolist() if self.num_components <= 12 else '...'})"
+        )
+
+
+def assignments_agree(a: Assignment, b: Assignment, components: Iterable[int]) -> bool:
+    """``True`` when ``a`` and ``b`` place every listed component identically."""
+    return all(a[j] == b[j] for j in components)

@@ -1,0 +1,180 @@
+"""Timing-constraint embedding (paper Section 3.2 and the Appendix).
+
+The appendix formalises constraints as a *Region of Feasible Pairs*
+``R``: candidate assignment ``r1 = (i1, j1)`` is constraint-feasible to
+``r2 = (i2, j2)`` iff ``D(i1, i2) <= D_C(j1, j2)``.  A solution ``y`` is
+in the feasible set ``F_R`` iff every pair of its 1-coordinates is in
+``R`` - which for the timing region is exactly C2.
+
+Two embeddings turn the constrained problem ``QBP_R(Q)`` into an
+unconstrained ``QBP(Q')``:
+
+* **Theorem 1 (exact)** - overwrite every out-of-region entry with any
+  ``U > 2 * sum |q|``; then ``QBP(Q')`` and ``QBP_R(Q)`` have identical
+  minimisers (:func:`theorem1_penalty`, :func:`embed_timing`).
+* **Theorem 2 (sufficient condition)** - overwrite with *any* value
+  (the paper uses 50); if the unconstrained minimiser happens to land in
+  ``F_R`` it is guaranteed optimal for the constrained problem
+  (:func:`verify_theorem2_condition`).
+
+These dense constructions exist for validation, small exact solves and
+the worked example; the production solver applies the same penalties
+on the fly from the sparse constraint list.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.problem import PartitioningProblem
+from repro.core.qmatrix import unflatten_index
+
+DEFAULT_PAPER_PENALTY = 50.0
+"""The fixed penalty value the paper uses in its experiments."""
+
+
+class RegionOfFeasiblePairs:
+    """The timing region ``R`` of Appendix Definition 1.
+
+    ``(r1, r2) in R``  iff  ``D[i1, i2] <= D_C[j1, j2]`` where
+    ``r = i + j*M``.  The relation need not be symmetric (``D`` and
+    ``D_C`` may both be asymmetric).
+    """
+
+    def __init__(self, delay_matrix, dc_matrix) -> None:
+        self.delay = np.asarray(delay_matrix, dtype=float)
+        self.dc = np.asarray(dc_matrix, dtype=float)
+        if self.delay.ndim != 2 or self.delay.shape[0] != self.delay.shape[1]:
+            raise ValueError(f"delay matrix must be square, got {self.delay.shape}")
+        if self.dc.ndim != 2 or self.dc.shape[0] != self.dc.shape[1]:
+            raise ValueError(f"D_C matrix must be square, got {self.dc.shape}")
+
+    @classmethod
+    def from_problem(cls, problem: PartitioningProblem) -> "RegionOfFeasiblePairs":
+        """The region induced by a problem's ``D`` and ``D_C``."""
+        return cls(problem.delay_matrix, problem.timing.to_matrix())
+
+    @property
+    def num_partitions(self) -> int:
+        return self.delay.shape[0]
+
+    @property
+    def num_components(self) -> int:
+        return self.dc.shape[0]
+
+    def contains(self, r1: int, r2: int) -> bool:
+        """Membership test for a flattened pair ``(r1, r2)``.
+
+        Pairs with ``j1 == j2`` (the same component at two candidate
+        partitions) are structurally excluded by C3, so they are treated
+        as in-region - matching the paper's Section 3.3 example, whose
+        same-component blocks stay zero rather than penalized.
+        """
+        m = self.num_partitions
+        i1, j1 = unflatten_index(r1, m)
+        i2, j2 = unflatten_index(r2, m)
+        if j1 == j2:
+            return True
+        return bool(self.delay[i1, i2] <= self.dc[j1, j2])
+
+    def feasibility_mask(self) -> np.ndarray:
+        """Boolean ``MN x MN`` matrix; ``True`` where the pair is in ``R``.
+
+        Built by broadcasting: entry ``[(i1,j1), (i2,j2)]`` compares
+        ``D[i1, i2]`` against ``D_C[j1, j2]``.  Same-component blocks
+        (``j1 == j2``) are in-region by convention (see :meth:`contains`).
+        """
+        m, n = self.num_partitions, self.num_components
+        # Shape (n, m, n, m) indexed [j1, i1, j2, i2], then flattened so
+        # that axis order matches r = i + j*m.
+        ok = self.delay[None, :, None, :] <= self.dc[:, None, :, None]
+        same = np.eye(n, dtype=bool)[:, None, :, None]
+        ok = ok | same
+        return ok.reshape(n * m, n * m)
+
+    def is_feasible_y(self, y) -> bool:
+        """``y in F_R``: all 1-coordinate pairs are mutually in ``R``."""
+        vec = np.asarray(y)
+        ones = np.flatnonzero(vec)
+        mask = self.feasibility_mask()
+        return bool(mask[np.ix_(ones, ones)].all())
+
+    def is_feasible_assignment(self, part: Sequence[int]) -> bool:
+        """C2 check for an assignment vector ``part[j] = i``."""
+        part = np.asarray(part, dtype=int)
+        delays = self.delay[part[:, None], part[None, :]]
+        return bool((delays <= self.dc).all())
+
+
+def theorem1_penalty(q: np.ndarray) -> float:
+    """The exact-embedding constant: the smallest convenient ``U``.
+
+    Theorem 1 requires ``U > 2 * sum |q|``; we return
+    ``2 * sum|q| + 1`` so the strict inequality holds even for an
+    all-zero ``Q``.
+    """
+    q = np.asarray(q, dtype=float)
+    return float(2.0 * np.abs(q).sum() + 1.0)
+
+
+def embed_timing(
+    q: np.ndarray,
+    problem: PartitioningProblem,
+    penalty: Optional[float] = None,
+) -> np.ndarray:
+    """Build ``Q_hat``: ``q`` with out-of-region entries overwritten.
+
+    Parameters
+    ----------
+    q:
+        The dense cost matrix from :func:`repro.core.qmatrix.build_q_dense`.
+    penalty:
+        The overwrite value.  ``None`` selects the Theorem-1 exact
+        constant ``U`` (guaranteed equivalence); pass
+        :data:`DEFAULT_PAPER_PENALTY` to reproduce the paper's
+        experimental setting (Theorem-2 regime).
+
+    Returns
+    -------
+    numpy.ndarray
+        A new matrix; ``q`` is not modified.  ``Q_hat`` coincides with
+        ``q`` over ``R`` by construction.
+    """
+    q = np.asarray(q, dtype=float)
+    region = RegionOfFeasiblePairs.from_problem(problem)
+    mask = region.feasibility_mask()
+    if mask.shape != q.shape:
+        raise ValueError(
+            f"Q shape {q.shape} does not match region shape {mask.shape}"
+        )
+    if penalty is None:
+        penalty = theorem1_penalty(q)
+    q_hat = q.copy()
+    q_hat[~mask] = float(penalty)
+    return q_hat
+
+
+def matrices_coincident_over_region(
+    q: np.ndarray, q_hat: np.ndarray, region: RegionOfFeasiblePairs
+) -> bool:
+    """Appendix Definition 3: ``q == q_hat`` on every pair in ``R``."""
+    q = np.asarray(q, dtype=float)
+    q_hat = np.asarray(q_hat, dtype=float)
+    if q.shape != q_hat.shape:
+        return False
+    mask = region.feasibility_mask()
+    return bool(np.array_equal(q[mask], q_hat[mask]))
+
+
+def verify_theorem2_condition(problem: PartitioningProblem, y) -> bool:
+    """Check Theorem 2's hypothesis on a solved ``y``: is ``y in F_R``?
+
+    The QBP solver calls this after minimising over ``Q_hat``; when it
+    returns ``True`` the solution is certified optimal-if-the-solve-was
+    -optimal for the original constrained problem, and in all cases it
+    certifies C2 feasibility.
+    """
+    region = RegionOfFeasiblePairs.from_problem(problem)
+    return region.is_feasible_y(y)

@@ -1,0 +1,251 @@
+"""The partitioning problem ``PP(alpha, beta)`` (paper Section 2.1).
+
+A :class:`PartitioningProblem` bundles every input the paper lists:
+
+========  =======================================================
+``J``     ``circuit.components`` (``N`` components)
+``s_j``   ``circuit.sizes()``
+``A``     ``circuit.connection_matrix()`` (wire multiplicities)
+``D_C``   ``timing`` (sparse :class:`~repro.timing.TimingConstraints`)
+``I``     ``topology.partitions`` (``M`` partitions)
+``c_i``   ``topology.capacities()``
+``B``     ``topology.cost_matrix``
+``D``     ``topology.delay_matrix``
+``P``     ``linear_cost`` (``M x N``, optional)
+========  =======================================================
+
+plus the scaling factors ``alpha`` (linear term) and ``beta`` (quadratic
+term).  Section 3 notes any ``PP(alpha, beta)`` reduces to ``PP(1, 1)``
+by scaling ``P`` and ``A``; :meth:`PartitioningProblem.normalized`
+performs exactly that reduction.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.netlist.circuit import Circuit
+from repro.timing.constraints import TimingConstraints
+from repro.topology.partition import Topology
+from repro.utils.matrices import as_cost_matrix, validate_nonnegative
+
+
+class PartitioningProblem:
+    """A performance-driven partitioning problem instance.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit (components ``J``, sizes ``s``, wires ``A``).
+    topology:
+        The fixed partition topology (``I``, ``c``, ``B``, ``D``).
+    timing:
+        Timing constraints ``D_C``; ``None`` means unconstrained (the
+        Table II setting).
+    linear_cost:
+        Optional ``M x N`` matrix ``P`` of per-assignment costs.  Used by
+        the MCM/TCM deviation application; ``None`` means zero.
+    alpha, beta:
+        Scaling factors of the linear and quadratic objective terms.
+
+    Raises
+    ------
+    ValueError
+        On shape mismatches, negative inputs, or a circuit whose total
+        size exceeds the topology's total capacity (then no feasible
+        assignment can exist).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        topology: Topology,
+        timing: Optional[TimingConstraints] = None,
+        linear_cost=None,
+        *,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        name: Optional[str] = None,
+    ) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.topology = topology
+        self.name = name or circuit.name
+
+        if timing is not None and timing.num_components != circuit.num_components:
+            raise ValueError(
+                f"timing constraints are over {timing.num_components} components "
+                f"but the circuit has {circuit.num_components}"
+            )
+        self.timing = timing if timing is not None else TimingConstraints_empty(circuit)
+
+        if linear_cost is None:
+            self._linear = None
+        else:
+            self._linear = as_cost_matrix(
+                linear_cost, topology.num_partitions, circuit.num_components, "linear_cost"
+            )
+            validate_nonnegative(self._linear, "linear_cost")
+            self._linear.setflags(write=False)
+
+        if alpha < 0 or beta < 0:
+            raise ValueError(f"alpha and beta must be >= 0, got ({alpha}, {beta})")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+        if circuit.total_size() > topology.total_capacity() + 1e-12:
+            raise ValueError(
+                f"total component size {circuit.total_size():g} exceeds total "
+                f"capacity {topology.total_capacity():g}; no feasible assignment exists"
+            )
+
+    # ------------------------------------------------------------------
+    # Dimensions and matrix views
+    # ------------------------------------------------------------------
+    @property
+    def num_components(self) -> int:
+        """``N``."""
+        return self.circuit.num_components
+
+    @property
+    def num_partitions(self) -> int:
+        """``M``."""
+        return self.topology.num_partitions
+
+    def sizes(self) -> np.ndarray:
+        """Component sizes ``s`` (length ``N``)."""
+        return self.circuit.sizes()
+
+    def capacities(self) -> np.ndarray:
+        """Partition capacities ``c`` (length ``M``)."""
+        return self.topology.capacities()
+
+    def connection_matrix(self) -> np.ndarray:
+        """Dense ``A`` (``N x N``)."""
+        return self.circuit.connection_matrix()
+
+    def sparse_connection_matrix(self) -> sparse.csr_matrix:
+        """Sparse ``A`` (``N x N``, CSR)."""
+        return self.circuit.sparse_connection_matrix()
+
+    @property
+    def cost_matrix(self) -> np.ndarray:
+        """``B`` (``M x M``)."""
+        return self.topology.cost_matrix
+
+    @property
+    def delay_matrix(self) -> np.ndarray:
+        """``D`` (``M x M``)."""
+        return self.topology.delay_matrix
+
+    def linear_cost_matrix(self) -> Optional[np.ndarray]:
+        """``P`` (``M x N``) or ``None`` when the linear term is absent."""
+        return self._linear
+
+    @property
+    def has_timing(self) -> bool:
+        """``True`` when at least one timing constraint is present."""
+        return len(self.timing) > 0
+
+    @property
+    def has_linear_term(self) -> bool:
+        """``True`` when ``P`` is present and ``alpha > 0``."""
+        return self._linear is not None and self.alpha > 0
+
+    # ------------------------------------------------------------------
+    # Transformations (paper Section 3 preamble)
+    # ------------------------------------------------------------------
+    def normalized(self) -> "PartitioningProblem":
+        """Reduce to the equivalent ``PP(1, 1)``.
+
+        Defines ``P' = alpha * P`` and ``A' = beta * A`` as in Section 3;
+        the returned problem has ``alpha = beta = 1`` and the identical
+        optimal assignments and objective values.
+        """
+        if self.alpha == 1.0 and self.beta == 1.0:
+            return self
+        scaled_circuit = _scale_circuit_wires(self.circuit, self.beta)
+        scaled_linear = None if self._linear is None else self.alpha * self._linear
+        return PartitioningProblem(
+            scaled_circuit,
+            self.topology,
+            self.timing,
+            scaled_linear,
+            alpha=1.0,
+            beta=1.0,
+            name=self.name,
+        )
+
+    def without_timing(self) -> "PartitioningProblem":
+        """Copy of this problem with the timing constraints dropped."""
+        return PartitioningProblem(
+            self.circuit,
+            self.topology,
+            None,
+            self._linear,
+            alpha=self.alpha,
+            beta=self.beta,
+            name=self.name,
+        )
+
+    def with_zero_interconnect(self) -> "PartitioningProblem":
+        """Copy with ``B = 0``.
+
+        This is the paper's initial-solution bootstrap: running the QBP
+        solver on the zero-``B`` problem reduces it to pure feasibility
+        (capacity + timing) and "will generate an initial feasible
+        solution in a few iterations".
+        """
+        zero_b = np.zeros_like(self.topology.cost_matrix)
+        return PartitioningProblem(
+            self.circuit,
+            self.topology.with_cost_matrix(zero_b),
+            self.timing,
+            self._linear,
+            alpha=self.alpha,
+            beta=self.beta,
+            name=f"{self.name}-zeroB",
+        )
+
+    # ------------------------------------------------------------------
+    def validate_assignment_shape(self, assignment) -> np.ndarray:
+        """Coerce ``assignment`` to an int vector of length ``N`` in range."""
+        part = np.asarray(assignment, dtype=int)
+        if part.shape != (self.num_components,):
+            raise ValueError(
+                f"assignment must have length {self.num_components}, got shape {part.shape}"
+            )
+        if part.size and (part.min() < 0 or part.max() >= self.num_partitions):
+            raise ValueError(
+                f"assignment values must be in [0, {self.num_partitions})"
+            )
+        return part
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitioningProblem(name={self.name!r}, N={self.num_components}, "
+            f"M={self.num_partitions}, timing={len(self.timing)}, "
+            f"alpha={self.alpha:g}, beta={self.beta:g})"
+        )
+
+
+def TimingConstraints_empty(circuit: Circuit) -> TimingConstraints:
+    """An empty constraint set sized for ``circuit``."""
+    return TimingConstraints(circuit.num_components)
+
+
+def _scale_circuit_wires(circuit: Circuit, factor: float) -> Circuit:
+    """Deep-copy ``circuit`` with every wire weight multiplied by ``factor``."""
+    if factor == 1.0:
+        return circuit
+    scaled = Circuit(circuit.name)
+    for component in circuit.components:
+        scaled.add_component(copy.deepcopy(component))
+    if factor > 0:
+        for wire in circuit.wires():
+            scaled.add_wire(wire.source, wire.target, wire.weight * factor)
+    return scaled

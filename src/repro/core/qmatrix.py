@@ -1,0 +1,87 @@
+"""Dense QBP form: flattening and explicit ``Q`` construction (Section 3.1).
+
+The transformation catenates the columns of the ``M x N`` matrix
+``[x_ij]`` into a boolean vector ``y`` of length ``M*N`` via
+``r = i + j*M`` (0-based; the paper's 1-based ``r = i + (j-1)*M``), and
+builds ``Q`` with::
+
+    q[r1, r2] = beta * a[j1, j2] * b[i1, i2]   (+ alpha * p[i1, j1] on the diagonal)
+
+so the objective becomes ``yT Q y``.  With this ordering ``Q`` is exactly
+``beta * kron(A, B)`` plus the flattened linear costs on the diagonal -
+the block structure the paper's Section 3.3 example walks through.
+
+Dense ``Q`` is only used for small-instance validation, the exact solver
+and the worked example; the production solver path never materialises it
+(Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import PartitioningProblem
+
+
+def flatten_index(i: int, j: int, num_partitions: int) -> int:
+    """Flattened index ``r = i + j*M`` of candidate assignment ``(i, j)``."""
+    m = int(num_partitions)
+    if m <= 0:
+        raise ValueError(f"num_partitions must be positive, got {m}")
+    if not 0 <= i < m:
+        raise IndexError(f"partition index {i} out of range [0, {m})")
+    if j < 0:
+        raise IndexError(f"component index must be >= 0, got {j}")
+    return int(i) + int(j) * m
+
+
+def unflatten_index(r: int, num_partitions: int) -> Tuple[int, int]:
+    """Inverse of :func:`flatten_index`: ``r -> (i, j)``."""
+    m = int(num_partitions)
+    if m <= 0:
+        raise ValueError(f"num_partitions must be positive, got {m}")
+    if r < 0:
+        raise IndexError(f"flattened index must be >= 0, got {r}")
+    return int(r) % m, int(r) // m
+
+
+def build_q_dense(problem: PartitioningProblem, *, include_linear: bool = True) -> np.ndarray:
+    """The dense ``MN x MN`` cost matrix ``Q`` (timing NOT embedded).
+
+    ``Q = beta * kron(A, B)`` with ``alpha * P`` flattened onto the
+    diagonal when ``include_linear``.  Use
+    :func:`repro.core.embedding.embed_timing` to obtain ``Q_hat``.
+    """
+    a = problem.connection_matrix()
+    b = problem.cost_matrix
+    q = problem.beta * np.kron(a, b)
+    if include_linear and problem.has_linear_term:
+        p = problem.linear_cost_matrix()
+        # Diagonal entry for r = (i, j) is alpha * p[i, j]; flattening by
+        # r = i + j*M makes the diagonal the column-major raveling of P.
+        q[np.diag_indices_from(q)] += problem.alpha * p.T.ravel()
+    return q
+
+
+def assignment_to_y(assignment: Assignment) -> np.ndarray:
+    """Alias of :meth:`Assignment.to_y_vector` for symmetry with the paper."""
+    return assignment.to_y_vector()
+
+
+def y_to_assignment(y, num_partitions: int) -> Assignment:
+    """Alias of :meth:`Assignment.from_y_vector`."""
+    return Assignment.from_y_vector(y, num_partitions)
+
+
+def quadratic_form(q: np.ndarray, y) -> float:
+    """Evaluate ``yT Q y`` for a boolean vector ``y``."""
+    q = np.asarray(q, dtype=float)
+    vec = np.asarray(y, dtype=float)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise ValueError(f"Q must be square, got shape {q.shape}")
+    if vec.shape != (q.shape[0],):
+        raise ValueError(f"y must have length {q.shape[0]}, got shape {vec.shape}")
+    return float(vec @ q @ vec)

@@ -1,0 +1,194 @@
+"""Programmatic ablation runners (the benchmark suite's twin).
+
+The ``benchmarks/test_bench_ablation_*`` files time these same
+experiments under pytest-benchmark; the functions here return the raw
+records so EXPERIMENTS.md (or a notebook) can regenerate the ablation
+data without pytest.
+
+Run everything on one circuit::
+
+    python -m repro.eval.ablations --circuit cktb --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.assignment import Assignment
+from repro.core.objective import ObjectiveEvaluator
+from repro.eval.harness import shared_initial_solution
+from repro.eval.workloads import Workload, build_workload
+from repro.solvers.burkard import ETA_MODES, resolve_penalty, solve_qbp
+from repro.solvers.greedy import greedy_feasible_assignment
+from repro.utils.tables import TextTable
+
+
+@dataclass(frozen=True)
+class AblationRecord:
+    """One ablation data point."""
+
+    dimension: str
+    setting: str
+    start_cost: float
+    final_cost: float
+    elapsed_seconds: float
+
+    @property
+    def improvement_percent(self) -> float:
+        if self.start_cost == 0:
+            return 0.0
+        return 100.0 * (self.start_cost - self.final_cost) / self.start_cost
+
+
+def _solve(workload: Workload, initial: Assignment, *, with_timing=True, **kwargs):
+    problem = workload.problem if with_timing else workload.problem_no_timing
+    evaluator = ObjectiveEvaluator(problem)
+    start = evaluator.cost(initial)
+    t0 = time.perf_counter()
+    result = solve_qbp(problem, initial=initial, **kwargs)
+    elapsed = time.perf_counter() - t0
+    assignment = result.best_feasible_assignment or initial
+    return start, min(evaluator.cost(assignment), start), elapsed
+
+
+def run_penalty_ablation(
+    workload: Workload,
+    initial: Assignment,
+    *,
+    iterations: int = 40,
+    penalties: Sequence = ("paper", None, "theorem1"),
+) -> List[AblationRecord]:
+    """Section 3.2: penalty regimes (fixed 50 / auto / exact Theorem-1 U)."""
+    records = []
+    for penalty in penalties:
+        start, final, elapsed = _solve(
+            workload, initial, iterations=iterations, penalty=penalty, seed=0
+        )
+        label = {None: "auto"}.get(penalty, str(penalty))
+        value = resolve_penalty(workload.problem, penalty)
+        records.append(
+            AblationRecord("penalty", f"{label} ({value:g})", start, final, elapsed)
+        )
+    return records
+
+
+def run_eta_ablation(
+    workload: Workload,
+    initial: Assignment,
+    *,
+    iterations: int = 40,
+    modes: Sequence[str] = ETA_MODES,
+) -> List[AblationRecord]:
+    """STEP 3 variants: paper-verbatim vs diagonal vs symmetric."""
+    records = []
+    for mode in modes:
+        start, final, elapsed = _solve(
+            workload,
+            initial,
+            with_timing=False,
+            iterations=iterations,
+            eta_mode=mode,
+            seed=0,
+        )
+        records.append(AblationRecord("eta_mode", mode, start, final, elapsed))
+    return records
+
+
+def run_iteration_sweep(
+    workload: Workload,
+    initial: Assignment,
+    *,
+    sweep: Sequence[int] = (5, 25, 100),
+) -> List[AblationRecord]:
+    """Quality vs iteration count ("precise control over the runtime")."""
+    records = []
+    for iterations in sweep:
+        start, final, elapsed = _solve(
+            workload, initial, with_timing=False, iterations=iterations, seed=0
+        )
+        records.append(
+            AblationRecord("iterations", str(iterations), start, final, elapsed)
+        )
+    return records
+
+
+def run_initial_robustness(
+    workload: Workload,
+    initial: Assignment,
+    *,
+    iterations: int = 40,
+    greedy_seeds: Sequence[int] = (1, 2, 3),
+) -> List[AblationRecord]:
+    """'QBP maintained the same kind of good results from any arbitrary
+    initial solution.'"""
+    records = []
+    start, final, elapsed = _solve(
+        workload, initial, with_timing=False, iterations=iterations, seed=0
+    )
+    records.append(AblationRecord("initial", "bootstrap", start, final, elapsed))
+    for seed in greedy_seeds:
+        arbitrary = greedy_feasible_assignment(workload.problem_no_timing, seed=seed)
+        start, final, elapsed = _solve(
+            workload, arbitrary, with_timing=False, iterations=iterations, seed=0
+        )
+        records.append(
+            AblationRecord("initial", f"greedy-{seed}", start, final, elapsed)
+        )
+    return records
+
+
+def run_all(
+    workload: Workload, initial: Optional[Assignment] = None, *, iterations: int = 40
+) -> Dict[str, List[AblationRecord]]:
+    """Run every ablation; returns records grouped by dimension."""
+    if initial is None:
+        initial = shared_initial_solution(workload, seed=0)
+    return {
+        "penalty": run_penalty_ablation(workload, initial, iterations=iterations),
+        "eta_mode": run_eta_ablation(workload, initial, iterations=iterations),
+        "iterations": run_iteration_sweep(workload, initial),
+        "initial": run_initial_robustness(workload, initial, iterations=iterations),
+    }
+
+
+def render_records(records: Sequence[AblationRecord]) -> str:
+    """Aligned table for one ablation dimension."""
+    table = TextTable(["setting", "start", "final", "(-%)", "cpu(s)"])
+    for record in records:
+        table.add_row(
+            [
+                record.setting,
+                int(round(record.start_cost)),
+                int(round(record.final_cost)),
+                record.improvement_percent,
+                record.elapsed_seconds,
+            ]
+        )
+    return table.render()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.ablations",
+        description="Run the design-choice ablations on one circuit.",
+    )
+    parser.add_argument("--circuit", default="cktb")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--iterations", type=int, default=40)
+    args = parser.parse_args(argv)
+
+    workload = build_workload(args.circuit, scale=args.scale)
+    grouped = run_all(workload, iterations=args.iterations)
+    for dimension, records in grouped.items():
+        print(f"== ablation: {dimension} ==")
+        print(render_records(records))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""The paper's published experimental numbers (Tables I, II, III).
+
+Kept verbatim so the harness can print paper-vs-measured comparisons and
+the test suite can assert that the reproduced workloads match Table I
+exactly and that the reproduced result *shape* (who wins, by roughly
+what factor) matches Tables II/III.
+
+CPU seconds are DECstation 5000/125 numbers - only their *ratios* are
+meaningful for a reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+CIRCUIT_NAMES = ("ckta", "cktb", "cktc", "cktd", "ckte", "cktf", "cktg")
+
+
+@dataclass(frozen=True)
+class PaperCircuit:
+    """One row of Table I."""
+
+    name: str
+    num_components: int
+    num_wires: int
+    num_timing_constraints: int
+
+
+@dataclass(frozen=True)
+class PaperSolverRow:
+    """One solver's cells in a Table II/III row."""
+
+    final: int
+    improvement_percent: float
+    cpu_seconds: float
+
+
+@dataclass(frozen=True)
+class PaperResultRow:
+    """One full row of Table II or III."""
+
+    name: str
+    start: int
+    qbp: PaperSolverRow
+    gfm: PaperSolverRow
+    gkl: PaperSolverRow
+
+
+PAPER_TABLE1: Dict[str, PaperCircuit] = {
+    "ckta": PaperCircuit("ckta", 339, 8200, 3464),
+    "cktb": PaperCircuit("cktb", 357, 3017, 1325),
+    "cktc": PaperCircuit("cktc", 545, 12141, 11545),
+    "cktd": PaperCircuit("cktd", 521, 6309, 6009),
+    "ckte": PaperCircuit("ckte", 380, 3831, 3760),
+    "cktf": PaperCircuit("cktf", 607, 4809, 4683),
+    "cktg": PaperCircuit("cktg", 472, 3376, 3376),
+}
+
+NUM_PARTITIONS = 16
+"""All paper experiments use 16 partitions (a 4x4 grid, Manhattan B = D)."""
+
+QBP_ITERATIONS = 100
+"""Iteration count the paper used for every QBP run."""
+
+GKL_OUTER_LOOPS = 6
+"""The paper's GKL outer-loop cutoff."""
+
+
+def _row(name, start, qbp, gfm, gkl) -> PaperResultRow:
+    return PaperResultRow(
+        name=name,
+        start=start,
+        qbp=PaperSolverRow(*qbp),
+        gfm=PaperSolverRow(*gfm),
+        gkl=PaperSolverRow(*gkl),
+    )
+
+
+# Table II: without timing constraints (cost = total Manhattan wire length).
+PAPER_TABLE2: Dict[str, PaperResultRow] = {
+    "ckta": _row("ckta", 20756, (17457, 15.9, 86.8), (18894, 9.0, 12.2), (17526, 15.6, 544.3)),
+    "cktb": _row("cktb", 8239, (5996, 27.2, 43.4), (6966, 15.5, 18.5), (6555, 20.4, 148.2)),
+    "cktc": _row("cktc", 28210, (20711, 26.6, 140.2), (23185, 17.8, 37.1), (20647, 26.8, 1192.0)),
+    "cktd": _row("cktd", 14737, (9724, 34.0, 97.1), (12894, 12.5, 46.1), (11780, 20.1, 608.4)),
+    "ckte": _row("ckte", 8524, (6293, 26.2, 58.3), (6746, 20.9, 20.8), (6329, 25.8, 298.3)),
+    "cktf": _row("cktf", 10498, (5887, 44.0, 93.4), (7589, 27.7, 24.1), (6643, 36.7, 514.1)),
+    "cktg": _row("cktg", 8138, (5170, 36.5, 64.1), (5925, 27.2, 15.5), (5951, 26.9, 354.7)),
+}
+
+# Table III: with timing constraints.
+PAPER_TABLE3: Dict[str, PaperResultRow] = {
+    "ckta": _row("ckta", 20756, (18233, 12.2, 89.2), (19341, 6.8, 9.4), (18262, 12.0, 394.4)),
+    "cktb": _row("cktb", 8239, (6482, 21.3, 44.5), (7054, 14.4, 9.0), (7225, 12.3, 121.7)),
+    "cktc": _row("cktc", 28210, (22228, 21.2, 139.3), (26195, 7.1, 51.9), (21435, 24.0, 1887.5)),
+    "cktd": _row("cktd", 14737, (11278, 23.5, 100.7), (13568, 7.9, 27.6), (12866, 12.7, 558.6)),
+    "ckte": _row("ckte", 8524, (6758, 21.0, 58.0), (7913, 7.2, 11.7), (7218, 15.3, 230.0)),
+    "cktf": _row("cktf", 10498, (6916, 34.1, 94.4), (8294, 21.0, 45.4), (7627, 27.3, 492.5)),
+    "cktg": _row("cktg", 8138, (5721, 30.1, 65.9), (6454, 21.0, 18.8), (6014, 26.1, 313.6)),
+}
+
+
+def paper_mean_improvements() -> Dict[str, Tuple[float, float]]:
+    """Mean improvement percent per solver, (table2, table3)."""
+    out = {}
+    for key in ("qbp", "gfm", "gkl"):
+        t2 = sum(getattr(r, key).improvement_percent for r in PAPER_TABLE2.values())
+        t3 = sum(getattr(r, key).improvement_percent for r in PAPER_TABLE3.values())
+        out[key] = (t2 / len(PAPER_TABLE2), t3 / len(PAPER_TABLE3))
+    return out

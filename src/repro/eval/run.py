@@ -1,0 +1,140 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Examples
+--------
+Reproduce Table I (circuit descriptions)::
+
+    python -m repro.eval.run --table 1
+
+Reproduce Table II on quarter-scale workloads (quick)::
+
+    python -m repro.eval.run --table 2 --scale 0.25
+
+Full reproduction of everything, JSON results included::
+
+    python -m repro.eval.run --table all --json results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.eval.harness import (
+    ExperimentRow,
+    run_table,
+    shared_initial_solution,
+    summarize_rows,
+)
+from repro.eval.paper_data import PAPER_TABLE2, PAPER_TABLE3, QBP_ITERATIONS
+from repro.eval.tables import render_table1, render_table23
+from repro.eval.workloads import all_workloads, build_workload, workload_names
+from repro.netlist.stats import circuit_stats
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.run",
+        description="Reproduce the tables of Shih & Kuh, 'Quadratic Boolean "
+        "Programming for Performance-Driven System Partitioning'.",
+    )
+    parser.add_argument(
+        "--table",
+        choices=["1", "2", "3", "all"],
+        default="all",
+        help="which paper table to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload shrink factor in (0, 1]; 1.0 = exact Table I sizes",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=QBP_ITERATIONS,
+        help=f"QBP iteration count (paper: {QBP_ITERATIONS})",
+    )
+    parser.add_argument(
+        "--circuits",
+        nargs="*",
+        default=None,
+        metavar="CKT",
+        help="subset of circuits (default: all seven)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", help="also dump rows as JSON"
+    )
+    parser.add_argument(
+        "--no-paper",
+        action="store_true",
+        help="omit the published rows from the rendered tables",
+    )
+    args = parser.parse_args(argv)
+
+    names = tuple(args.circuits) if args.circuits else workload_names()
+    unknown = set(names) - set(workload_names())
+    if unknown:
+        parser.error(f"unknown circuits: {sorted(unknown)}")
+
+    workloads = {name: build_workload(name, scale=args.scale) for name in names}
+    initials = None
+    if args.table in ("2", "3", "all"):
+        initials = {
+            name: shared_initial_solution(workload, seed=args.seed)
+            for name, workload in workloads.items()
+        }
+    collected = {}
+
+    if args.table in ("1", "all"):
+        rows = [
+            (circuit_stats(w.circuit), w.timing.num_pairs)
+            for w in workloads.values()
+        ]
+        print(render_table1(rows))
+        print()
+
+    for table_num, paper in ((2, PAPER_TABLE2), (3, PAPER_TABLE3)):
+        if args.table not in (str(table_num), "all"):
+            continue
+        rows = run_table(
+            table_num,
+            scale=args.scale,
+            qbp_iterations=args.iterations,
+            circuits=names,
+            seed=args.seed,
+            workloads=workloads,
+            initials=initials,
+        )
+        collected[table_num] = rows
+        print(
+            render_table23(
+                rows,
+                with_timing=(table_num == 3),
+                paper=None if args.no_paper else paper,
+            )
+        )
+        means = summarize_rows(rows)
+        print(
+            f"mean improvement: QBP {means['qbp']:.1f}%  "
+            f"GFM {means['gfm']:.1f}%  GKL {means['gkl']:.1f}%"
+        )
+        print()
+
+    if args.json:
+        payload = {
+            f"table{num}": [row.to_dict() for row in rows]
+            for num, rows in collected.items()
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Render experiment results in the layout of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.eval.paper_data import PAPER_TABLE1, PaperResultRow
+from repro.netlist.stats import CircuitStats
+from repro.utils.tables import TextTable
+
+
+def render_table1(rows: Iterable[tuple[CircuitStats, int]]) -> str:
+    """Table I: circuit descriptions.
+
+    ``rows`` pairs each circuit's statistics with its timing-constraint
+    pair count; the paper's published values are printed alongside for
+    verification.
+    """
+    table = TextTable(
+        [
+            "ckt",
+            "# of components",
+            "# of wires",
+            "# of Timing Constraints",
+            "paper (N / wires / constraints)",
+        ],
+        title="I. circuit descriptions:",
+    )
+    for stats, constraint_pairs in rows:
+        paper = PAPER_TABLE1.get(stats.name)
+        paper_cell = (
+            f"{paper.num_components} / {paper.num_wires} / {paper.num_timing_constraints}"
+            if paper
+            else "-"
+        )
+        table.add_row(
+            [
+                stats.name,
+                stats.num_components,
+                int(stats.num_wires),
+                constraint_pairs,
+                paper_cell,
+            ]
+        )
+    return table.render()
+
+
+def render_table23(
+    rows,
+    *,
+    with_timing: bool,
+    paper: Optional[dict] = None,
+) -> str:
+    """Tables II/III: start cost and per-solver final / -% / cpu columns.
+
+    ``rows`` is an iterable of :class:`repro.eval.harness.ExperimentRow`.
+    When ``paper`` (a dict of :class:`PaperResultRow`) is given, each row
+    is followed by the published row for side-by-side reading.
+    """
+    title = (
+        "III. With Timing Constraints:" if with_timing else "II. Without Timing Constraints:"
+    )
+    table = TextTable(
+        [
+            "circuits",
+            "start",
+            "QBP final",
+            "(-%)",
+            "cpu",
+            "GFM final",
+            "(-%)",
+            "cpu",
+            "GKL final",
+            "(-%)",
+            "cpu",
+        ],
+        title=title,
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row.name,
+                int(round(row.start_cost)),
+                int(round(row.qbp_cost)),
+                row.qbp_improvement,
+                row.qbp_cpu,
+                int(round(row.gfm_cost)),
+                row.gfm_improvement,
+                row.gfm_cpu,
+                int(round(row.gkl_cost)),
+                row.gkl_improvement,
+                row.gkl_cpu,
+            ]
+        )
+        if paper and row.name in paper:
+            p: PaperResultRow = paper[row.name]
+            table.add_row(
+                [
+                    f"  (paper)",
+                    p.start,
+                    p.qbp.final,
+                    p.qbp.improvement_percent,
+                    p.qbp.cpu_seconds,
+                    p.gfm.final,
+                    p.gfm.improvement_percent,
+                    p.gfm.cpu_seconds,
+                    p.gkl.final,
+                    p.gkl.improvement_percent,
+                    p.gkl.cpu_seconds,
+                ]
+            )
+    return table.render()

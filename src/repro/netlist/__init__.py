@@ -1,0 +1,64 @@
+"""Netlist substrate: circuits of sized components and weighted wires.
+
+This package models the *circuit side* of the paper's input:
+
+* ``J`` - a set of ``N`` components (:class:`Component`), each with a
+  size ``s_j`` (silicon-area demand) and an optional intrinsic delay used
+  by the timing substrate,
+* ``A`` - the ``N x N`` interconnection matrix, where ``a[j1, j2]`` is
+  the number of wires from component ``j1`` to ``j2``
+  (:class:`Circuit` stores it sparsely),
+* multi-pin nets (:class:`Net`), which are expanded to pairwise wires
+  with the standard clique or star net models.
+
+Synthetic circuit generators matching the paper's workload statistics
+live in :mod:`repro.netlist.generate`.
+"""
+
+from repro.netlist.circuit import Circuit, Wire
+from repro.netlist.component import Component
+from repro.netlist.generate import (
+    ClusteredCircuitSpec,
+    generate_clustered_circuit,
+    generate_random_circuit,
+)
+from repro.netlist.io import (
+    circuit_from_dict,
+    circuit_to_dict,
+    load_circuit,
+    save_circuit,
+)
+from repro.netlist.net import Net, NetModel, expand_nets
+from repro.netlist.parsers import (
+    NetlistParseError,
+    load_edge_list,
+    parse_edge_list,
+    parse_net_list,
+    save_edge_list,
+    write_edge_list,
+)
+from repro.netlist.stats import CircuitStats, circuit_stats
+
+__all__ = [
+    "Circuit",
+    "CircuitStats",
+    "ClusteredCircuitSpec",
+    "Component",
+    "Net",
+    "NetModel",
+    "NetlistParseError",
+    "Wire",
+    "circuit_from_dict",
+    "circuit_stats",
+    "circuit_to_dict",
+    "expand_nets",
+    "generate_clustered_circuit",
+    "generate_random_circuit",
+    "load_circuit",
+    "load_edge_list",
+    "parse_edge_list",
+    "parse_net_list",
+    "save_circuit",
+    "save_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,243 @@
+"""The :class:`Circuit` container: components plus weighted wires.
+
+A circuit stores the paper's interconnection matrix ``A`` sparsely as a
+mapping ``(j1, j2) -> multiplicity`` where ``j1``/``j2`` are component
+indices.  Multiplicities are real-valued so that scaled problems
+(``A' = beta * A`` from Section 3) are representable, but the generators
+always produce integer wire counts like the paper's examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.netlist.component import Component
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A directed bundle of ``weight`` wires from ``source`` to ``target``.
+
+    Indices refer to positions in the owning circuit's component list.
+    """
+
+    source: int
+    target: int
+    weight: float = 1.0
+
+
+class Circuit:
+    """A circuit: an ordered set of components and weighted wires.
+
+    The component order is significant - it defines the index ``j`` used
+    throughout the library (assignments, matrices, flattened ``y``
+    vectors).  Wires are directed; undirected connectivity can be added
+    with :meth:`add_wire` twice or queried with
+    :meth:`connection_matrix` + symmetrisation.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._components: List[Component] = []
+        self._index: Dict[str, int] = {}
+        # Sparse A matrix: (j1, j2) -> multiplicity.  No zero entries are
+        # ever stored; removing all weight removes the key.
+        self._wires: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    @property
+    def num_components(self) -> int:
+        """Number of components ``N``."""
+        return len(self._components)
+
+    @property
+    def components(self) -> Tuple[Component, ...]:
+        """The components in index order (read-only view)."""
+        return tuple(self._components)
+
+    def add_component(self, component: Component | str, **kwargs) -> int:
+        """Add a component and return its index.
+
+        Accepts either a :class:`Component` or a name plus keyword
+        arguments forwarded to the :class:`Component` constructor.
+        """
+        if isinstance(component, str):
+            component = Component(component, **kwargs)
+        elif kwargs:
+            raise TypeError("keyword arguments are only valid with a name, not a Component")
+        if component.name in self._index:
+            raise ValueError(f"duplicate component name: {component.name!r}")
+        index = len(self._components)
+        self._components.append(component)
+        self._index[component.name] = index
+        return index
+
+    def component(self, ref: int | str) -> Component:
+        """Look a component up by index or name."""
+        return self._components[self.index_of(ref)]
+
+    def index_of(self, ref: int | str) -> int:
+        """Resolve a component reference (index or name) to an index."""
+        if isinstance(ref, str):
+            try:
+                return self._index[ref]
+            except KeyError:
+                raise KeyError(f"no component named {ref!r}") from None
+        index = int(ref)
+        if not 0 <= index < len(self._components):
+            raise IndexError(
+                f"component index {index} out of range [0, {len(self._components)})"
+            )
+        return index
+
+    def sizes(self) -> np.ndarray:
+        """Vector of component sizes ``s`` (length ``N``)."""
+        return np.array([c.size for c in self._components], dtype=float)
+
+    def intrinsic_delays(self) -> np.ndarray:
+        """Vector of component intrinsic delays (length ``N``)."""
+        return np.array([c.intrinsic_delay for c in self._components], dtype=float)
+
+    def total_size(self) -> float:
+        """Sum of all component sizes."""
+        return float(sum(c.size for c in self._components))
+
+    # ------------------------------------------------------------------
+    # Wires
+    # ------------------------------------------------------------------
+    @property
+    def num_wires(self) -> float:
+        """Total wire count: the sum of all multiplicities ``sum(a[j1,j2])``."""
+        return float(sum(self._wires.values()))
+
+    @property
+    def num_connected_pairs(self) -> int:
+        """Number of ordered component pairs with at least one wire."""
+        return len(self._wires)
+
+    def add_wire(self, source: int | str, target: int | str, weight: float = 1.0) -> None:
+        """Add ``weight`` wires from ``source`` to ``target``.
+
+        Self-loops are rejected: the paper's ``A`` matrix has a zero
+        diagonal (a wire internal to one component is not an
+        interconnection).
+        """
+        j1 = self.index_of(source)
+        j2 = self.index_of(target)
+        if j1 == j2:
+            raise ValueError(f"self-loop wires are not allowed (component {j1})")
+        if weight < 0:
+            raise ValueError(f"wire weight must be >= 0, got {weight}")
+        if weight == 0:
+            return
+        key = (j1, j2)
+        self._wires[key] = self._wires.get(key, 0.0) + weight
+
+    def add_undirected_wire(
+        self, a: int | str, b: int | str, weight: float = 1.0
+    ) -> None:
+        """Add ``weight`` wires in *each* direction between ``a`` and ``b``."""
+        self.add_wire(a, b, weight)
+        self.add_wire(b, a, weight)
+
+    def wire_weight(self, source: int | str, target: int | str) -> float:
+        """Multiplicity ``a[j1, j2]`` (0.0 when unconnected)."""
+        return self._wires.get((self.index_of(source), self.index_of(target)), 0.0)
+
+    def wires(self) -> Iterator[Wire]:
+        """Iterate over all wire bundles in deterministic (sorted) order."""
+        for (j1, j2) in sorted(self._wires):
+            yield Wire(j1, j2, self._wires[(j1, j2)])
+
+    def neighbors(self, ref: int | str) -> List[int]:
+        """Indices connected to ``ref`` by a wire in either direction."""
+        j = self.index_of(ref)
+        out = {j2 for (j1, j2) in self._wires if j1 == j}
+        out |= {j1 for (j1, j2) in self._wires if j2 == j}
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    # Matrix views
+    # ------------------------------------------------------------------
+    def connection_matrix(self, *, symmetric: bool = False) -> np.ndarray:
+        """Dense ``N x N`` interconnection matrix ``A``.
+
+        Parameters
+        ----------
+        symmetric:
+            When ``True``, return ``A + A.T`` folded so that
+            ``a[j1, j2]`` counts wires in both directions.  Useful for
+            undirected cost metrics.
+        """
+        n = self.num_components
+        a = np.zeros((n, n), dtype=float)
+        for (j1, j2), w in self._wires.items():
+            a[j1, j2] += w
+        if symmetric:
+            a = a + a.T
+        return a
+
+    def sparse_connection_matrix(self, *, symmetric: bool = False) -> sparse.csr_matrix:
+        """Sparse CSR version of :meth:`connection_matrix`."""
+        n = self.num_components
+        if not self._wires:
+            return sparse.csr_matrix((n, n))
+        keys = np.array(sorted(self._wires), dtype=int)
+        vals = np.array([self._wires[tuple(k)] for k in keys], dtype=float)
+        mat = sparse.coo_matrix((vals, (keys[:, 0], keys[:, 1])), shape=(n, n)).tocsr()
+        if symmetric:
+            mat = (mat + mat.T).tocsr()
+        return mat
+
+    # ------------------------------------------------------------------
+    # Validation / misc
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal invariants; raises ``ValueError`` on corruption.
+
+        Invariants: the name index matches the component list, no stored
+        zero-weight or self-loop wires, and all wire endpoints are valid
+        component indices.
+        """
+        if len(self._index) != len(self._components):
+            raise ValueError("component index out of sync with component list")
+        for name, idx in self._index.items():
+            if self._components[idx].name != name:
+                raise ValueError(f"index entry {name!r} -> {idx} is stale")
+        n = self.num_components
+        for (j1, j2), w in self._wires.items():
+            if not (0 <= j1 < n and 0 <= j2 < n):
+                raise ValueError(f"wire ({j1}, {j2}) references missing component")
+            if j1 == j2:
+                raise ValueError(f"stored self-loop at component {j1}")
+            if w <= 0:
+                raise ValueError(f"stored non-positive wire weight at ({j1}, {j2})")
+
+    def subcircuit(self, refs: Iterable[int | str], name: Optional[str] = None) -> "Circuit":
+        """Extract the induced subcircuit over ``refs`` (order preserved)."""
+        indices = [self.index_of(r) for r in refs]
+        if len(set(indices)) != len(indices):
+            raise ValueError("duplicate components requested in subcircuit")
+        remap = {old: new for new, old in enumerate(indices)}
+        sub = Circuit(name or f"{self.name}-sub")
+        for old in indices:
+            comp = self._components[old]
+            sub.add_component(
+                Component(comp.name, comp.size, comp.intrinsic_delay, dict(comp.attrs))
+            )
+        for (j1, j2), w in self._wires.items():
+            if j1 in remap and j2 in remap:
+                sub.add_wire(remap[j1], remap[j2], w)
+        return sub
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(name={self.name!r}, components={self.num_components}, "
+            f"wires={self.num_wires:g})"
+        )

@@ -1,0 +1,58 @@
+"""Circuit components (functional blocks).
+
+A component corresponds to a high-level functional block in the paper's
+industrial examples: it has a name, a silicon-area ``size`` (the paper's
+``s_j``), and an optional ``intrinsic_delay`` consumed by the timing
+substrate when deriving routing-delay budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Component:
+    """One circuit component.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a circuit.
+    size:
+        Silicon-area demand ``s_j``; must be non-negative.  The paper's
+        workloads have sizes spanning roughly two orders of magnitude
+        within one circuit.
+    intrinsic_delay:
+        Internal combinational delay of the block, used by
+        :mod:`repro.timing` to apportion the cycle time between block
+        delay and inter-partition routing delay.
+    attrs:
+        Free-form metadata (e.g. the generating cluster id); never
+        interpreted by the solvers.
+    """
+
+    name: str
+    size: float = 1.0
+    intrinsic_delay: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("component name must be a non-empty string")
+        if self.size < 0:
+            raise ValueError(f"component size must be >= 0, got {self.size}")
+        if self.intrinsic_delay < 0:
+            raise ValueError(
+                f"component intrinsic_delay must be >= 0, got {self.intrinsic_delay}"
+            )
+
+    def with_size(self, size: float) -> "Component":
+        """Return a copy of this component with a different size."""
+        return Component(
+            name=self.name,
+            size=size,
+            intrinsic_delay=self.intrinsic_delay,
+            attrs=dict(self.attrs),
+        )

@@ -1,0 +1,90 @@
+"""Circuit serialisation: JSON documents and files.
+
+The on-disk format is a small, stable JSON schema::
+
+    {
+      "name": "ckta",
+      "components": [
+        {"name": "u0", "size": 12.5, "intrinsic_delay": 0.0, "attrs": {}},
+        ...
+      ],
+      "wires": [[0, 1, 5.0], [1, 2, 2.0], ...]
+    }
+
+Wires are ``[source_index, target_index, weight]`` triples.  The format
+round-trips exactly through :func:`circuit_to_dict` /
+:func:`circuit_from_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.component import Component
+
+FORMAT_VERSION = 1
+
+
+def circuit_to_dict(circuit: Circuit) -> Dict[str, Any]:
+    """Serialise a circuit to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": circuit.name,
+        "components": [
+            {
+                "name": c.name,
+                "size": c.size,
+                "intrinsic_delay": c.intrinsic_delay,
+                "attrs": dict(c.attrs),
+            }
+            for c in circuit.components
+        ],
+        "wires": [[w.source, w.target, w.weight] for w in circuit.wires()],
+    }
+
+
+def circuit_from_dict(data: Dict[str, Any]) -> Circuit:
+    """Deserialise a circuit produced by :func:`circuit_to_dict`.
+
+    Raises ``ValueError`` on schema violations (unknown version, missing
+    keys, malformed wires) rather than failing deep inside construction.
+    """
+    version = data.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported circuit format version: {version}")
+    if "components" not in data:
+        raise ValueError("circuit document is missing 'components'")
+
+    circuit = Circuit(str(data.get("name", "circuit")))
+    for entry in data["components"]:
+        circuit.add_component(
+            Component(
+                name=entry["name"],
+                size=float(entry.get("size", 1.0)),
+                intrinsic_delay=float(entry.get("intrinsic_delay", 0.0)),
+                attrs=dict(entry.get("attrs", {})),
+            )
+        )
+    for wire in data.get("wires", []):
+        if len(wire) not in (2, 3):
+            raise ValueError(f"malformed wire entry: {wire!r}")
+        source, target = int(wire[0]), int(wire[1])
+        weight = float(wire[2]) if len(wire) == 3 else 1.0
+        circuit.add_wire(source, target, weight)
+    circuit.validate()
+    return circuit
+
+
+def save_circuit(circuit: Circuit, path: str | Path) -> None:
+    """Write ``circuit`` as JSON to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(circuit_to_dict(circuit), indent=2, sort_keys=True))
+
+
+def load_circuit(path: str | Path) -> Circuit:
+    """Read a circuit JSON file written by :func:`save_circuit`."""
+    data = json.loads(Path(path).read_text())
+    return circuit_from_dict(data)

@@ -1,0 +1,118 @@
+"""Multi-pin nets and their expansion into pairwise wires.
+
+The paper's formulation consumes a pairwise interconnection matrix ``A``.
+Real netlists contain multi-pin nets; the two standard reductions are
+
+* the **clique model** - a ``k``-pin net contributes a wire of weight
+  ``w / (k - 1)`` between every pin pair (the usual wire-length-preserving
+  normalisation), and
+* the **star model** - the first pin is treated as the driver and a wire
+  of weight ``w`` connects it to each sink.
+
+:func:`expand_nets` applies either model to a circuit, mutating its wire
+set, so that hypergraph inputs can be fed to the QBP formulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.netlist.circuit import Circuit
+
+
+class NetModel(enum.Enum):
+    """How a multi-pin net is reduced to pairwise wires."""
+
+    CLIQUE = "clique"
+    STAR = "star"
+
+
+@dataclass(frozen=True)
+class Net:
+    """A multi-pin net.
+
+    Parameters
+    ----------
+    name:
+        Net identifier (for diagnostics only).
+    pins:
+        Component references (indices or names) on the net, driver first
+        by convention.  At least two pins are required.
+    weight:
+        Criticality/width multiplier applied to the expanded wires.
+    """
+
+    name: str
+    pins: tuple = field(default_factory=tuple)
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.pins) < 2:
+            raise ValueError(f"net {self.name!r} needs >= 2 pins, got {len(self.pins)}")
+        if self.weight <= 0:
+            raise ValueError(f"net {self.name!r} weight must be > 0, got {self.weight}")
+
+    @property
+    def degree(self) -> int:
+        """Number of pins on the net."""
+        return len(self.pins)
+
+
+def expand_nets(
+    circuit: Circuit,
+    nets: Sequence[Net],
+    model: NetModel = NetModel.CLIQUE,
+    *,
+    undirected: bool = True,
+) -> int:
+    """Expand ``nets`` into pairwise wires on ``circuit``.
+
+    Returns the number of wire bundles added.  Pins are resolved against
+    the circuit, so a net naming a missing component raises ``KeyError``
+    before any mutation happens (the expansion is all-or-nothing per
+    call).
+
+    Parameters
+    ----------
+    model:
+        :attr:`NetModel.CLIQUE` adds ``w / (k-1)`` between all pin pairs;
+        :attr:`NetModel.STAR` adds ``w`` from the first pin to each other
+        pin.
+    undirected:
+        When ``True`` (default) each expanded edge is added in both
+        directions, matching the symmetric-cost usage in the paper's
+        experiments.
+    """
+    resolved: List[List[int]] = []
+    for net in nets:
+        indices = [circuit.index_of(p) for p in net.pins]
+        if len(set(indices)) != len(indices):
+            raise ValueError(f"net {net.name!r} lists a component twice")
+        resolved.append(indices)
+
+    added = 0
+    for net, indices in zip(nets, resolved):
+        k = len(indices)
+        if model is NetModel.CLIQUE:
+            pair_weight = net.weight / (k - 1)
+            for a_pos in range(k):
+                for b_pos in range(a_pos + 1, k):
+                    _add(circuit, indices[a_pos], indices[b_pos], pair_weight, undirected)
+                    added += 1
+        elif model is NetModel.STAR:
+            driver = indices[0]
+            for sink in indices[1:]:
+                _add(circuit, driver, sink, net.weight, undirected)
+                added += 1
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown net model: {model}")
+    return added
+
+
+def _add(circuit: Circuit, a: int, b: int, weight: float, undirected: bool) -> None:
+    if undirected:
+        circuit.add_undirected_wire(a, b, weight)
+    else:
+        circuit.add_wire(a, b, weight)

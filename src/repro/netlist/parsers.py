@@ -1,0 +1,160 @@
+"""Plain-text netlist formats.
+
+Two simple interchange formats complement the JSON schema in
+:mod:`repro.netlist.io`:
+
+**Edge-list format** (``.wires``) - one wire bundle per line::
+
+    # comments and blank lines ignored
+    component u0 12.5          # name size [intrinsic_delay]
+    component u1 3.0 0.7
+    wire u0 u1 5               # source target [weight]
+
+**Net-list format** (``.nets``) - multi-pin nets, driver first::
+
+    component u0 1.0
+    component u1 1.0
+    component u2 1.0
+    net clk u0 u1 u2           # name driver sinks...
+    net data 2.5 u1 u2         # optional weight before the pins
+
+Both parsers are line-based, strict (unknown directives raise), and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.component import Component
+from repro.netlist.net import Net, NetModel, expand_nets
+
+
+class NetlistParseError(ValueError):
+    """A malformed line in a text netlist."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+        self.reason = reason
+
+
+def _logical_lines(text: str):
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            yield number, line
+
+
+def parse_edge_list(text: str, *, name: str = "circuit") -> Circuit:
+    """Parse the ``component``/``wire`` edge-list format."""
+    circuit = Circuit(name)
+    for number, line in _logical_lines(text):
+        tokens = line.split()
+        directive = tokens[0]
+        if directive == "component":
+            if len(tokens) not in (2, 3, 4):
+                raise NetlistParseError(number, line, "expected: component NAME [SIZE [DELAY]]")
+            comp_name = tokens[1]
+            size = float(tokens[2]) if len(tokens) >= 3 else 1.0
+            delay = float(tokens[3]) if len(tokens) == 4 else 0.0
+            try:
+                circuit.add_component(
+                    Component(comp_name, size=size, intrinsic_delay=delay)
+                )
+            except ValueError as err:
+                raise NetlistParseError(number, line, str(err)) from err
+        elif directive == "wire":
+            if len(tokens) not in (3, 4):
+                raise NetlistParseError(number, line, "expected: wire SRC DST [WEIGHT]")
+            weight = float(tokens[3]) if len(tokens) == 4 else 1.0
+            try:
+                circuit.add_wire(tokens[1], tokens[2], weight)
+            except (KeyError, ValueError) as err:
+                raise NetlistParseError(number, line, str(err)) from err
+        else:
+            raise NetlistParseError(number, line, f"unknown directive {directive!r}")
+    circuit.validate()
+    return circuit
+
+
+def parse_net_list(
+    text: str,
+    *,
+    name: str = "circuit",
+    model: NetModel = NetModel.CLIQUE,
+) -> Circuit:
+    """Parse the ``component``/``net`` multi-pin format.
+
+    Nets are expanded to pairwise wires with ``model`` (clique default).
+    """
+    circuit = Circuit(name)
+    nets: List[Net] = []
+    for number, line in _logical_lines(text):
+        tokens = line.split()
+        directive = tokens[0]
+        if directive == "component":
+            if len(tokens) not in (2, 3, 4):
+                raise NetlistParseError(number, line, "expected: component NAME [SIZE [DELAY]]")
+            size = float(tokens[2]) if len(tokens) >= 3 else 1.0
+            delay = float(tokens[3]) if len(tokens) == 4 else 0.0
+            try:
+                circuit.add_component(
+                    Component(tokens[1], size=size, intrinsic_delay=delay)
+                )
+            except ValueError as err:
+                raise NetlistParseError(number, line, str(err)) from err
+        elif directive == "net":
+            if len(tokens) < 4:
+                raise NetlistParseError(
+                    number, line, "expected: net NAME [WEIGHT] PIN PIN..."
+                )
+            net_name = tokens[1]
+            rest = tokens[2:]
+            weight = 1.0
+            try:
+                weight = float(rest[0])
+                rest = rest[1:]
+            except ValueError:
+                pass
+            if len(rest) < 2:
+                raise NetlistParseError(number, line, "a net needs at least 2 pins")
+            try:
+                nets.append(Net(net_name, pins=tuple(rest), weight=weight))
+            except ValueError as err:
+                raise NetlistParseError(number, line, str(err)) from err
+        else:
+            raise NetlistParseError(number, line, f"unknown directive {directive!r}")
+    try:
+        expand_nets(circuit, nets, model=model)
+    except (KeyError, ValueError) as err:
+        raise NetlistParseError(0, "<net expansion>", str(err)) from err
+    circuit.validate()
+    return circuit
+
+
+def write_edge_list(circuit: Circuit) -> str:
+    """Serialise a circuit to the edge-list format (round-trips)."""
+    lines = [f"# circuit {circuit.name}: {circuit.num_components} components"]
+    for comp in circuit.components:
+        if comp.intrinsic_delay:
+            lines.append(f"component {comp.name} {comp.size:g} {comp.intrinsic_delay:g}")
+        else:
+            lines.append(f"component {comp.name} {comp.size:g}")
+    names = [c.name for c in circuit.components]
+    for wire in circuit.wires():
+        lines.append(f"wire {names[wire.source]} {names[wire.target]} {wire.weight:g}")
+    return "\n".join(lines) + "\n"
+
+
+def load_edge_list(path: str | Path) -> Circuit:
+    """Read an edge-list file."""
+    path = Path(path)
+    return parse_edge_list(path.read_text(), name=path.stem)
+
+
+def save_edge_list(circuit: Circuit, path: str | Path) -> None:
+    """Write an edge-list file."""
+    Path(path).write_text(write_edge_list(circuit))

@@ -1,0 +1,61 @@
+"""Circuit statistics, in the shape of the paper's Table I rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics for one circuit.
+
+    ``num_components`` and ``num_wires`` correspond directly to the first
+    two data columns of Table I; the remaining fields characterise the
+    size distribution and connectivity that the paper describes in prose.
+    """
+
+    name: str
+    num_components: int
+    num_wires: float
+    num_connected_pairs: int
+    total_size: float
+    min_size: float
+    max_size: float
+    size_dynamic_range: float
+    mean_degree: float
+    max_wire_multiplicity: float
+
+    def as_row(self) -> list:
+        """Row for a Table-I-style listing."""
+        return [self.name, self.num_components, int(self.num_wires)]
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute :class:`CircuitStats` for ``circuit``."""
+    sizes = circuit.sizes()
+    if sizes.size == 0:
+        raise ValueError("cannot compute statistics of an empty circuit")
+    degrees = np.zeros(circuit.num_components)
+    max_mult = 0.0
+    for wire in circuit.wires():
+        degrees[wire.source] += 1
+        degrees[wire.target] += 1
+        max_mult = max(max_mult, wire.weight)
+    min_size = float(sizes.min())
+    max_size = float(sizes.max())
+    return CircuitStats(
+        name=circuit.name,
+        num_components=circuit.num_components,
+        num_wires=circuit.num_wires,
+        num_connected_pairs=circuit.num_connected_pairs,
+        total_size=float(sizes.sum()),
+        min_size=min_size,
+        max_size=max_size,
+        size_dynamic_range=max_size / min_size if min_size > 0 else float("inf"),
+        mean_degree=float(degrees.mean()),
+        max_wire_multiplicity=max_mult,
+    )

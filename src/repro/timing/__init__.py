@@ -1,0 +1,42 @@
+"""Timing substrate: static timing analysis and routing-delay budgets.
+
+The paper consumes timing as a matrix ``D_C`` of maximum allowed routing
+delays between component pairs, noting that these budgets "are driven by
+system cycle time and can be derived from the delay equations and
+intrinsic delay in combinational circuit components".  This package
+provides that derivation chain:
+
+* :class:`TimingGraph` - a combinational DAG over circuit components
+  with longest-path static timing analysis (arrival / required times and
+  slacks),
+* :func:`derive_budgets` - apportions each timing edge's slack into a
+  maximum-routing-delay budget, producing a :class:`TimingConstraints`
+  set exactly like a designer's cycle-time calculation would,
+* :func:`synthesize_feasible_constraints` - generates budgets from a
+  hidden reference assignment with a margin, guaranteeing the feasible
+  region ``F_R`` is non-empty (the hypothesis of the paper's embedding
+  theorems); this is what the benchmark workloads use.
+"""
+
+from repro.timing.constraints import (
+    TimingConstraints,
+    derive_budgets,
+    synthesize_feasible_constraints,
+)
+from repro.timing.graph import TimingGraph, acyclic_orientation
+from repro.timing.verify import (
+    CycleTimeVerdict,
+    budgets_imply_cycle_time,
+    verify_cycle_time,
+)
+
+__all__ = [
+    "CycleTimeVerdict",
+    "TimingConstraints",
+    "TimingGraph",
+    "acyclic_orientation",
+    "budgets_imply_cycle_time",
+    "derive_budgets",
+    "synthesize_feasible_constraints",
+    "verify_cycle_time",
+]

@@ -1,0 +1,239 @@
+"""Combinational timing graph and longest-path static timing analysis.
+
+A :class:`TimingGraph` is a DAG whose nodes are circuit components
+(indexed as in the owning :class:`~repro.netlist.circuit.Circuit`) and
+whose edges are signal hops.  Node weights are the components' intrinsic
+delays; edge weights are (estimated) routing delays.  The analysis is
+the textbook combinational STA:
+
+* ``arrival[j]`` - longest path delay from any primary input through
+  ``j`` (including ``j``'s own intrinsic delay),
+* ``required[j]`` - latest time ``j`` may finish without violating the
+  cycle time at any reachable primary output,
+* ``slack[j] = required[j] - arrival[j]`` and per-edge slacks.
+
+These feed :func:`repro.timing.constraints.derive_budgets`, which turns
+slack into the paper's ``D_C`` routing-delay budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of one STA run."""
+
+    arrival: np.ndarray
+    required: np.ndarray
+    cycle_time: float
+
+    @property
+    def slack(self) -> np.ndarray:
+        """Node slacks ``required - arrival``."""
+        return self.required - self.arrival
+
+    @property
+    def critical_path_delay(self) -> float:
+        """Longest input-to-output combinational delay."""
+        return float(self.arrival.max()) if self.arrival.size else 0.0
+
+    @property
+    def worst_slack(self) -> float:
+        """Minimum node slack; negative means the cycle time is violated."""
+        return float(self.slack.min()) if self.slack.size else 0.0
+
+
+class TimingGraph:
+    """A combinational DAG over ``num_nodes`` components.
+
+    Parameters
+    ----------
+    num_nodes:
+        Node count; node ``j`` corresponds to circuit component ``j``.
+    intrinsic_delays:
+        Per-node internal delays (length ``num_nodes``).
+    edges:
+        Directed ``(source, target)`` pairs.  The graph must be acyclic;
+        :meth:`topological_order` raises ``ValueError`` otherwise.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        intrinsic_delays: Sequence[float],
+        edges: Iterable[Tuple[int, int]],
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        delays = np.asarray(intrinsic_delays, dtype=float)
+        if delays.shape != (num_nodes,):
+            raise ValueError(
+                f"intrinsic_delays must have length {num_nodes}, got shape {delays.shape}"
+            )
+        if (delays < 0).any():
+            raise ValueError("intrinsic delays must be non-negative")
+        self.num_nodes = num_nodes
+        self.intrinsic = delays
+        self._succ: List[List[int]] = [[] for _ in range(num_nodes)]
+        self._pred: List[List[int]] = [[] for _ in range(num_nodes)]
+        self._edges: List[Tuple[int, int]] = []
+        seen: set[Tuple[int, int]] = set()
+        for a, b in edges:
+            a, b = int(a), int(b)
+            if not (0 <= a < num_nodes and 0 <= b < num_nodes):
+                raise IndexError(f"edge ({a}, {b}) out of range")
+            if a == b:
+                raise ValueError(f"self-loop edge at node {a}")
+            if (a, b) in seen:
+                continue
+            seen.add((a, b))
+            self._succ[a].append(b)
+            self._pred[b].append(a)
+            self._edges.append((a, b))
+        self._topo: List[int] | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_circuit(
+        cls, circuit: Circuit, edges: Iterable[Tuple[int, int]] | None = None
+    ) -> "TimingGraph":
+        """Build a timing graph from a circuit.
+
+        When ``edges`` is ``None`` the circuit's wires are oriented
+        acyclically with :func:`acyclic_orientation`.
+        """
+        if edges is None:
+            edges = acyclic_orientation(circuit)
+        return cls(circuit.num_components, circuit.intrinsic_delays(), edges)
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """The (deduplicated) directed edges."""
+        return tuple(self._edges)
+
+    def predecessors(self, node: int) -> Tuple[int, ...]:
+        """Fan-in node indices of ``node``."""
+        return tuple(self._pred[node])
+
+    def successors(self, node: int) -> Tuple[int, ...]:
+        """Fan-out node indices of ``node``."""
+        return tuple(self._succ[node])
+
+    def primary_inputs(self) -> List[int]:
+        """Nodes with no fan-in."""
+        return [j for j in range(self.num_nodes) if not self._pred[j]]
+
+    def primary_outputs(self) -> List[int]:
+        """Nodes with no fan-out."""
+        return [j for j in range(self.num_nodes) if not self._succ[j]]
+
+    def topological_order(self) -> List[int]:
+        """Kahn topological order; raises ``ValueError`` on a cycle."""
+        if self._topo is not None:
+            return self._topo
+        indeg = [len(p) for p in self._pred]
+        frontier = [j for j in range(self.num_nodes) if indeg[j] == 0]
+        order: List[int] = []
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for nb in self._succ[node]:
+                indeg[nb] -= 1
+                if indeg[nb] == 0:
+                    frontier.append(nb)
+        if len(order) != self.num_nodes:
+            raise ValueError("timing graph contains a cycle")
+        self._topo = order
+        return order
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        cycle_time: float,
+        *,
+        edge_delays: Dict[Tuple[int, int], float] | float = 0.0,
+    ) -> TimingReport:
+        """Run longest-path STA against ``cycle_time``.
+
+        Parameters
+        ----------
+        cycle_time:
+            Clock period the combinational paths must fit into.
+        edge_delays:
+            Either a constant routing-delay estimate applied to every
+            edge, or a per-edge mapping (missing edges default to 0).
+
+        Returns
+        -------
+        TimingReport
+            Arrival/required times per node.  ``required`` is computed
+            so that nodes on no input-output path get the full cycle
+            time as their deadline.
+        """
+        if cycle_time < 0:
+            raise ValueError(f"cycle_time must be >= 0, got {cycle_time}")
+        get_delay = self._edge_delay_fn(edge_delays)
+        order = self.topological_order()
+
+        arrival = self.intrinsic.copy()
+        for node in order:
+            for nb in self._succ[node]:
+                candidate = arrival[node] + get_delay(node, nb) + self.intrinsic[nb]
+                if candidate > arrival[nb]:
+                    arrival[nb] = candidate
+
+        required = np.full(self.num_nodes, float(cycle_time))
+        for node in reversed(order):
+            for nb in self._succ[node]:
+                candidate = required[nb] - self.intrinsic[nb] - get_delay(node, nb)
+                if candidate < required[node]:
+                    required[node] = candidate
+        return TimingReport(arrival=arrival, required=required, cycle_time=float(cycle_time))
+
+    def edge_slacks(
+        self, report: TimingReport, *, edge_delays: Dict[Tuple[int, int], float] | float = 0.0
+    ) -> Dict[Tuple[int, int], float]:
+        """Per-edge slacks under ``report``.
+
+        The slack of edge ``(a, b)`` is how much extra delay the edge
+        could absorb without violating any deadline:
+        ``required[b] - intrinsic[b] - delay(a, b) - arrival[a]``.
+        """
+        get_delay = self._edge_delay_fn(edge_delays)
+        return {
+            (a, b): float(
+                report.required[b] - self.intrinsic[b] - get_delay(a, b) - report.arrival[a]
+            )
+            for (a, b) in self._edges
+        }
+
+    @staticmethod
+    def _edge_delay_fn(edge_delays):
+        if isinstance(edge_delays, dict):
+            return lambda a, b: float(edge_delays.get((a, b), 0.0))
+        constant = float(edge_delays)
+        if constant < 0:
+            raise ValueError(f"edge delay must be >= 0, got {constant}")
+        return lambda a, b: constant
+
+
+def acyclic_orientation(circuit: Circuit) -> List[Tuple[int, int]]:
+    """Orient every connected pair from lower to higher component index.
+
+    Collapses the (possibly bidirectional) wire bundles of ``circuit``
+    into one directed edge per unordered pair, oriented by index; the
+    result is trivially acyclic, which makes any circuit usable as a
+    combinational timing graph for budget derivation.
+    """
+    pairs = set()
+    for wire in circuit.wires():
+        a, b = wire.source, wire.target
+        pairs.add((a, b) if a < b else (b, a))
+    return sorted(pairs)

@@ -1,0 +1,118 @@
+"""Post-partitioning cycle-time verification.
+
+The per-pair budgets ``D_C`` are a *sufficient* decomposition of the
+cycle-time requirement: if every pair meets its budget, every path meets
+the clock.  After partitioning, a designer still wants the direct check
+- recompute the real path delays with the actual inter-partition
+routing delays ``D[A(a), A(b)]`` on every timing edge and compare
+against the cycle time.  This closes the loop
+``cycle time -> budgets -> partition -> verified cycle time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.timing.graph import TimingGraph, TimingReport
+
+
+@dataclass(frozen=True)
+class CycleTimeVerdict:
+    """Outcome of a post-partitioning timing verification."""
+
+    cycle_time: float
+    achieved_delay: float
+    meets_cycle_time: bool
+    worst_slack: float
+    critical_edges: Tuple[Tuple[int, int], ...]
+    report: TimingReport
+
+    @property
+    def slack_ratio(self) -> float:
+        """Worst slack as a fraction of the cycle time."""
+        if self.cycle_time == 0:
+            return 0.0
+        return self.worst_slack / self.cycle_time
+
+
+def verify_cycle_time(
+    graph: TimingGraph,
+    assignment: Assignment | Sequence[int],
+    delay_matrix: np.ndarray,
+    cycle_time: float,
+    *,
+    critical_tolerance: float = 1e-9,
+) -> CycleTimeVerdict:
+    """Recompute real path delays under ``assignment`` and check the clock.
+
+    Every timing edge ``(a, b)`` is charged the routing delay
+    ``D[A(a), A(b)]`` of its partition pair; the longest-path analysis
+    then gives the achieved combinational delay and per-node slacks.
+
+    Parameters
+    ----------
+    critical_tolerance:
+        Edges whose slack is within this of the worst slack are listed
+        as critical.
+    """
+    part = (
+        assignment.part
+        if isinstance(assignment, Assignment)
+        else np.asarray(assignment, dtype=int)
+    )
+    if part.shape != (graph.num_nodes,):
+        raise ValueError(
+            f"assignment must cover {graph.num_nodes} nodes, got shape {part.shape}"
+        )
+    delay_matrix = np.asarray(delay_matrix, dtype=float)
+
+    edge_delays = {
+        (a, b): float(delay_matrix[part[a], part[b]]) for (a, b) in graph.edges
+    }
+    report = graph.analyze(cycle_time, edge_delays=edge_delays)
+    slacks = graph.edge_slacks(report, edge_delays=edge_delays)
+    worst = min(slacks.values(), default=float("inf"))
+    critical = tuple(
+        edge
+        for edge, slack in sorted(slacks.items())
+        if slack <= worst + critical_tolerance
+    )
+    return CycleTimeVerdict(
+        cycle_time=float(cycle_time),
+        achieved_delay=report.critical_path_delay,
+        meets_cycle_time=bool(report.worst_slack >= -1e-9),
+        worst_slack=float(report.worst_slack),
+        critical_edges=critical,
+        report=report,
+    )
+
+
+def budgets_imply_cycle_time(
+    graph: TimingGraph,
+    assignment: Assignment | Sequence[int],
+    delay_matrix: np.ndarray,
+    budgets,
+) -> bool:
+    """Check the decomposition property on one assignment.
+
+    If every timing edge's routing delay is within its budget (as
+    derived by :func:`repro.timing.constraints.derive_budgets` from some
+    cycle time), then the verified achieved delay cannot exceed that
+    cycle time.  Returns whether all edge budgets hold (the premise);
+    tests combine this with :func:`verify_cycle_time` to check the
+    implication itself.
+    """
+    part = (
+        assignment.part
+        if isinstance(assignment, Assignment)
+        else np.asarray(assignment, dtype=int)
+    )
+    delay_matrix = np.asarray(delay_matrix, dtype=float)
+    for (a, b) in graph.edges:
+        if delay_matrix[part[a], part[b]] > budgets.budget(a, b) + 1e-9:
+            return False
+    return True

@@ -1,0 +1,25 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.partition`` - partition a circuit file onto a
+  grid topology with any of the three solvers and write the assignment
+  (plus a designer-facing report) as JSON.
+
+File-format helpers shared by the tools live in
+:mod:`repro.tools.files`.
+"""
+
+from repro.tools.files import (
+    assignment_from_dict,
+    assignment_to_dict,
+    load_any_circuit,
+    timing_from_dict,
+    timing_to_dict,
+)
+
+__all__ = [
+    "assignment_from_dict",
+    "assignment_to_dict",
+    "load_any_circuit",
+    "timing_from_dict",
+    "timing_to_dict",
+]

@@ -1,0 +1,133 @@
+"""Command-line partitioner.
+
+Examples
+--------
+Partition a JSON circuit onto a 4x4 grid with QBP::
+
+    python -m repro.tools.partition circuit.json --grid 4x4 \\
+        --capacity-slack 0.15 --solver qbp --iterations 100 \\
+        --output assignment.json
+
+With timing constraints from a file, printing the designer report::
+
+    python -m repro.tools.partition circuit.wires --grid 2x2 \\
+        --timing budgets.json --solver gkl --report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.analysis.report import analyze_solution, render_report
+from repro.baselines.gfm import gfm_partition
+from repro.baselines.gkl import gkl_partition
+from repro.core.constraints import check_feasibility
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.solvers.burkard import bootstrap_initial_solution, solve_qbp
+from repro.tools.files import assignment_to_dict, load_any_circuit, timing_from_dict
+from repro.topology.grid import grid_topology
+
+SOLVERS = ("qbp", "gfm", "gkl")
+
+
+def parse_grid(spec: str):
+    try:
+        rows, cols = spec.lower().split("x")
+        return int(rows), int(cols)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"grid must look like 4x4, got {spec!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.partition",
+        description="Timing- and capacity-constrained circuit partitioning "
+        "(Shih & Kuh's QBP method plus GFM/GKL baselines).",
+    )
+    parser.add_argument("circuit", help="circuit file (.json or .wires)")
+    parser.add_argument(
+        "--grid", type=parse_grid, default=(4, 4), metavar="RxC",
+        help="partition grid shape (default 4x4)",
+    )
+    capacity = parser.add_mutually_exclusive_group()
+    capacity.add_argument(
+        "--capacity", type=float, default=None, help="capacity per partition"
+    )
+    capacity.add_argument(
+        "--capacity-slack", type=float, default=0.15,
+        help="headroom over balanced load (default 0.15)",
+    )
+    parser.add_argument(
+        "--timing", default=None, metavar="PATH",
+        help="timing-constraint JSON (see repro.tools.files.timing_to_dict)",
+    )
+    parser.add_argument("--solver", choices=SOLVERS, default="qbp")
+    parser.add_argument("--iterations", type=int, default=100, help="QBP iterations")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", default=None, metavar="PATH", help="write the assignment JSON here"
+    )
+    parser.add_argument(
+        "--report", action="store_true", help="print the full solution report"
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    circuit = load_any_circuit(args.circuit)
+    rows, cols = args.grid
+    if args.capacity is not None:
+        capacity = args.capacity
+    else:
+        balanced = circuit.total_size() / (rows * cols)
+        capacity = max(
+            balanced * (1.0 + args.capacity_slack),
+            float(circuit.sizes().max()) * (1.0 + args.capacity_slack),
+        )
+    topology = grid_topology(rows, cols, capacity=capacity)
+
+    timing = None
+    if args.timing:
+        timing = timing_from_dict(json.loads(Path(args.timing).read_text()))
+    problem = PartitioningProblem(circuit, topology, timing=timing)
+
+    initial = bootstrap_initial_solution(problem, seed=args.seed)
+    if args.solver == "qbp":
+        result = solve_qbp(
+            problem, iterations=args.iterations, initial=initial, seed=args.seed
+        )
+        assignment = result.best_feasible_assignment or initial
+    elif args.solver == "gfm":
+        assignment = gfm_partition(problem, initial).assignment
+    else:
+        assignment = gkl_partition(problem, initial).assignment
+
+    evaluator = ObjectiveEvaluator(problem)
+    feasibility = check_feasibility(problem, assignment)
+    print(
+        f"{args.solver}: cost {evaluator.cost(assignment):g} "
+        f"({feasibility.summary()})"
+    )
+    if args.report:
+        print()
+        print(render_report(analyze_solution(problem, assignment)))
+    if args.output:
+        payload = assignment_to_dict(assignment, circuit)
+        payload["cost"] = evaluator.cost(assignment)
+        payload["solver"] = args.solver
+        Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote {args.output}")
+    return 0 if feasibility.feasible else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Distance / cost matrix builders for partition topologies.
+
+The paper allows *arbitrary* interconnection cost matrices ``B`` and
+delay matrices ``D``; in its experiments both equal the Manhattan
+distance between partition slots on a grid (Section 3.3, Section 5).
+These helpers build the common choices:
+
+* :func:`manhattan_distance_matrix` - the paper's metric,
+* :func:`euclidean_distance_matrix` - an alternative geometric metric,
+* :func:`uniform_cost_matrix` - all-ones off the diagonal, which makes
+  the quadratic term count total wire crossings (Section 2.1),
+* :func:`hop_distance_matrix` - shortest-path hops over an explicit
+  adjacency structure (for irregular MCM routing fabrics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+def manhattan_distance_matrix(positions: Sequence[Tuple[float, float]]) -> np.ndarray:
+    """Pairwise Manhattan (L1) distances between ``positions``."""
+    pos = _as_positions(positions)
+    diff = pos[:, None, :] - pos[None, :, :]
+    return np.abs(diff).sum(axis=2)
+
+
+def euclidean_distance_matrix(positions: Sequence[Tuple[float, float]]) -> np.ndarray:
+    """Pairwise Euclidean (L2) distances between ``positions``."""
+    pos = _as_positions(positions)
+    diff = pos[:, None, :] - pos[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def uniform_cost_matrix(size: int, value: float = 1.0) -> np.ndarray:
+    """``size x size`` matrix of ``value`` with a zero diagonal.
+
+    With this as ``B`` the quadratic objective term counts (weighted)
+    wire crossings between partitions.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if value < 0:
+        raise ValueError(f"value must be >= 0, got {value}")
+    mat = np.full((size, size), float(value))
+    np.fill_diagonal(mat, 0.0)
+    return mat
+
+
+def hop_distance_matrix(size: int, edges: Iterable[Tuple[int, int]]) -> np.ndarray:
+    """All-pairs shortest-path hop counts over an undirected adjacency.
+
+    Parameters
+    ----------
+    size:
+        Number of partitions.
+    edges:
+        Undirected adjacency pairs ``(i1, i2)``.  Unreachable pairs get
+        ``inf`` (the caller decides whether that is an error).
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    dist = np.full((size, size), np.inf)
+    np.fill_diagonal(dist, 0.0)
+    adjacency: list[list[int]] = [[] for _ in range(size)]
+    for a, b in edges:
+        if not (0 <= a < size and 0 <= b < size):
+            raise IndexError(f"edge ({a}, {b}) out of range for size {size}")
+        if a == b:
+            continue
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    for start in range(size):
+        # Plain BFS per source; M is small in all intended uses.
+        frontier = [start]
+        level = 0
+        while frontier:
+            level += 1
+            nxt = []
+            for node in frontier:
+                for nb in adjacency[node]:
+                    if np.isinf(dist[start, nb]):
+                        dist[start, nb] = level
+                        nxt.append(nb)
+            frontier = nxt
+    return dist
+
+
+def _as_positions(positions: Sequence[Tuple[float, float]]) -> np.ndarray:
+    pos = np.asarray(positions, dtype=float)
+    if pos.ndim != 2 or pos.shape[1] != 2:
+        raise ValueError(f"positions must be an (M, 2) array, got shape {pos.shape}")
+    return pos

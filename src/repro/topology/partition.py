@@ -1,0 +1,182 @@
+"""Partitions and the fixed partition topology.
+
+A :class:`Topology` bundles everything the paper's Section 2.1 lists
+under "Descriptions of Partitions": the partition set ``I`` with
+capacities ``c_i``, the inter-partition routing *cost* matrix ``B`` and
+the inter-partition routing *delay* matrix ``D``.  ``B`` and ``D`` are
+independent inputs - the paper explicitly does not assume any
+relationship between them (a long wire may be cheap but slow, or vice
+versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.matrices import as_square_matrix, validate_nonnegative
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One partition (chip slot, FPGA, module site).
+
+    Parameters
+    ----------
+    name:
+        Identifier, unique within a topology.
+    capacity:
+        Silicon area provided (``c_i``); must be non-negative.
+    position:
+        Optional planar coordinates, used by the distance-matrix builders
+        and by the MCM deviation cost (Section 2.2.1).
+    """
+
+    name: str
+    capacity: float
+    position: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("partition name must be a non-empty string")
+        if self.capacity < 0:
+            raise ValueError(f"partition capacity must be >= 0, got {self.capacity}")
+
+
+class Topology:
+    """A fixed partition topology: partitions + cost matrix + delay matrix.
+
+    Parameters
+    ----------
+    partitions:
+        The partitions in index order (defines the index ``i``).
+    cost_matrix:
+        ``M x M`` matrix ``B``; ``b[i1, i2]`` is the cost per wire routed
+        from partition ``i1`` to ``i2``.  Must be non-negative.
+    delay_matrix:
+        ``M x M`` matrix ``D``; ``d[i1, i2]`` is the routing delay from
+        ``i1`` to ``i2``.  Defaults to ``cost_matrix`` (the common case
+        where distance is the delay proxy, as in the paper's example),
+        but any matrix may be supplied.
+    """
+
+    def __init__(
+        self,
+        partitions: Sequence[Partition],
+        cost_matrix,
+        delay_matrix=None,
+        *,
+        name: str = "topology",
+    ) -> None:
+        self.name = name
+        self._partitions: Tuple[Partition, ...] = tuple(partitions)
+        if not self._partitions:
+            raise ValueError("a topology needs at least one partition")
+        names = [p.name for p in self._partitions]
+        if len(set(names)) != len(names):
+            raise ValueError("partition names must be unique")
+
+        m = len(self._partitions)
+        self._cost = validate_nonnegative(
+            as_square_matrix(cost_matrix, m, "cost_matrix"), "cost_matrix"
+        )
+        if delay_matrix is None:
+            self._delay = self._cost.copy()
+        else:
+            self._delay = validate_nonnegative(
+                as_square_matrix(delay_matrix, m, "delay_matrix"), "delay_matrix"
+            )
+        self._cost.setflags(write=False)
+        self._delay.setflags(write=False)
+        self._index = {p.name: i for i, p in enumerate(self._partitions)}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions ``M``."""
+        return len(self._partitions)
+
+    @property
+    def partitions(self) -> Tuple[Partition, ...]:
+        """Partitions in index order."""
+        return self._partitions
+
+    @property
+    def cost_matrix(self) -> np.ndarray:
+        """The ``B`` matrix (read-only)."""
+        return self._cost
+
+    @property
+    def delay_matrix(self) -> np.ndarray:
+        """The ``D`` matrix (read-only)."""
+        return self._delay
+
+    def index_of(self, ref: int | str) -> int:
+        """Resolve a partition reference (index or name) to an index."""
+        if isinstance(ref, str):
+            try:
+                return self._index[ref]
+            except KeyError:
+                raise KeyError(f"no partition named {ref!r}") from None
+        index = int(ref)
+        if not 0 <= index < self.num_partitions:
+            raise IndexError(
+                f"partition index {index} out of range [0, {self.num_partitions})"
+            )
+        return index
+
+    def capacities(self) -> np.ndarray:
+        """Vector of capacities ``c`` (length ``M``)."""
+        return np.array([p.capacity for p in self._partitions], dtype=float)
+
+    def total_capacity(self) -> float:
+        """Sum of all partition capacities."""
+        return float(sum(p.capacity for p in self._partitions))
+
+    def positions(self) -> Optional[np.ndarray]:
+        """``M x 2`` position array, or ``None`` if any partition lacks one."""
+        if any(p.position is None for p in self._partitions):
+            return None
+        return np.array([p.position for p in self._partitions], dtype=float)
+
+    def with_cost_matrix(self, cost_matrix, delay_matrix=None) -> "Topology":
+        """Return a copy of this topology with different ``B`` (and ``D``).
+
+        When ``delay_matrix`` is ``None`` the existing delay matrix is
+        kept (unlike the constructor, which defaults ``D`` to ``B``); this
+        supports the paper's initial-solution bootstrap, which zeroes
+        ``B`` while leaving the timing model intact.
+        """
+        return Topology(
+            self._partitions,
+            cost_matrix,
+            self._delay if delay_matrix is None else delay_matrix,
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return f"Topology(name={self.name!r}, partitions={self.num_partitions})"
+
+
+@dataclass(frozen=True)
+class _TopologySummary:
+    """Lightweight summary used by diagnostics and reports."""
+
+    name: str
+    num_partitions: int
+    total_capacity: float
+    max_cost: float = field(default=0.0)
+    max_delay: float = field(default=0.0)
+
+
+def summarize(topology: Topology) -> _TopologySummary:
+    """Build a :class:`_TopologySummary` for ``topology``."""
+    return _TopologySummary(
+        name=topology.name,
+        num_partitions=topology.num_partitions,
+        total_capacity=topology.total_capacity(),
+        max_cost=float(topology.cost_matrix.max()),
+        max_delay=float(topology.delay_matrix.max()),
+    )

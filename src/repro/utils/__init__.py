@@ -1,0 +1,35 @@
+"""Shared utilities for the repro package.
+
+The helpers here are intentionally small and dependency-light: argument
+validation, matrix coercion, seeded random-number handling, and plain-text
+table rendering used by the evaluation harness.
+"""
+
+from repro.utils.matrices import (
+    as_cost_matrix,
+    as_square_matrix,
+    is_symmetric,
+    validate_nonnegative,
+)
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.tables import TextTable
+from repro.utils.validation import (
+    check_index,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RandomSource",
+    "TextTable",
+    "as_cost_matrix",
+    "as_square_matrix",
+    "check_index",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "ensure_rng",
+    "is_symmetric",
+    "validate_nonnegative",
+]

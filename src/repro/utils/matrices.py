@@ -1,0 +1,82 @@
+"""Matrix coercion and validation helpers.
+
+The paper's formulation is matrix-heavy (``A``, ``B``, ``D``, ``D_C``,
+``P``, ``Q``); these helpers normalise user input into float ``ndarray``s
+with the expected shapes and properties, producing clear errors when the
+input is malformed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+INFINITE_BUDGET = np.inf
+"""Sentinel used in ``D_C`` for "no timing constraint between this pair"."""
+
+
+def as_square_matrix(matrix, size: Optional[int] = None, name: str = "matrix") -> np.ndarray:
+    """Coerce ``matrix`` to a square 2-D float array.
+
+    Parameters
+    ----------
+    matrix:
+        Anything ``numpy.asarray`` accepts.
+    size:
+        When given, additionally require the matrix to be ``size x size``.
+    name:
+        Name used in error messages.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    if arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    if size is not None and arr.shape[0] != size:
+        raise ValueError(f"{name} must be {size}x{size}, got shape {arr.shape}")
+    return arr
+
+
+def as_cost_matrix(matrix, rows: int, cols: int, name: str = "matrix") -> np.ndarray:
+    """Coerce ``matrix`` to a ``rows x cols`` float array."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.shape != (rows, cols):
+        raise ValueError(f"{name} must have shape ({rows}, {cols}), got {arr.shape}")
+    return arr
+
+
+def validate_nonnegative(arr: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Raise ``ValueError`` if ``arr`` contains a negative or NaN entry."""
+    if np.isnan(arr).any():
+        raise ValueError(f"{name} must not contain NaN entries")
+    if (arr < 0).any():
+        bad = float(arr.min())
+        raise ValueError(f"{name} must be non-negative, found {bad}")
+    return arr
+
+
+def is_symmetric(arr: np.ndarray, *, tol: float = 0.0) -> bool:
+    """Return ``True`` if ``arr`` equals its transpose within ``tol``.
+
+    Entries that are both infinite (e.g. unconstrained timing budgets)
+    compare equal.
+    """
+    if arr.shape[0] != arr.shape[1]:
+        return False
+    a, b = arr, arr.T
+    both_inf = np.isinf(a) & np.isinf(b) & (np.sign(a) == np.sign(b))
+    # Neutralise matching infinities before subtracting (inf - inf is NaN).
+    a = np.where(both_inf, 0.0, a)
+    b = np.where(both_inf, 0.0, b)
+    diff = a - b
+    # A remaining infinity on one side only is a genuine asymmetry.
+    return bool(np.all(np.abs(np.nan_to_num(diff, nan=np.inf)) <= tol))
+
+
+def zero_diagonal(arr: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Raise ``ValueError`` unless the matrix diagonal is all zero."""
+    diag = np.diagonal(arr)
+    if np.any(diag != 0):
+        raise ValueError(f"{name} must have a zero diagonal")
+    return arr

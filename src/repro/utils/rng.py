@@ -1,0 +1,71 @@
+"""Seeded random-number helpers.
+
+Every stochastic component in the library (circuit generators, solver
+restarts, tie-breaking) accepts either an integer seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  :func:`ensure_rng`
+normalises all three into a ``Generator`` so call sites never touch
+``numpy.random`` module-level state, which keeps experiments reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomSource = Union[None, int, np.random.Generator]
+"""Anything accepted where a random source is expected."""
+
+
+def ensure_rng(seed: RandomSource = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for nondeterministic entropy, an ``int`` for a fixed
+        seed, or an existing ``Generator`` which is returned unchanged.
+
+    Raises
+    ------
+    TypeError
+        If ``seed`` is not one of the accepted types.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_children(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Used when a driver fans work out to several stochastic subroutines and
+    wants each to be independently reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(base: Optional[int], salt: str) -> Optional[int]:
+    """Derive a deterministic sub-seed from ``base`` and a label.
+
+    Returns ``None`` when ``base`` is ``None`` (fully random mode).  The
+    derivation is a stable hash so the same ``(base, salt)`` pair always
+    produces the same seed across processes and Python versions.
+    """
+    if base is None:
+        return None
+    # Stable across processes: do not use the builtin hash(), which is
+    # randomised per-interpreter for strings.
+    acc = base & 0xFFFFFFFFFFFFFFFF
+    for ch in salt:
+        acc = (acc * 1000003 + ord(ch)) & 0xFFFFFFFFFFFFFFFF
+    return acc

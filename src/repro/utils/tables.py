@@ -1,0 +1,71 @@
+"""Plain-text table rendering for the evaluation harness.
+
+Produces aligned, monospace tables in the style of the paper's Tables
+I-III so that the benchmark output can be compared side by side with the
+published numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class TextTable:
+    """An aligned plain-text table.
+
+    Example
+    -------
+    >>> t = TextTable(["ckt", "cost"])
+    >>> t.add_row(["ckta", 20756])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    ckt  | cost
+    -----+------
+    ckta | 20756
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable) -> None:
+        """Append a row; values are formatted with :func:`format_cell`."""
+        row = [format_cell(v) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table as a string (no trailing newline)."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for idx, cell in enumerate(row):
+                widths[idx] = max(widths[idx], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_line(self.headers))
+        lines.append(sep)
+        lines.extend(fmt_line(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()
+
+
+def format_cell(value) -> str:
+    """Format one table cell: floats get one decimal, ints stay exact."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.1f}"
+    return str(value)

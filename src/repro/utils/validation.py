@@ -1,0 +1,57 @@
+"""Small argument-validation helpers with consistent error messages.
+
+These exist so that validation failures anywhere in the library raise the
+same exception types with the same phrasing, which keeps the test suite's
+error-message assertions stable.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Any
+
+
+def check_type(value: Any, types, name: str) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(value, name: str, *, strict: bool = True):
+    """Validate that a real number is positive (or non-negative).
+
+    Parameters
+    ----------
+    strict:
+        When ``True`` (default) require ``value > 0``; otherwise require
+        ``value >= 0``.
+    """
+    check_type(value, Real, name)
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_index(value, size: int, name: str) -> int:
+    """Validate an integer index in ``[0, size)`` and return it as ``int``."""
+    check_type(value, Integral, name)
+    value = int(value)
+    if not 0 <= value < size:
+        raise IndexError(f"{name} must be in [0, {size}), got {value}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Validate a real number in ``[0, 1]`` and return it as ``float``."""
+    check_type(value, Real, name)
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value

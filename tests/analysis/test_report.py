@@ -1,0 +1,100 @@
+"""Tests for repro.analysis.report and repro.analysis.compare."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_assignments
+from repro.analysis.report import analyze_solution, render_report
+from repro.core.assignment import Assignment
+from repro.core.objective import ObjectiveEvaluator
+
+
+class TestAnalyzeSolution:
+    def test_objective_matches_evaluator(self, paper_problem):
+        a = Assignment([0, 1, 3], 4)
+        report = analyze_solution(paper_problem, a)
+        evaluator = ObjectiveEvaluator(paper_problem)
+        assert report.objective == pytest.approx(evaluator.cost(a))
+        assert report.quadratic_cost == pytest.approx(evaluator.quadratic_cost(a))
+
+    def test_utilizations(self, paper_problem):
+        a = Assignment([0, 1, 3], 4)
+        report = analyze_solution(paper_problem, a)
+        assert len(report.utilizations) == 4
+        loads = [u.load for u in report.utilizations]
+        assert loads == [1.0, 1.0, 0.0, 1.0]
+        assert report.max_utilization == pytest.approx(1.0)
+        assert report.feasible
+
+    def test_overload_detected(self, paper_problem):
+        report = analyze_solution(paper_problem, Assignment([0, 0, 0], 4))
+        assert any(u.overloaded for u in report.utilizations)
+        assert not report.feasible
+
+    def test_timing_violation_detected(self, paper_problem):
+        report = analyze_solution(paper_problem, Assignment([0, 3, 1], 4))
+        assert report.timing.violations == 2
+        assert not report.feasible
+
+
+class TestRenderReport:
+    def test_sections_present(self, paper_problem):
+        text = render_report(analyze_solution(paper_problem, Assignment([0, 1, 3], 4)))
+        assert "objective:" in text
+        assert "partition utilisation:" in text
+        assert "interconnect:" in text
+        assert "timing:" in text
+        assert "feasible: yes" in text
+
+    def test_infeasible_flagged(self, paper_problem):
+        text = render_report(analyze_solution(paper_problem, Assignment([0, 3, 1], 4)))
+        assert "feasible: NO" in text
+
+    def test_unconstrained_timing_line(self, small_problem):
+        a = Assignment.round_robin(small_problem.num_components, 4)
+        text = render_report(analyze_solution(small_problem, a))
+        assert "timing: unconstrained" in text
+
+
+class TestCompareAssignments:
+    def test_identical(self):
+        a = Assignment([0, 1, 2], 3)
+        diff = compare_assignments(a, a.copy())
+        assert diff.num_moved == 0
+        assert diff.moved_fraction == 0.0
+
+    def test_moved_components_listed(self):
+        a = Assignment([0, 1, 2], 3)
+        b = Assignment([0, 2, 2], 3)
+        diff = compare_assignments(a, b)
+        assert diff.moved_components == (1,)
+        assert diff.moved_fraction == pytest.approx(1 / 3)
+
+    def test_moved_size(self):
+        a = Assignment([0, 1], 2)
+        b = Assignment([1, 1], 2)
+        diff = compare_assignments(a, b, sizes=np.array([5.0, 7.0]))
+        assert diff.total_moved_size == 5.0
+
+    def test_deviation_with_topology(self, paper_topology):
+        a = Assignment([0, 0, 0], 4)
+        b = Assignment([3, 0, 1], 4)  # moves: distance 2 and distance 1
+        sizes = np.array([2.0, 1.0, 3.0])
+        diff = compare_assignments(a, b, sizes=sizes, topology=paper_topology)
+        assert diff.total_deviation == pytest.approx(2.0 * 2 + 3.0 * 1)
+
+    def test_deviation_unweighted(self, paper_topology):
+        a = Assignment([0, 0, 0], 4)
+        b = Assignment([3, 0, 0], 4)
+        diff = compare_assignments(a, b, topology=paper_topology)
+        assert diff.total_deviation == pytest.approx(2.0)
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compare_assignments(Assignment([0], 2), Assignment([0, 1], 2))
+        with pytest.raises(ValueError):
+            compare_assignments(Assignment([0], 2), Assignment([0], 3))
+        with pytest.raises(ValueError):
+            compare_assignments(
+                Assignment([0], 2), Assignment([1], 2), sizes=np.ones(3)
+            )

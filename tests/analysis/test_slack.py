@@ -1,0 +1,48 @@
+"""Tests for repro.analysis.slack."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.slack import timing_slack_report
+from repro.core.assignment import Assignment
+
+
+class TestTimingSlackReport:
+    def test_feasible_assignment(self, paper_problem):
+        report = timing_slack_report(paper_problem, Assignment([0, 1, 3], 4))
+        assert report.num_constraints == 4  # two pairs, both directions
+        assert report.violations == 0
+        assert report.feasible
+        # Both pairs at distance exactly 1 against budget 1: all tight.
+        assert report.tight == 4
+        assert report.worst_slack == pytest.approx(0.0)
+
+    def test_violating_assignment(self, paper_problem):
+        report = timing_slack_report(paper_problem, Assignment([0, 3, 1], 4))
+        assert report.violations == 2  # a<->b at distance 2, budget 1
+        assert not report.feasible
+        assert report.worst_slack == pytest.approx(-1.0)
+
+    def test_tightest_pairs_sorted(self, paper_problem):
+        report = timing_slack_report(paper_problem, Assignment([0, 3, 1], 4))
+        slacks = [s for (_, _, s) in report.tightest_pairs]
+        assert slacks == sorted(slacks)
+        assert report.tightest_pairs[0][2] == pytest.approx(-1.0)
+
+    def test_top_limits_list(self, paper_problem):
+        report = timing_slack_report(
+            paper_problem, Assignment([0, 1, 3], 4), top=2
+        )
+        assert len(report.tightest_pairs) == 2
+
+    def test_unconstrained_problem(self, small_problem):
+        a = Assignment.round_robin(small_problem.num_components, 4)
+        report = timing_slack_report(small_problem, a)
+        assert report.num_constraints == 0
+        assert report.feasible
+        assert report.worst_slack == np.inf
+
+    def test_colocated_gives_full_slack(self, paper_problem):
+        report = timing_slack_report(paper_problem, Assignment([2, 2, 2], 4))
+        assert report.worst_slack == pytest.approx(1.0)  # budget 1, delay 0
+        assert report.tight == 0

@@ -1,0 +1,62 @@
+"""Tests for repro.analysis.wirelength."""
+
+import pytest
+
+from repro.analysis.wirelength import cut_statistics, wirelength_by_partition_pair
+from repro.core.assignment import Assignment
+from repro.core.objective import ObjectiveEvaluator
+
+
+class TestCutStatistics:
+    def test_all_internal(self, paper_problem):
+        stats = cut_statistics(paper_problem, Assignment([0, 0, 0], 4))
+        assert stats.cut_wires == 0.0
+        assert stats.internal_wires == stats.total_wires == 14.0
+        assert stats.cut_fraction == 0.0
+        assert stats.total_weighted_length == 0.0
+
+    def test_all_cut(self, paper_problem):
+        stats = cut_statistics(paper_problem, Assignment([0, 1, 3], 4))
+        assert stats.internal_wires == 0.0
+        assert stats.cut_fraction == 1.0
+        # Both wired pairs at distance 1: weighted = 2*(5 + 2).
+        assert stats.total_weighted_length == pytest.approx(14.0)
+        assert stats.mean_cut_distance == pytest.approx(1.0)
+
+    def test_weighted_length_matches_objective(self, small_problem, rng):
+        evaluator = ObjectiveEvaluator(small_problem)
+        a = Assignment.uniform_random(
+            small_problem.num_components, small_problem.num_partitions, rng
+        )
+        stats = cut_statistics(small_problem, a)
+        assert stats.total_weighted_length == pytest.approx(
+            evaluator.quadratic_cost(a)
+        )
+
+    def test_empty_circuit(self):
+        from repro.core.problem import PartitioningProblem
+        from repro.netlist.circuit import Circuit
+        from repro.topology.grid import grid_topology
+
+        ckt = Circuit()
+        ckt.add_component("only")
+        problem = PartitioningProblem(ckt, grid_topology(1, 2, capacity=5.0))
+        stats = cut_statistics(problem, Assignment([0], 2))
+        assert stats.total_wires == 0.0
+        assert stats.cut_fraction == 0.0
+
+
+class TestWirelengthByPair:
+    def test_pairs_and_totals(self, paper_problem):
+        a = Assignment([0, 1, 3], 4)
+        by_pair = wirelength_by_partition_pair(paper_problem, a)
+        # a<->b wires between partitions 0 and 1 (both directions),
+        # b<->c between 1 and 3.
+        assert by_pair[(0, 1)] == pytest.approx(5.0)
+        assert by_pair[(1, 0)] == pytest.approx(5.0)
+        assert by_pair[(1, 3)] == pytest.approx(2.0)
+        assert sum(by_pair.values()) == pytest.approx(14.0)
+
+    def test_internal_wires_omitted(self, paper_problem):
+        by_pair = wirelength_by_partition_pair(paper_problem, Assignment([0, 0, 0], 4))
+        assert by_pair == {}

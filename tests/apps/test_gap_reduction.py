@@ -1,0 +1,94 @@
+"""Tests for repro.apps.gap_reduction (Section 2.2.2 special cases)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gap_reduction import (
+    gap_result_to_assignment,
+    is_linear_assignment,
+    solve_as_generalized_assignment,
+    solve_as_linear_assignment,
+)
+from repro.core.problem import PartitioningProblem
+from repro.netlist.circuit import Circuit
+from repro.timing.constraints import TimingConstraints
+from repro.topology.grid import grid_topology
+from repro.topology.partition import Partition, Topology
+
+
+def linear_problem(n=6, m=3, *, unit=False, timing=False, wires=False, beta=0.0):
+    rng = np.random.default_rng(0)
+    ckt = Circuit("lin")
+    for j in range(n):
+        size = 1.0 if unit else float(rng.uniform(1, 3))
+        ckt.add_component(f"u{j}", size=size)
+    if wires:
+        ckt.add_wire(0, 1, 2.0)
+    if unit:
+        parts = [Partition(f"p{i}", capacity=1.0) for i in range(m)]
+        topo = Topology(parts, np.zeros((m, m)))
+    else:
+        topo = grid_topology(1, m, capacity=ckt.total_size() / m * 1.5)
+    tc = None
+    if timing:
+        tc = TimingConstraints(n)
+        tc.add(0, 1, 1.0)
+    p = rng.uniform(0, 10, (m, n))
+    return PartitioningProblem(ckt, topo, timing=tc, linear_cost=p, beta=beta)
+
+
+class TestGeneralizedAssignment:
+    def test_solves_linear_problem(self):
+        problem = linear_problem()
+        result = solve_as_generalized_assignment(problem)
+        assignment = gap_result_to_assignment(result, problem.num_partitions)
+        from repro.core.constraints import capacity_violations
+
+        assert not capacity_violations(
+            assignment, problem.sizes(), problem.capacities()
+        )
+
+    def test_rejects_timing(self):
+        problem = linear_problem(timing=True)
+        with pytest.raises(ValueError, match="timing"):
+            solve_as_generalized_assignment(problem)
+
+    def test_rejects_quadratic_term(self):
+        problem = linear_problem(wires=True, beta=1.0)
+        with pytest.raises(ValueError, match="quadratic"):
+            solve_as_generalized_assignment(problem)
+
+    def test_zero_beta_with_wires_allowed(self):
+        problem = linear_problem(wires=True, beta=0.0)
+        solve_as_generalized_assignment(problem)
+
+    def test_alpha_scaling_applied(self):
+        problem = linear_problem()
+        scaled = PartitioningProblem(
+            problem.circuit,
+            problem.topology,
+            linear_cost=problem.linear_cost_matrix(),
+            alpha=2.0,
+            beta=0.0,
+        )
+        base = solve_as_generalized_assignment(problem)
+        doubled = solve_as_generalized_assignment(scaled)
+        assert doubled.cost == pytest.approx(2.0 * base.cost)
+
+
+class TestLinearAssignment:
+    def test_detects_degenerate_case(self):
+        assert is_linear_assignment(linear_problem(n=3, m=3, unit=True))
+        assert not is_linear_assignment(linear_problem(n=6, m=3))
+
+    def test_exact_optimum(self):
+        problem = linear_problem(n=4, m=4, unit=True)
+        result = solve_as_linear_assignment(problem)
+        # Compare against the GAP heuristic (which must not beat the
+        # exact LAP optimum).
+        gap = solve_as_generalized_assignment(problem)
+        assert result.cost <= gap.cost + 1e-9
+
+    def test_rejects_non_degenerate(self):
+        with pytest.raises(ValueError, match="degeneracy"):
+            solve_as_linear_assignment(linear_problem(n=6, m=3))

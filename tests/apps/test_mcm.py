@@ -1,0 +1,111 @@
+"""Tests for repro.apps.mcm (TCM re-partitioning, Section 2.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mcm import deviation_cost_matrix, repartition_mcm
+from repro.core.assignment import Assignment
+from repro.core.constraints import check_feasibility
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.timing.constraints import synthesize_feasible_constraints
+from repro.topology.grid import grid_topology
+from repro.topology.partition import Partition, Topology
+
+
+@pytest.fixture
+def setting():
+    spec = ClusteredCircuitSpec("tcm", num_components=30, num_wires=90, num_clusters=4)
+    circuit = generate_clustered_circuit(spec, seed=31)
+    topo = grid_topology(2, 2, capacity=circuit.total_size() / 4 * 1.25)
+    return circuit, topo
+
+
+class TestDeviationMatrix:
+    def test_formula(self, setting):
+        circuit, topo = setting
+        initial = Assignment(np.zeros(30, dtype=int), 4)
+        p = deviation_cost_matrix(topo, initial, circuit.sizes())
+        assert p.shape == (4, 30)
+        # Staying put costs nothing.
+        assert np.array_equal(p[0, :], np.zeros(30))
+        # Moving to the far corner costs size * manhattan(2).
+        assert p[3, 5] == pytest.approx(circuit.sizes()[5] * 2.0)
+
+    def test_bigger_components_cost_more_to_move(self, setting):
+        circuit, topo = setting
+        initial = Assignment(np.zeros(30, dtype=int), 4)
+        p = deviation_cost_matrix(topo, initial, circuit.sizes())
+        sizes = circuit.sizes()
+        j_small = int(np.argmin(sizes))
+        j_big = int(np.argmax(sizes))
+        assert p[3, j_big] > p[3, j_small]
+
+    def test_requires_positions(self, setting):
+        circuit, _ = setting
+        bare = Topology(
+            [Partition("p0", 1e9), Partition("p1", 1e9)], np.zeros((2, 2))
+        )
+        with pytest.raises(ValueError, match="positions"):
+            deviation_cost_matrix(bare, Assignment(np.zeros(30, dtype=int), 2), circuit.sizes())
+
+    def test_size_vector_checked(self, setting):
+        circuit, topo = setting
+        with pytest.raises(ValueError):
+            deviation_cost_matrix(topo, Assignment(np.zeros(30, dtype=int), 4), np.ones(5))
+
+
+class TestRepartition:
+    def test_output_is_feasible(self, setting):
+        circuit, topo = setting
+        # Designer's assignment: everything piled into slot 0 (violates C1).
+        initial = Assignment(np.zeros(30, dtype=int), 4)
+        result = repartition_mcm(circuit, topo, initial, iterations=40, seed=0)
+        assert result.feasible
+
+    def test_deviation_consistent(self, setting):
+        circuit, topo = setting
+        initial = Assignment(np.zeros(30, dtype=int), 4)
+        result = repartition_mcm(circuit, topo, initial, iterations=40, seed=0)
+        p = deviation_cost_matrix(topo, initial, circuit.sizes())
+        manual = p[result.assignment.part, np.arange(30)].sum()
+        assert result.total_deviation == pytest.approx(manual)
+
+    def test_feasible_initial_kept_nearly_intact(self, setting):
+        circuit, topo = setting
+        # A legal initial assignment: deviation-minimal answer is itself.
+        from repro.solvers.greedy import greedy_feasible_assignment
+        from repro.core.problem import PartitioningProblem
+
+        legal = greedy_feasible_assignment(PartitioningProblem(circuit, topo), seed=5)
+        result = repartition_mcm(circuit, topo, legal, iterations=40, seed=0)
+        assert result.total_deviation == pytest.approx(0.0)
+        assert result.moved_components == 0
+
+    def test_with_timing_constraints(self, setting):
+        circuit, topo = setting
+        from repro.core.problem import PartitioningProblem
+        from repro.solvers.greedy import greedy_feasible_assignment
+
+        ref = greedy_feasible_assignment(PartitioningProblem(circuit, topo), seed=3)
+        timing = synthesize_feasible_constraints(
+            circuit, topo.delay_matrix, ref.part, count=30, min_budget=1.0, seed=1
+        )
+        initial = Assignment(np.zeros(30, dtype=int), 4)
+        result = repartition_mcm(
+            circuit, topo, initial, timing=timing, iterations=60, seed=0
+        )
+        problem_report = result.feasible
+        assert problem_report
+
+    def test_minimises_versus_naive(self, setting):
+        circuit, topo = setting
+        initial = Assignment(np.zeros(30, dtype=int), 4)
+        result = repartition_mcm(circuit, topo, initial, iterations=60, seed=0)
+        # Naive legalisation: greedy best-fit ignoring deviation.
+        from repro.core.problem import PartitioningProblem
+        from repro.solvers.greedy import greedy_feasible_assignment
+
+        p = deviation_cost_matrix(topo, initial, circuit.sizes())
+        naive = greedy_feasible_assignment(PartitioningProblem(circuit, topo), seed=2)
+        naive_dev = p[naive.part, np.arange(30)].sum()
+        assert result.total_deviation <= naive_dev + 1e-9

@@ -1,0 +1,97 @@
+"""Tests for repro.apps.qap (Quadratic Assignment special case)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.apps.qap import qap_cost, random_qap_instance, solve_qap
+
+
+def brute_force_qap(flow, distance):
+    n = flow.shape[0]
+    best = np.inf
+    for perm in itertools.permutations(range(n)):
+        best = min(best, qap_cost(flow, distance, np.array(perm)))
+    return best
+
+
+class TestQapCost:
+    def test_known_value(self):
+        flow = np.array([[0.0, 3.0], [3.0, 0.0]])
+        distance = np.array([[0.0, 2.0], [2.0, 0.0]])
+        assert qap_cost(flow, distance, np.array([0, 1])) == 12.0
+        assert qap_cost(flow, distance, np.array([1, 0])) == 12.0
+
+
+class TestSolveQap:
+    def test_permutation_returned(self):
+        flow, distance = random_qap_instance(8, seed=0)
+        result = solve_qap(flow, distance, iterations=30, seed=1)
+        assert sorted(result.permutation.tolist()) == list(range(8))
+
+    def test_cost_matches_permutation(self):
+        flow, distance = random_qap_instance(8, seed=2)
+        result = solve_qap(flow, distance, iterations=30, seed=1)
+        assert result.cost == pytest.approx(
+            qap_cost(flow, distance, result.permutation)
+        )
+
+    def test_close_to_optimum_on_small_instances(self):
+        ratios = []
+        for seed in range(6):
+            flow, distance = random_qap_instance(6, seed=seed)
+            optimum = brute_force_qap(flow, distance)
+            result = solve_qap(flow, distance, iterations=60, seed=seed)
+            assert result.cost >= optimum - 1e-9
+            ratios.append(result.cost / max(optimum, 1e-9))
+        assert np.mean(ratios) < 1.12
+
+    def test_never_worse_than_initial(self):
+        flow, distance = random_qap_instance(10, seed=3)
+        initial = np.arange(10)
+        result = solve_qap(flow, distance, iterations=25, initial=initial)
+        assert result.cost <= qap_cost(flow, distance, initial) + 1e-9
+
+    def test_history_monotone_best(self):
+        flow, distance = random_qap_instance(9, seed=4)
+        result = solve_qap(flow, distance, iterations=20, seed=0)
+        assert min(result.history) == pytest.approx(result.cost)
+
+    def test_deterministic_given_seed(self):
+        flow, distance = random_qap_instance(9, seed=5)
+        a = solve_qap(flow, distance, iterations=15, seed=2)
+        b = solve_qap(flow, distance, iterations=15, seed=2)
+        assert np.array_equal(a.permutation, b.permutation)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            solve_qap(np.zeros((2, 3)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            solve_qap(-np.ones((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            solve_qap(np.zeros((2, 2)), np.zeros((2, 2)), iterations=0)
+        with pytest.raises(ValueError):
+            solve_qap(np.zeros((2, 2)), np.zeros((2, 2)), initial=np.array([0, 0]))
+
+
+class TestRandomInstance:
+    def test_shapes_and_symmetry(self):
+        flow, distance = random_qap_instance(7, seed=0)
+        assert flow.shape == (7, 7)
+        assert np.array_equal(flow, flow.T)
+        assert np.array_equal(distance, distance.T)
+        assert np.array_equal(np.diag(flow), np.zeros(7))
+
+    def test_grid_distances_manhattan(self):
+        _, distance = random_qap_instance(4, seed=0, grid=True)
+        # 2x2 grid: max Manhattan distance is 2.
+        assert distance.max() == 2.0
+
+    def test_non_grid_mode(self):
+        _, distance = random_qap_instance(5, seed=1, grid=False)
+        assert (distance >= 0).all()
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            random_qap_instance(0)

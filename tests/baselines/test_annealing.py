@@ -1,0 +1,73 @@
+"""Tests for repro.baselines.annealing."""
+
+import pytest
+
+from repro.baselines.annealing import annealing_partition
+from repro.core.assignment import Assignment
+from repro.core.constraints import check_feasibility
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.solvers.greedy import greedy_feasible_assignment
+from repro.timing.constraints import synthesize_feasible_constraints
+from repro.topology.grid import grid_topology
+
+
+@pytest.fixture
+def start(medium_problem):
+    return greedy_feasible_assignment(medium_problem, seed=3)
+
+
+class TestAnnealing:
+    def test_never_worse_than_start(self, medium_problem, start):
+        result = annealing_partition(
+            medium_problem, start, temperature_steps=10, seed=0
+        )
+        assert result.cost <= result.initial_cost + 1e-9
+
+    def test_final_feasible(self, medium_problem, start):
+        result = annealing_partition(
+            medium_problem, start, temperature_steps=10, seed=0
+        )
+        assert result.feasible
+        assert check_feasibility(medium_problem, result.assignment).feasible
+
+    def test_cost_consistent(self, medium_problem, start):
+        result = annealing_partition(
+            medium_problem, start, temperature_steps=8, seed=1
+        )
+        evaluator = ObjectiveEvaluator(medium_problem)
+        assert evaluator.cost(result.assignment) == pytest.approx(result.cost)
+
+    def test_actually_improves(self, medium_problem, start):
+        result = annealing_partition(
+            medium_problem, start, temperature_steps=20, seed=0
+        )
+        assert result.cost < result.initial_cost
+
+    def test_deterministic_given_seed(self, medium_problem, start):
+        a = annealing_partition(medium_problem, start, temperature_steps=5, seed=7)
+        b = annealing_partition(medium_problem, start, temperature_steps=5, seed=7)
+        assert a.assignment == b.assignment
+
+    def test_rejects_infeasible_start(self, paper_problem):
+        with pytest.raises(ValueError, match="feasible"):
+            annealing_partition(paper_problem, Assignment([0, 0, 0], 4))
+
+    def test_rejects_bad_cooling(self, medium_problem, start):
+        with pytest.raises(ValueError, match="cooling"):
+            annealing_partition(medium_problem, start, cooling=1.5)
+
+    def test_timing_never_violated(self):
+        spec = ClusteredCircuitSpec("an", num_components=30, num_wires=120, num_clusters=4)
+        circuit = generate_clustered_circuit(spec, seed=29)
+        topo = grid_topology(2, 2, capacity=circuit.total_size() / 4 * 1.4)
+        base = PartitioningProblem(circuit, topo)
+        ref = greedy_feasible_assignment(base, seed=2)
+        timing = synthesize_feasible_constraints(
+            circuit, topo.delay_matrix, ref.part, count=40, min_budget=1.0, seed=5
+        )
+        problem = PartitioningProblem(circuit, topo, timing=timing)
+        result = annealing_partition(problem, ref, temperature_steps=10, seed=0)
+        evaluator = ObjectiveEvaluator(problem)
+        assert evaluator.timing_violation_count(result.assignment) == 0

@@ -1,0 +1,96 @@
+"""Tests for repro.baselines.gfm (generalized Fiduccia-Mattheyses)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gfm import gfm_partition
+from repro.core.assignment import Assignment
+from repro.core.constraints import check_feasibility
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.solvers.greedy import greedy_feasible_assignment
+from repro.timing.constraints import synthesize_feasible_constraints
+from repro.topology.grid import grid_topology
+
+
+@pytest.fixture
+def start(medium_problem):
+    return greedy_feasible_assignment(medium_problem, seed=3)
+
+
+class TestBasics:
+    def test_never_worsens(self, medium_problem, start):
+        result = gfm_partition(medium_problem, start)
+        assert result.cost <= result.initial_cost + 1e-9
+        assert result.improvement_percent >= 0.0
+
+    def test_final_solution_feasible(self, medium_problem, start):
+        result = gfm_partition(medium_problem, start)
+        assert result.feasible
+        assert check_feasibility(medium_problem, result.assignment).feasible
+
+    def test_cost_is_consistent(self, medium_problem, start):
+        result = gfm_partition(medium_problem, start)
+        evaluator = ObjectiveEvaluator(medium_problem)
+        assert evaluator.cost(result.assignment) == pytest.approx(result.cost)
+
+    def test_runs_to_convergence(self, medium_problem, start):
+        result = gfm_partition(medium_problem, start)
+        # The last pass by definition produced no improvement.
+        assert result.passes >= 1
+        rerun = gfm_partition(medium_problem, result.assignment)
+        assert rerun.cost == pytest.approx(result.cost)
+
+    def test_actually_improves_random_start(self, medium_problem, start):
+        result = gfm_partition(medium_problem, start)
+        assert result.cost < result.initial_cost  # plenty of headroom here
+
+    def test_deterministic(self, medium_problem, start):
+        a = gfm_partition(medium_problem, start)
+        b = gfm_partition(medium_problem, start)
+        assert a.assignment == b.assignment
+
+    def test_rejects_infeasible_start(self, paper_problem):
+        bad = Assignment([0, 0, 0], 4)  # unit capacities: overloaded
+        with pytest.raises(ValueError, match="feasible initial"):
+            gfm_partition(paper_problem, bad)
+
+    def test_max_moves_per_pass(self, medium_problem, start):
+        result = gfm_partition(medium_problem, start, max_moves_per_pass=5)
+        assert result.feasible
+
+    def test_pass_costs_recorded(self, medium_problem, start):
+        result = gfm_partition(medium_problem, start)
+        assert len(result.pass_costs) == result.passes
+        assert result.pass_costs[-1] == pytest.approx(result.cost)
+
+
+class TestWithTiming:
+    @pytest.fixture
+    def timed(self):
+        spec = ClusteredCircuitSpec("g", num_components=50, num_wires=200, num_clusters=6)
+        circuit = generate_clustered_circuit(spec, seed=5)
+        topo = grid_topology(2, 2, capacity=circuit.total_size() / 4 * 1.3)
+        base = PartitioningProblem(circuit, topo)
+        ref = greedy_feasible_assignment(base, seed=9)
+        timing = synthesize_feasible_constraints(
+            circuit, topo.delay_matrix, ref.part, count=80, min_budget=1.0, seed=3
+        )
+        problem = PartitioningProblem(circuit, topo, timing=timing)
+        return problem, ref
+
+    def test_timing_never_violated(self, timed):
+        problem, start = timed
+        result = gfm_partition(problem, start)
+        evaluator = ObjectiveEvaluator(problem)
+        assert evaluator.timing_violation_count(result.assignment) == 0
+        assert result.feasible
+
+    def test_timing_constrains_improvement(self, timed):
+        problem, start = timed
+        constrained = gfm_partition(problem, start)
+        relaxed = gfm_partition(problem.without_timing(), start)
+        # The paper's Table II vs III shape: timing can only reduce the
+        # achievable improvement.
+        assert relaxed.cost <= constrained.cost + 1e-9

@@ -1,0 +1,33 @@
+"""Tests for repro.baselines.result."""
+
+import pytest
+
+from repro.baselines.result import InterchangeResult
+from repro.core.assignment import Assignment
+
+
+def make(cost, initial):
+    return InterchangeResult(
+        assignment=Assignment([0, 1], 2),
+        cost=cost,
+        initial_cost=initial,
+        passes=1,
+        moves_applied=0,
+        feasible=True,
+        elapsed_seconds=0.1,
+    )
+
+
+class TestImprovementPercent:
+    def test_basic(self):
+        assert make(80.0, 100.0).improvement_percent == pytest.approx(20.0)
+
+    def test_no_improvement(self):
+        assert make(100.0, 100.0).improvement_percent == 0.0
+
+    def test_zero_start_guard(self):
+        assert make(0.0, 0.0).improvement_percent == 0.0
+
+    def test_negative_when_worse(self):
+        # The dataclass itself does not forbid regression; callers do.
+        assert make(110.0, 100.0).improvement_percent == pytest.approx(-10.0)

@@ -1,0 +1,110 @@
+"""Tests for repro.baselines.spectral (Barnes-style baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spectral import (
+    spectral_embedding,
+    spectral_partition,
+)
+from repro.core.constraints import capacity_violations, check_feasibility
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.solvers.greedy import greedy_feasible_assignment
+from repro.timing.constraints import synthesize_feasible_constraints
+from repro.topology.grid import grid_topology
+
+
+class TestEmbedding:
+    def test_shape(self, medium_problem):
+        emb = spectral_embedding(medium_problem, 4)
+        assert emb.shape == (medium_problem.num_components, 4)
+
+    def test_dimension_capped_at_n_minus_1(self):
+        ckt = Circuit()
+        for name in "ab":
+            ckt.add_component(name)
+        ckt.add_undirected_wire("a", "b")
+        topo = grid_topology(1, 2, capacity=2.0)
+        problem = PartitioningProblem(ckt, topo)
+        emb = spectral_embedding(problem, 10)
+        assert emb.shape == (2, 1)
+
+    def test_rejects_bad_dimensions(self, medium_problem):
+        with pytest.raises(ValueError):
+            spectral_embedding(medium_problem, 0)
+
+    def test_fiedler_separates_two_cliques(self):
+        # Two 4-cliques joined by one weak edge: the Fiedler vector's
+        # sign splits them.
+        ckt = Circuit()
+        for j in range(8):
+            ckt.add_component(f"u{j}")
+        for a in range(4):
+            for b in range(a + 1, 4):
+                ckt.add_undirected_wire(a, b, 5.0)
+                ckt.add_undirected_wire(a + 4, b + 4, 5.0)
+        ckt.add_undirected_wire(0, 4, 0.1)
+        topo = grid_topology(1, 2, capacity=8.0)
+        problem = PartitioningProblem(ckt, topo)
+        fiedler = spectral_embedding(problem, 1)[:, 0]
+        signs = np.sign(fiedler)
+        assert len(set(signs[:4])) == 1
+        assert len(set(signs[4:])) == 1
+        assert signs[0] != signs[4]
+
+
+class TestSpectralPartition:
+    def test_capacity_feasible(self, medium_problem):
+        result = spectral_partition(medium_problem, seed=0)
+        assert not capacity_violations(
+            result.assignment, medium_problem.sizes(), medium_problem.capacities()
+        )
+
+    def test_beats_random_on_clustered_circuit(self, medium_problem, rng):
+        from repro.core.assignment import Assignment
+
+        result = spectral_partition(medium_problem, seed=0)
+        evaluator = ObjectiveEvaluator(medium_problem)
+        random_costs = [
+            evaluator.cost(
+                greedy_feasible_assignment(medium_problem, seed=s)
+            )
+            for s in range(5)
+        ]
+        assert result.cost < np.mean(random_costs)
+
+    def test_cost_reported(self, medium_problem):
+        result = spectral_partition(medium_problem, seed=0)
+        evaluator = ObjectiveEvaluator(medium_problem)
+        assert result.cost == pytest.approx(evaluator.cost(result.assignment))
+
+    def test_timing_repair_path(self):
+        spec = ClusteredCircuitSpec("sp", num_components=30, num_wires=120, num_clusters=4)
+        circuit = generate_clustered_circuit(spec, seed=19)
+        topo = grid_topology(2, 2, capacity=circuit.total_size() / 4 * 1.4)
+        base = PartitioningProblem(circuit, topo)
+        ref = greedy_feasible_assignment(base, seed=2)
+        timing = synthesize_feasible_constraints(
+            circuit, topo.delay_matrix, ref.part, count=30, min_budget=1.0, seed=5
+        )
+        problem = PartitioningProblem(circuit, topo, timing=timing)
+        result = spectral_partition(problem, seed=0)
+        # Repair usually succeeds on this loose instance.
+        if result.feasible:
+            assert check_feasibility(problem, result.assignment).feasible
+
+    def test_no_repair_flag(self):
+        spec = ClusteredCircuitSpec("sp", num_components=20, num_wires=60)
+        circuit = generate_clustered_circuit(spec, seed=3)
+        topo = grid_topology(2, 2, capacity=circuit.total_size())
+        problem = PartitioningProblem(circuit, topo)
+        result = spectral_partition(problem, repair_timing=False, seed=0)
+        assert result.feasible  # no timing constraints anyway
+
+    def test_deterministic(self, medium_problem):
+        a = spectral_partition(medium_problem, seed=4)
+        b = spectral_partition(medium_problem, seed=4)
+        assert a.assignment == b.assignment

@@ -1,0 +1,94 @@
+"""Shared fixtures: small deterministic circuits, topologies and problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.problem import PartitioningProblem
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.timing.constraints import TimingConstraints
+from repro.topology.grid import grid_topology
+
+
+@pytest.fixture
+def tiny_circuit() -> Circuit:
+    """Three components a, b, c wired a-b (5 wires) and b-c (2 wires).
+
+    This is exactly the circuit of the paper's Section 3.3 example.
+    """
+    ckt = Circuit("paper-example")
+    ckt.add_component("a", size=1.0)
+    ckt.add_component("b", size=1.0)
+    ckt.add_component("c", size=1.0)
+    ckt.add_undirected_wire("a", "b", 5.0)
+    ckt.add_undirected_wire("b", "c", 2.0)
+    return ckt
+
+
+@pytest.fixture
+def paper_topology():
+    """The paper example's 2x2 grid of four partitions, Manhattan B = D.
+
+    Unit capacities: one unit-size component per slot, so the example's
+    solutions are genuinely spread out (the paper does not give
+    capacities; with loose ones the optimum would trivially co-locate
+    everything).
+    """
+    return grid_topology(2, 2, capacity=1.0)
+
+
+@pytest.fixture
+def paper_timing(tiny_circuit) -> TimingConstraints:
+    """The paper example's D_C: budget 1 between a-b and b-c, inf for a-c."""
+    tc = TimingConstraints(3)
+    tc.add(0, 1, 1.0, symmetric=True)
+    tc.add(1, 2, 1.0, symmetric=True)
+    return tc
+
+
+@pytest.fixture
+def paper_problem(tiny_circuit, paper_topology, paper_timing) -> PartitioningProblem:
+    """The full Section 3.3 instance (P = 0)."""
+    return PartitioningProblem(tiny_circuit, paper_topology, timing=paper_timing)
+
+
+@pytest.fixture
+def small_circuit() -> Circuit:
+    """A seeded 24-component clustered circuit used across solver tests."""
+    spec = ClusteredCircuitSpec(
+        name="small", num_components=24, num_wires=80, num_clusters=4
+    )
+    return generate_clustered_circuit(spec, seed=42)
+
+
+@pytest.fixture
+def small_problem(small_circuit) -> PartitioningProblem:
+    """The small circuit on a 2x2 grid with ~30% capacity slack."""
+    topo = grid_topology(2, 2, capacity=small_circuit.total_size() / 4 * 1.3)
+    return PartitioningProblem(small_circuit, topo)
+
+
+@pytest.fixture
+def medium_problem() -> PartitioningProblem:
+    """An 80-component problem on a 4x4 grid (16 partitions)."""
+    spec = ClusteredCircuitSpec(
+        name="medium", num_components=80, num_wires=400, num_clusters=8
+    )
+    circuit = generate_clustered_circuit(spec, seed=7)
+    topo = grid_topology(4, 4, capacity=circuit.total_size() / 16 * 1.4)
+    return PartitioningProblem(circuit, topo)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_feasible_assignment(problem: PartitioningProblem, rng) -> Assignment:
+    """Test helper: rejection-sample a capacity-feasible assignment."""
+    from repro.solvers.greedy import greedy_feasible_assignment
+
+    return greedy_feasible_assignment(problem, rng)

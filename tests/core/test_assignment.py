@@ -1,0 +1,144 @@
+"""Tests for repro.core.assignment: the three solution representations."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment, assignments_agree
+
+
+class TestConstruction:
+    def test_basic(self):
+        a = Assignment([0, 2, 1], 3)
+        assert a.num_components == 3
+        assert a.num_partitions == 3
+        assert a[1] == 2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Assignment([0, 3], 3)
+        with pytest.raises(ValueError):
+            Assignment([-1], 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Assignment([[0, 1]], 2)
+
+    def test_rejects_nonpositive_m(self):
+        with pytest.raises(ValueError):
+            Assignment([0], 0)
+
+    def test_copies_input(self):
+        source = np.array([0, 1])
+        a = Assignment(source, 2)
+        source[0] = 1
+        assert a[0] == 0
+
+
+class TestMutation:
+    def test_setitem_and_move(self):
+        a = Assignment([0, 0], 2)
+        a.move(0, 1)
+        assert a[0] == 1
+        with pytest.raises(ValueError):
+            a[0] = 5
+
+    def test_swap(self):
+        a = Assignment([0, 1], 2)
+        a.swap(0, 1)
+        assert (a[0], a[1]) == (1, 0)
+
+    def test_copy_is_independent(self):
+        a = Assignment([0, 1], 2)
+        b = a.copy()
+        b.move(0, 1)
+        assert a[0] == 0
+
+    def test_members(self):
+        a = Assignment([0, 1, 0, 1], 2)
+        assert a.members(0) == [0, 2]
+        assert a.members(1) == [1, 3]
+        with pytest.raises(IndexError):
+            a.members(2)
+
+
+class TestEqualityHash:
+    def test_equal(self):
+        assert Assignment([0, 1], 2) == Assignment([0, 1], 2)
+
+    def test_not_equal_different_m(self):
+        assert Assignment([0, 1], 2) != Assignment([0, 1], 3)
+
+    def test_hashable(self):
+        assert hash(Assignment([0, 1], 2)) == hash(Assignment([0, 1], 2))
+
+    def test_usable_in_set(self):
+        s = {Assignment([0, 1], 2), Assignment([0, 1], 2), Assignment([1, 0], 2)}
+        assert len(s) == 2
+
+
+class TestXMatrix:
+    def test_roundtrip(self):
+        a = Assignment([2, 0, 1, 2], 3)
+        x = a.to_x_matrix()
+        assert x.shape == (3, 4)
+        assert x.sum() == 4
+        assert Assignment.from_x_matrix(x) == a
+
+    def test_c3_columns(self):
+        x = Assignment([1, 1, 0], 2).to_x_matrix()
+        assert np.array_equal(x.sum(axis=0), np.ones(3))
+
+    def test_from_x_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="binary"):
+            Assignment.from_x_matrix([[0.5], [0.5]])
+
+    def test_from_x_rejects_c3_violation(self):
+        with pytest.raises(ValueError, match="C3"):
+            Assignment.from_x_matrix([[1, 0], [1, 0]])
+        with pytest.raises(ValueError, match="C3"):
+            Assignment.from_x_matrix([[0, 1], [0, 0]])
+
+
+class TestYVector:
+    def test_paper_indexing(self):
+        # r = i + j*M: component j occupies the j-th block of size M.
+        a = Assignment([1, 3, 0], 4)
+        y = a.to_y_vector()
+        assert y.shape == (12,)
+        assert y[1] == 1  # component 0 at partition 1
+        assert y[4 + 3] == 1  # component 1 at partition 3
+        assert y[8 + 0] == 1  # component 2 at partition 0
+        assert y.sum() == 3
+
+    def test_roundtrip(self):
+        a = Assignment([1, 3, 0, 2, 2], 4)
+        assert Assignment.from_y_vector(a.to_y_vector(), 4) == a
+
+    def test_from_y_rejects_bad_length(self):
+        with pytest.raises(ValueError, match="multiple"):
+            Assignment.from_y_vector(np.zeros(7), 4)
+
+    def test_from_y_rejects_double_assignment(self):
+        y = np.zeros(8, dtype=int)
+        y[0] = y[1] = 1  # component 0 in two partitions
+        y[4] = 1
+        with pytest.raises(ValueError, match="C3"):
+            Assignment.from_y_vector(y, 4)
+
+
+class TestConstructors:
+    def test_round_robin(self):
+        a = Assignment.round_robin(5, 3)
+        assert a.part.tolist() == [0, 1, 2, 0, 1]
+
+    def test_uniform_random_in_range(self):
+        rng = np.random.default_rng(0)
+        a = Assignment.uniform_random(100, 7, rng)
+        assert a.part.min() >= 0 and a.part.max() < 7
+
+
+def test_assignments_agree():
+    a = Assignment([0, 1, 2], 3)
+    b = Assignment([0, 1, 0], 3)
+    assert assignments_agree(a, b, [0, 1])
+    assert not assignments_agree(a, b, [0, 2])

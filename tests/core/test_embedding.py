@@ -1,0 +1,208 @@
+"""Tests for repro.core.embedding: Theorems 1 and 2, executable.
+
+The exact solver provides ground truth on small instances, so the
+embedding theorems are verified computationally, not just unit-tested.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.constraints import capacity_violations
+from repro.core.embedding import (
+    DEFAULT_PAPER_PENALTY,
+    RegionOfFeasiblePairs,
+    embed_timing,
+    matrices_coincident_over_region,
+    theorem1_penalty,
+    verify_theorem2_condition,
+)
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.core.qmatrix import build_q_dense, quadratic_form
+from repro.netlist.circuit import Circuit
+from repro.timing.constraints import TimingConstraints
+from repro.topology.grid import grid_topology
+
+
+def enumerate_assignments(n, m):
+    for combo in itertools.product(range(m), repeat=n):
+        yield Assignment(list(combo), m)
+
+
+def brute_minimum(problem, q):
+    """(min cost, argmin) of yT Q y over capacity-feasible assignments."""
+    sizes = problem.sizes()
+    caps = problem.capacities()
+    best, best_a = np.inf, None
+    for a in enumerate_assignments(problem.num_components, problem.num_partitions):
+        if capacity_violations(a, sizes, caps):
+            continue
+        value = quadratic_form(q, a.to_y_vector())
+        if value < best:
+            best, best_a = value, a
+    return best, best_a
+
+
+@pytest.fixture
+def instance(paper_problem):
+    return paper_problem
+
+
+class TestRegion:
+    def test_same_component_pairs_always_in_region(self, instance):
+        region = RegionOfFeasiblePairs.from_problem(instance)
+        m = instance.num_partitions
+        for i1 in range(m):
+            for i2 in range(m):
+                assert region.contains(i1 + 0 * m, i2 + 0 * m)
+
+    def test_contains_matches_mask(self, instance):
+        region = RegionOfFeasiblePairs.from_problem(instance)
+        mask = region.feasibility_mask()
+        size = mask.shape[0]
+        for r1 in range(size):
+            for r2 in range(size):
+                assert mask[r1, r2] == region.contains(r1, r2)
+
+    def test_is_feasible_assignment_matches_timing(self, instance):
+        region = RegionOfFeasiblePairs.from_problem(instance)
+        evaluator = ObjectiveEvaluator(instance)
+        for a in enumerate_assignments(3, 4):
+            expected = evaluator.timing_violation_count(a) == 0
+            assert region.is_feasible_assignment(a.part) == expected
+            assert region.is_feasible_y(a.to_y_vector()) == expected
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            RegionOfFeasiblePairs(np.zeros((2, 3)), np.zeros((2, 2)))
+
+
+class TestTheorem1:
+    """The exact embedding: QBP_R(Q) == QBP(Q') with U > 2*sum|q|."""
+
+    def test_penalty_strictly_dominates(self, instance):
+        q = build_q_dense(instance)
+        u = theorem1_penalty(q)
+        assert u > 2 * np.abs(q).sum()
+
+    def test_equivalence_on_paper_example(self, instance):
+        q = build_q_dense(instance)
+        q_prime = embed_timing(q, instance, penalty=None)  # Theorem-1 U
+
+        constrained_best, constrained_arg = np.inf, None
+        unconstrained_best, unconstrained_arg = np.inf, None
+        region = RegionOfFeasiblePairs.from_problem(instance)
+        sizes, caps = instance.sizes(), instance.capacities()
+        for a in enumerate_assignments(3, 4):
+            if capacity_violations(a, sizes, caps):
+                continue
+            y = a.to_y_vector()
+            value_prime = quadratic_form(q_prime, y)
+            if value_prime < unconstrained_best:
+                unconstrained_best, unconstrained_arg = value_prime, a
+            if region.is_feasible_y(y):
+                value = quadratic_form(q, y)
+                if value < constrained_best:
+                    constrained_best, constrained_arg = value, a
+
+        # Theorem 1: the two problems have the same minimum value and the
+        # unconstrained minimiser is feasible for the constrained problem.
+        assert unconstrained_best == pytest.approx(constrained_best)
+        assert region.is_feasible_y(unconstrained_arg.to_y_vector())
+
+    def test_equivalence_on_random_instances(self):
+        rng = np.random.default_rng(5)
+        for trial in range(6):
+            n, m = 4, 3
+            ckt = Circuit(f"rand{trial}")
+            for j in range(n):
+                ckt.add_component(f"u{j}", size=1.0)
+            for j1 in range(n):
+                for j2 in range(j1 + 1, n):
+                    w = int(rng.integers(0, 4))
+                    if w:
+                        ckt.add_undirected_wire(j1, j2, float(w))
+            topo = grid_topology(1, m, capacity=2.0)
+            tc = TimingConstraints(n)
+            # Random budgets; chosen loose enough that F_R is nonempty
+            # (verified below before asserting anything).
+            for j1 in range(n):
+                for j2 in range(j1 + 1, n):
+                    if rng.random() < 0.5:
+                        tc.add(j1, j2, float(rng.integers(1, 3)), symmetric=True)
+            problem = PartitioningProblem(ckt, topo, timing=tc)
+            region = RegionOfFeasiblePairs.from_problem(problem)
+            feasible_exists = any(
+                region.is_feasible_y(a.to_y_vector())
+                and not capacity_violations(a, problem.sizes(), problem.capacities())
+                for a in enumerate_assignments(n, m)
+            )
+            if not feasible_exists:
+                continue
+            q = build_q_dense(problem)
+            q_prime = embed_timing(q, problem, penalty=None)
+            unconstrained_best, arg = brute_minimum(problem, q_prime)
+            assert region.is_feasible_y(arg.to_y_vector())
+            evaluator = ObjectiveEvaluator(problem)
+            constrained_best = min(
+                evaluator.cost(a)
+                for a in enumerate_assignments(n, m)
+                if region.is_feasible_y(a.to_y_vector())
+                and not capacity_violations(a, problem.sizes(), problem.capacities())
+            )
+            assert unconstrained_best == pytest.approx(constrained_best)
+
+
+class TestTheorem2:
+    """Any penalty works if the minimiser lands in F_R."""
+
+    def test_paper_penalty_50_suffices_here(self, instance):
+        q = build_q_dense(instance)
+        q_hat = embed_timing(q, instance, penalty=DEFAULT_PAPER_PENALTY)
+        _, arg = brute_minimum(instance, q_hat)
+        # The sufficient condition holds on this instance...
+        assert verify_theorem2_condition(instance, arg.to_y_vector())
+        # ...so the minimiser is optimal for the constrained problem.
+        q_exact = embed_timing(q, instance, penalty=None)
+        exact_best, _ = brute_minimum(instance, q_exact)
+        assert quadratic_form(q, arg.to_y_vector()) == pytest.approx(exact_best)
+
+    def test_tiny_penalty_can_fail_condition(self, instance):
+        # With a penalty below the real wire costs the minimiser may
+        # violate timing - and verify_theorem2_condition reports it.
+        q = build_q_dense(instance)
+        q_hat = embed_timing(q, instance, penalty=0.0)
+        _, arg = brute_minimum(instance, q_hat)
+        assert not verify_theorem2_condition(instance, arg.to_y_vector())
+
+    def test_coincidence(self, instance):
+        q = build_q_dense(instance)
+        region = RegionOfFeasiblePairs.from_problem(instance)
+        for penalty in (0.0, 50.0, None):
+            q_hat = embed_timing(q, instance, penalty=penalty)
+            assert matrices_coincident_over_region(q, q_hat, region)
+
+    def test_coincidence_fails_on_region_tampering(self, instance):
+        q = build_q_dense(instance)
+        region = RegionOfFeasiblePairs.from_problem(instance)
+        q_hat = embed_timing(q, instance, penalty=50.0)
+        q_bad = q_hat.copy()
+        mask = region.feasibility_mask()
+        r1, r2 = np.argwhere(mask)[5]
+        q_bad[r1, r2] += 1.0
+        assert not matrices_coincident_over_region(q, q_bad, region)
+
+
+class TestEmbedTimingValidation:
+    def test_returns_copy(self, instance):
+        q = build_q_dense(instance)
+        q_hat = embed_timing(q, instance, penalty=50.0)
+        assert q_hat is not q
+        assert (q_hat != q).any()
+
+    def test_shape_mismatch_rejected(self, instance):
+        with pytest.raises(ValueError):
+            embed_timing(np.zeros((4, 4)), instance, penalty=50.0)

@@ -1,0 +1,160 @@
+"""Tests for repro.core.objective: cost evaluation and deltas."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.netlist.circuit import Circuit
+from repro.solvers.greedy import greedy_feasible_assignment
+from repro.timing.constraints import TimingConstraints
+from repro.topology.grid import grid_topology
+
+
+def brute_cost(problem, assignment):
+    """Direct O(N^2) evaluation of the paper's objective."""
+    a = problem.connection_matrix()
+    b = problem.cost_matrix
+    p = problem.linear_cost_matrix()
+    part = assignment.part
+    total = problem.beta * sum(
+        a[j1, j2] * b[part[j1], part[j2]]
+        for j1 in range(len(part))
+        for j2 in range(len(part))
+    )
+    if p is not None:
+        total += problem.alpha * sum(p[part[j], j] for j in range(len(part)))
+    return total
+
+
+class TestCost:
+    def test_matches_brute_force(self, small_problem, rng):
+        evaluator = ObjectiveEvaluator(small_problem)
+        for _ in range(10):
+            a = Assignment.uniform_random(
+                small_problem.num_components, small_problem.num_partitions, rng
+            )
+            assert evaluator.cost(a) == pytest.approx(brute_cost(small_problem, a))
+
+    def test_breakdown_totals(self, tiny_circuit, paper_topology):
+        p = np.full((4, 3), 2.0)
+        problem = PartitioningProblem(
+            tiny_circuit, paper_topology, linear_cost=p, alpha=3.0, beta=2.0
+        )
+        evaluator = ObjectiveEvaluator(problem)
+        a = Assignment([0, 1, 3], 4)
+        bd = evaluator.breakdown(a)
+        assert bd.linear == pytest.approx(6.0)  # three components at 2.0
+        assert bd.total == pytest.approx(3.0 * bd.linear + 2.0 * bd.quadratic)
+        assert evaluator.cost(a) == pytest.approx(bd.total)
+
+    def test_colocated_cost_zero(self, paper_problem):
+        evaluator = ObjectiveEvaluator(paper_problem)
+        # Manhattan distance 0 inside one partition.
+        assert evaluator.quadratic_cost(Assignment([2, 2, 2], 4)) == 0.0
+
+    def test_empty_wires(self):
+        ckt = Circuit()
+        ckt.add_component("a")
+        ckt.add_component("b")
+        topo = grid_topology(1, 2, capacity=2.0)
+        evaluator = ObjectiveEvaluator(PartitioningProblem(ckt, topo))
+        assert evaluator.cost(Assignment([0, 1], 2)) == 0.0
+
+    def test_accepts_raw_sequence(self, paper_problem):
+        evaluator = ObjectiveEvaluator(paper_problem)
+        assert evaluator.cost([0, 1, 3]) == evaluator.cost(Assignment([0, 1, 3], 4))
+
+
+class TestDeltas:
+    """Deltas must exactly match recomputation, for every move/swap."""
+
+    def test_move_delta_exhaustive(self, small_problem, rng):
+        evaluator = ObjectiveEvaluator(small_problem)
+        a = Assignment.uniform_random(
+            small_problem.num_components, small_problem.num_partitions, rng
+        )
+        base = evaluator.cost(a)
+        for j in range(small_problem.num_components):
+            for i in range(small_problem.num_partitions):
+                moved = a.copy().move(j, i)
+                assert evaluator.move_delta(a, j, i) == pytest.approx(
+                    evaluator.cost(moved) - base
+                ), f"move {j} -> {i}"
+
+    def test_swap_delta_exhaustive(self, small_problem, rng):
+        evaluator = ObjectiveEvaluator(small_problem)
+        a = Assignment.uniform_random(
+            small_problem.num_components, small_problem.num_partitions, rng
+        )
+        base = evaluator.cost(a)
+        n = small_problem.num_components
+        for j1 in range(n):
+            for j2 in range(j1 + 1, n):
+                swapped = a.copy().swap(j1, j2)
+                assert evaluator.swap_delta(a, j1, j2) == pytest.approx(
+                    evaluator.cost(swapped) - base
+                ), f"swap {j1} <-> {j2}"
+
+    def test_noop_move_is_zero(self, small_problem, rng):
+        evaluator = ObjectiveEvaluator(small_problem)
+        a = Assignment.uniform_random(
+            small_problem.num_components, small_problem.num_partitions, rng
+        )
+        assert evaluator.move_delta(a, 0, a[0]) == 0.0
+        assert evaluator.swap_delta(a, 3, 3) == 0.0
+
+    def test_deltas_with_linear_term(self, tiny_circuit, paper_topology):
+        p = np.arange(12, dtype=float).reshape(4, 3)
+        problem = PartitioningProblem(
+            tiny_circuit, paper_topology, linear_cost=p, alpha=2.0
+        )
+        evaluator = ObjectiveEvaluator(problem)
+        a = Assignment([0, 1, 2], 4)
+        base = evaluator.cost(a)
+        moved = a.copy().move(1, 3)
+        assert evaluator.move_delta(a, 1, 3) == pytest.approx(
+            evaluator.cost(moved) - base
+        )
+
+
+class TestPenalizedCost:
+    def test_no_constraints_equals_cost(self, small_problem, rng):
+        evaluator = ObjectiveEvaluator(small_problem)
+        a = Assignment.uniform_random(
+            small_problem.num_components, small_problem.num_partitions, rng
+        )
+        assert evaluator.penalized_cost(a, 50.0) == evaluator.cost(a)
+
+    def test_feasible_assignment_no_penalty(self, paper_problem):
+        evaluator = ObjectiveEvaluator(paper_problem)
+        a = Assignment([0, 1, 3], 4)  # both pairs adjacent
+        assert evaluator.penalized_cost(a, 50.0) == evaluator.cost(a)
+        assert evaluator.timing_violation_count(a) == 0
+
+    def test_violation_replaces_wire_cost(self, paper_problem):
+        evaluator = ObjectiveEvaluator(paper_problem)
+        # a at 0, b at 3 (distance 2 > budget 1); c adjacent to b.
+        a = Assignment([0, 3, 1], 4)
+        assert evaluator.timing_violation_count(a) == 2  # both directions
+        cost = evaluator.cost(a)
+        # Both directed a<->b constraints violated: each replaces its
+        # 5 * B[2] = 10 wire cost with the penalty.
+        expected = cost - 2 * 5.0 * 2.0 + 2 * 50.0
+        assert evaluator.penalized_cost(a, 50.0) == pytest.approx(expected)
+
+    def test_penalty_monotone(self, paper_problem):
+        evaluator = ObjectiveEvaluator(paper_problem)
+        a = Assignment([0, 3, 1], 4)
+        assert evaluator.penalized_cost(a, 100.0) > evaluator.penalized_cost(a, 50.0)
+
+
+class TestTimingViolationCount:
+    def test_counts_directed(self, paper_problem):
+        evaluator = ObjectiveEvaluator(paper_problem)
+        assert evaluator.timing_violation_count(Assignment([0, 3, 2], 4)) >= 2
+
+    def test_zero_when_colocated(self, paper_problem):
+        evaluator = ObjectiveEvaluator(paper_problem)
+        assert evaluator.timing_violation_count(Assignment([0, 0, 0], 4)) == 0

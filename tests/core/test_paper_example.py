@@ -1,0 +1,116 @@
+"""The paper's Section 3.3 worked example, reproduced exactly.
+
+Three components a, b, c into four partitions on a 2x2 grid; five wires
+a-b, two wires b-c; D_C = 1 between the wired pairs, infinity otherwise;
+B = D = the Manhattan distance matrix; penalty 50.  The paper prints the
+resulting 12x12 ``Q_hat`` - these tests rebuild it entry for entry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.embedding import RegionOfFeasiblePairs, embed_timing
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.qmatrix import build_q_dense, quadratic_form
+from repro.solvers.exact import solve_exact
+
+
+def paper_qhat_block(scale: float) -> np.ndarray:
+    """One off-diagonal block of the paper's matrix, at wire weight ``scale``.
+
+    The block is ``scale * B`` with every distance-2 entry (a timing
+    violation against the budget of 1) overwritten by 50.
+    """
+    b = np.array(
+        [[0, 1, 1, 2], [1, 0, 2, 1], [1, 2, 0, 1], [2, 1, 1, 0]], dtype=float
+    )
+    block = scale * b
+    block[b == 2] = 50.0
+    return block
+
+
+@pytest.fixture
+def qhat(paper_problem) -> np.ndarray:
+    q = build_q_dense(paper_problem)
+    return embed_timing(q, paper_problem, penalty=50.0)
+
+
+class TestQhatMatrix:
+    def test_shape(self, qhat):
+        assert qhat.shape == (12, 12)
+
+    def test_ab_block(self, qhat):
+        # Components a=0, b=1: wire weight 5 both directions.
+        assert np.array_equal(qhat[0:4, 4:8], paper_qhat_block(5.0))
+        assert np.array_equal(qhat[4:8, 0:4], paper_qhat_block(5.0))
+
+    def test_bc_block(self, qhat):
+        assert np.array_equal(qhat[4:8, 8:12], paper_qhat_block(2.0))
+        assert np.array_equal(qhat[8:12, 4:8], paper_qhat_block(2.0))
+
+    def test_ac_block_zero(self, qhat):
+        # D_C(a, c) = inf: no wires, no penalties.
+        assert np.array_equal(qhat[0:4, 8:12], np.zeros((4, 4)))
+        assert np.array_equal(qhat[8:12, 0:4], np.zeros((4, 4)))
+
+    def test_same_component_blocks_zero(self, qhat):
+        # The paper's diagonal blocks are "-" (zero, P = 0 here): C3
+        # excludes same-component pairs, so they carry no penalty.
+        for j in range(3):
+            block = qhat[4 * j : 4 * j + 4, 4 * j : 4 * j + 4]
+            assert np.array_equal(block, np.zeros((4, 4)))
+
+    def test_paper_row_a2(self, qhat):
+        # The paper spells out row (a, 2): [-, p2a, -, -, 5, -, 50, 5, ...].
+        # 0-based: r = 1 (i=1, j=0).
+        row = qhat[1]
+        expected = np.array([0, 0, 0, 0, 5, 0, 50, 5, 0, 0, 0, 0], dtype=float)
+        assert np.array_equal(row, expected)
+
+    def test_highlighted_violation_entry(self, qhat):
+        # "Consider the entry at row a,2 and column b,3 which is 50":
+        # D(2, 3) = 2 exceeds D_C(a, b) = 1 (both 1-based in the paper).
+        r1 = 1 + 0 * 4  # (i=1, j=a)
+        r2 = 2 + 1 * 4  # (i=2, j=b)
+        assert qhat[r1, r2] == 50.0
+
+
+class TestRegion:
+    def test_region_matches_matrix(self, paper_problem, qhat):
+        region = RegionOfFeasiblePairs.from_problem(paper_problem)
+        q = build_q_dense(paper_problem)
+        mask = region.feasibility_mask()
+        # Inside the region Q_hat coincides with Q; outside it is 50.
+        assert np.array_equal(qhat[mask], q[mask])
+        assert np.all(qhat[~mask] == 50.0)
+
+    def test_feasible_assignment_detected(self, paper_problem):
+        region = RegionOfFeasiblePairs.from_problem(paper_problem)
+        # a,b,c on partitions 0,1,3: distances a-b = 1, b-c = 1. Feasible.
+        good = Assignment([0, 1, 3], 4)
+        assert region.is_feasible_y(good.to_y_vector())
+        # a at 0, b at 3: distance 2 violates the budget of 1.
+        bad = Assignment([0, 3, 1], 4)
+        assert not region.is_feasible_y(bad.to_y_vector())
+
+
+class TestSolvingTheExample:
+    def test_optimum_is_timing_feasible_and_minimal(self, paper_problem, qhat):
+        result = solve_exact(paper_problem)
+        assert result.proven_optimal
+        assignment = result.assignment
+        evaluator = ObjectiveEvaluator(paper_problem)
+        assert evaluator.timing_violation_count(assignment) == 0
+        # Best possible: both wired pairs at distance 1 -> 2*(5+2) = 14
+        # (each undirected wire bundle appears in both A directions).
+        assert result.cost == pytest.approx(14.0)
+
+    def test_qhat_quadratic_form_matches_penalized_cost(self, paper_problem, qhat):
+        evaluator = ObjectiveEvaluator(paper_problem)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            a = Assignment.uniform_random(3, 4, rng)
+            assert quadratic_form(qhat, a.to_y_vector()) == pytest.approx(
+                evaluator.penalized_cost(a, 50.0)
+            )

@@ -1,0 +1,129 @@
+"""Tests for repro.core.problem (PartitioningProblem)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.netlist.circuit import Circuit
+from repro.timing.constraints import TimingConstraints
+from repro.topology.grid import grid_topology
+
+
+class TestConstruction:
+    def test_dimensions(self, paper_problem):
+        assert paper_problem.num_components == 3
+        assert paper_problem.num_partitions == 4
+
+    def test_matrix_views(self, paper_problem):
+        assert paper_problem.connection_matrix().shape == (3, 3)
+        assert paper_problem.cost_matrix.shape == (4, 4)
+        assert paper_problem.delay_matrix.shape == (4, 4)
+        assert np.array_equal(
+            paper_problem.sparse_connection_matrix().toarray(),
+            paper_problem.connection_matrix(),
+        )
+
+    def test_has_timing(self, paper_problem, tiny_circuit, paper_topology):
+        assert paper_problem.has_timing
+        assert not PartitioningProblem(tiny_circuit, paper_topology).has_timing
+
+    def test_timing_size_mismatch_rejected(self, tiny_circuit, paper_topology):
+        with pytest.raises(ValueError, match="timing"):
+            PartitioningProblem(tiny_circuit, paper_topology, TimingConstraints(5))
+
+    def test_linear_cost_shape_checked(self, tiny_circuit, paper_topology):
+        with pytest.raises(ValueError):
+            PartitioningProblem(
+                tiny_circuit, paper_topology, linear_cost=np.ones((3, 4))
+            )
+
+    def test_negative_linear_cost_rejected(self, tiny_circuit, paper_topology):
+        with pytest.raises(ValueError):
+            PartitioningProblem(
+                tiny_circuit, paper_topology, linear_cost=-np.ones((4, 3))
+            )
+
+    def test_negative_alpha_rejected(self, tiny_circuit, paper_topology):
+        with pytest.raises(ValueError):
+            PartitioningProblem(tiny_circuit, paper_topology, alpha=-1.0)
+
+    def test_oversubscribed_capacity_rejected(self):
+        ckt = Circuit()
+        ckt.add_component("big", size=100.0)
+        topo = grid_topology(1, 2, capacity=10.0)
+        with pytest.raises(ValueError, match="exceeds total"):
+            PartitioningProblem(ckt, topo)
+
+    def test_has_linear_term(self, tiny_circuit, paper_topology):
+        p = np.ones((4, 3))
+        with_p = PartitioningProblem(tiny_circuit, paper_topology, linear_cost=p)
+        assert with_p.has_linear_term
+        zero_alpha = PartitioningProblem(
+            tiny_circuit, paper_topology, linear_cost=p, alpha=0.0
+        )
+        assert not zero_alpha.has_linear_term
+
+
+class TestNormalization:
+    """Section 3: PP(alpha, beta) reduces to PP(1, 1)."""
+
+    def test_identity_fast_path(self, paper_problem):
+        assert paper_problem.normalized() is paper_problem
+
+    def test_costs_preserved(self, tiny_circuit, paper_topology):
+        p = np.arange(12, dtype=float).reshape(4, 3)
+        original = PartitioningProblem(
+            tiny_circuit, paper_topology, linear_cost=p, alpha=2.0, beta=3.0
+        )
+        normalized = original.normalized()
+        assert normalized.alpha == 1.0 and normalized.beta == 1.0
+        ev_orig = ObjectiveEvaluator(original)
+        ev_norm = ObjectiveEvaluator(normalized)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a = Assignment.uniform_random(3, 4, rng)
+            assert ev_orig.cost(a) == pytest.approx(ev_norm.cost(a))
+
+    def test_timing_carried_over(self, paper_problem):
+        scaled = PartitioningProblem(
+            paper_problem.circuit,
+            paper_problem.topology,
+            paper_problem.timing,
+            alpha=2.0,
+            beta=2.0,
+        )
+        assert len(scaled.normalized().timing) == len(paper_problem.timing)
+
+
+class TestVariants:
+    def test_without_timing(self, paper_problem):
+        relaxed = paper_problem.without_timing()
+        assert not relaxed.has_timing
+        assert relaxed.num_components == paper_problem.num_components
+
+    def test_with_zero_interconnect_keeps_delay(self, paper_problem):
+        zeroed = paper_problem.with_zero_interconnect()
+        assert zeroed.cost_matrix.sum() == 0.0
+        # D must survive: the bootstrap solves for timing feasibility.
+        assert np.array_equal(zeroed.delay_matrix, paper_problem.delay_matrix)
+        assert len(zeroed.timing) == len(paper_problem.timing)
+
+
+class TestAssignmentValidation:
+    def test_accepts_valid(self, paper_problem):
+        out = paper_problem.validate_assignment_shape([0, 1, 2])
+        assert out.dtype == int
+
+    def test_rejects_wrong_length(self, paper_problem):
+        with pytest.raises(ValueError, match="length 3"):
+            paper_problem.validate_assignment_shape([0, 1])
+
+    def test_rejects_out_of_range(self, paper_problem):
+        with pytest.raises(ValueError):
+            paper_problem.validate_assignment_shape([0, 1, 4])
+
+    def test_repr(self, paper_problem):
+        text = repr(paper_problem)
+        assert "N=3" in text and "M=4" in text

@@ -1,0 +1,123 @@
+"""Tests for repro.core.qmatrix: flattening and dense Q construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.core.qmatrix import (
+    build_q_dense,
+    flatten_index,
+    quadratic_form,
+    unflatten_index,
+    y_to_assignment,
+)
+from repro.netlist.circuit import Circuit
+from repro.topology.grid import grid_topology
+
+
+class TestFlattening:
+    def test_formula(self):
+        # r = i + j*M (paper: r = i + (j-1)*M, 1-based).
+        assert flatten_index(0, 0, 4) == 0
+        assert flatten_index(3, 0, 4) == 3
+        assert flatten_index(0, 1, 4) == 4
+        assert flatten_index(2, 5, 4) == 22
+
+    def test_roundtrip_exhaustive(self):
+        m = 5
+        for r in range(35):
+            i, j = unflatten_index(r, m)
+            assert flatten_index(i, j, m) == r
+
+    def test_uniqueness(self):
+        m, n = 3, 4
+        seen = {flatten_index(i, j, m) for i in range(m) for j in range(n)}
+        assert seen == set(range(m * n))
+
+    def test_bounds_checked(self):
+        with pytest.raises(IndexError):
+            flatten_index(4, 0, 4)
+        with pytest.raises(IndexError):
+            flatten_index(-1, 0, 4)
+        with pytest.raises(IndexError):
+            unflatten_index(-1, 4)
+        with pytest.raises(ValueError):
+            flatten_index(0, 0, 0)
+
+
+class TestBuildQDense:
+    def test_is_kron_of_a_and_b(self, paper_problem):
+        q = build_q_dense(paper_problem)
+        a = paper_problem.connection_matrix()
+        b = paper_problem.cost_matrix
+        assert np.array_equal(q, np.kron(a, b))
+
+    def test_block_structure_matches_paper(self, paper_problem):
+        # Section 3.3: the (b, c) block is B scaled by A(b, c) = 2.
+        q = build_q_dense(paper_problem)
+        m = 4
+        block = q[1 * m : 2 * m, 2 * m : 3 * m]
+        assert np.array_equal(block, 2.0 * paper_problem.cost_matrix)
+
+    def test_linear_term_on_diagonal(self, tiny_circuit, paper_topology):
+        p = np.arange(12, dtype=float).reshape(4, 3)
+        problem = PartitioningProblem(
+            tiny_circuit, paper_topology, linear_cost=p, alpha=2.0
+        )
+        q = build_q_dense(problem)
+        for i in range(4):
+            for j in range(3):
+                r = flatten_index(i, j, 4)
+                off_diag_part = problem.beta * 0.0  # A diagonal is zero
+                assert q[r, r] == pytest.approx(2.0 * p[i, j] + off_diag_part)
+
+    def test_include_linear_false(self, tiny_circuit, paper_topology):
+        p = np.ones((4, 3))
+        problem = PartitioningProblem(tiny_circuit, paper_topology, linear_cost=p)
+        q = build_q_dense(problem, include_linear=False)
+        assert np.trace(q) == 0.0
+
+    def test_beta_scales_quadratic(self, tiny_circuit, paper_topology):
+        problem = PartitioningProblem(tiny_circuit, paper_topology, beta=3.0)
+        base = PartitioningProblem(tiny_circuit, paper_topology)
+        assert np.array_equal(
+            build_q_dense(problem), 3.0 * build_q_dense(base)
+        )
+
+
+class TestQuadraticFormConsistency:
+    def test_matches_objective_evaluator(self, small_problem):
+        """yT Q y must equal the direct objective for random assignments."""
+        q = build_q_dense(small_problem)
+        evaluator = ObjectiveEvaluator(small_problem)
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            a = Assignment.uniform_random(
+                small_problem.num_components, small_problem.num_partitions, rng
+            )
+            assert quadratic_form(q, a.to_y_vector()) == pytest.approx(
+                evaluator.cost(a)
+            )
+
+    def test_with_linear_term(self, tiny_circuit, paper_topology):
+        p = np.arange(12, dtype=float).reshape(4, 3)
+        problem = PartitioningProblem(
+            tiny_circuit, paper_topology, linear_cost=p, alpha=0.5, beta=2.0
+        )
+        q = build_q_dense(problem)
+        evaluator = ObjectiveEvaluator(problem)
+        a = Assignment([1, 2, 0], 4)
+        assert quadratic_form(q, a.to_y_vector()) == pytest.approx(evaluator.cost(a))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            quadratic_form(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError):
+            quadratic_form(np.zeros((2, 2)), np.zeros(3))
+
+
+def test_y_to_assignment_alias():
+    a = Assignment([0, 1], 2)
+    assert y_to_assignment(a.to_y_vector(), 2) == a

@@ -1,0 +1,70 @@
+"""Tests for repro.eval.ablations (programmatic ablation runners)."""
+
+import pytest
+
+from repro.eval.ablations import (
+    main,
+    render_records,
+    run_eta_ablation,
+    run_initial_robustness,
+    run_iteration_sweep,
+    run_penalty_ablation,
+)
+from repro.eval.harness import shared_initial_solution
+from repro.eval.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def setting():
+    workload = build_workload("cktb", scale=0.12)
+    initial = shared_initial_solution(workload, seed=0)
+    return workload, initial
+
+
+class TestRunners:
+    def test_penalty_records(self, setting):
+        workload, initial = setting
+        records = run_penalty_ablation(workload, initial, iterations=5)
+        assert len(records) == 3
+        assert all(r.dimension == "penalty" for r in records)
+        assert all(r.final_cost <= r.start_cost + 1e-9 for r in records)
+
+    def test_eta_records(self, setting):
+        workload, initial = setting
+        records = run_eta_ablation(workload, initial, iterations=5)
+        assert {r.setting for r in records} == {"burkard", "diagonal", "symmetric"}
+
+    def test_iteration_sweep_monotone(self, setting):
+        workload, initial = setting
+        records = run_iteration_sweep(workload, initial, sweep=(2, 10))
+        assert records[1].final_cost <= records[0].final_cost + 1e-9
+
+    def test_initial_robustness(self, setting):
+        workload, initial = setting
+        records = run_initial_robustness(
+            workload, initial, iterations=5, greedy_seeds=(1,)
+        )
+        assert len(records) == 2
+        assert records[0].setting == "bootstrap"
+
+    def test_improvement_percent(self, setting):
+        workload, initial = setting
+        record = run_iteration_sweep(workload, initial, sweep=(3,))[0]
+        expected = 100 * (record.start_cost - record.final_cost) / record.start_cost
+        assert record.improvement_percent == pytest.approx(expected)
+
+
+class TestRendering:
+    def test_render(self, setting):
+        workload, initial = setting
+        records = run_iteration_sweep(workload, initial, sweep=(2,))
+        out = render_records(records)
+        assert "setting" in out and "cpu(s)" in out
+
+
+def test_cli(capsys):
+    code = main(["--circuit", "cktb", "--scale", "0.12", "--iterations", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ablation: penalty" in out
+    assert "ablation: eta_mode" in out

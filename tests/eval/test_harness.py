@@ -1,0 +1,111 @@
+"""Tests for repro.eval.harness (scaled-down experiment runs)."""
+
+import pytest
+
+from repro.eval.harness import (
+    ExperimentRow,
+    run_circuit_experiment,
+    run_table,
+    shared_initial_solution,
+    summarize_rows,
+)
+from repro.eval.workloads import build_workload
+from repro.core.constraints import check_feasibility
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return build_workload("cktb", scale=0.15)
+
+
+class TestSharedInitial:
+    def test_feasible_for_both_problems(self, small_workload):
+        initial = shared_initial_solution(small_workload, seed=0)
+        assert check_feasibility(small_workload.problem, initial).feasible
+        assert check_feasibility(small_workload.problem_no_timing, initial).feasible
+
+
+class TestRunCircuitExperiment:
+    @pytest.fixture(scope="class")
+    def row(self, small_workload):
+        return run_circuit_experiment(
+            small_workload, with_timing=True, qbp_iterations=15, seed=0
+        )
+
+    def test_row_fields(self, row, small_workload):
+        assert row.name == "cktb"
+        assert row.with_timing
+        assert row.start_cost > 0
+        assert row.all_feasible
+
+    def test_no_solver_worsens_start(self, row):
+        assert row.qbp_cost <= row.start_cost + 1e-9
+        assert row.gfm_cost <= row.start_cost + 1e-9
+        assert row.gkl_cost <= row.start_cost + 1e-9
+
+    def test_improvements_consistent(self, row):
+        for cost, pct in (
+            (row.qbp_cost, row.qbp_improvement),
+            (row.gfm_cost, row.gfm_improvement),
+            (row.gkl_cost, row.gkl_improvement),
+        ):
+            expected = 100.0 * (row.start_cost - cost) / row.start_cost
+            assert pct == pytest.approx(expected)
+
+    def test_to_dict_roundtrip(self, row):
+        data = row.to_dict()
+        assert data["name"] == "cktb"
+        assert set(data) >= {"start_cost", "qbp_cost", "gfm_cost", "gkl_cost"}
+
+    def test_solver_costs_view(self, row):
+        costs = row.solver_costs()
+        assert set(costs) == {"qbp", "gfm", "gkl"}
+
+
+class TestRunTable:
+    def test_table2_runs_on_subset(self, small_workload):
+        rows = run_table(
+            2,
+            scale=0.15,
+            qbp_iterations=10,
+            circuits=["cktb"],
+            workloads={"cktb": small_workload},
+        )
+        assert len(rows) == 1
+        assert not rows[0].with_timing
+
+    def test_table3_runs_on_subset(self, small_workload):
+        rows = run_table(
+            3,
+            scale=0.15,
+            qbp_iterations=10,
+            circuits=["cktb"],
+            workloads={"cktb": small_workload},
+        )
+        assert rows[0].with_timing
+        assert rows[0].all_feasible
+
+    def test_rejects_bad_table(self):
+        with pytest.raises(ValueError):
+            run_table(4)
+
+
+def test_summarize_rows():
+    row = ExperimentRow(
+        name="x",
+        with_timing=False,
+        start_cost=100.0,
+        qbp_cost=80.0,
+        qbp_improvement=20.0,
+        qbp_cpu=1.0,
+        gfm_cost=90.0,
+        gfm_improvement=10.0,
+        gfm_cpu=0.5,
+        gkl_cost=85.0,
+        gkl_improvement=15.0,
+        gkl_cpu=2.0,
+        all_feasible=True,
+    )
+    means = summarize_rows([row, row])
+    assert means == {"qbp": 20.0, "gfm": 10.0, "gkl": 15.0}
+    assert summarize_rows([]) == {"qbp": 0.0, "gfm": 0.0, "gkl": 0.0}

@@ -1,0 +1,57 @@
+"""Tests for the command-line entry point (python -m repro.eval.run)."""
+
+import json
+
+import pytest
+
+from repro.eval.run import main
+
+
+class TestCli:
+    def test_table1_only(self, capsys):
+        code = main(["--table", "1", "--scale", "0.12", "--circuits", "cktb"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "circuit descriptions" in out
+        assert "cktb" in out
+
+    def test_table2_with_json(self, capsys, tmp_path):
+        path = tmp_path / "rows.json"
+        code = main(
+            [
+                "--table",
+                "2",
+                "--scale",
+                "0.12",
+                "--iterations",
+                "5",
+                "--circuits",
+                "cktb",
+                "--json",
+                str(path),
+                "--no-paper",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert "table2" in payload
+        row = payload["table2"][0]
+        assert row["name"] == "cktb"
+        assert row["all_feasible"] is True
+        out = capsys.readouterr().out
+        assert "Without Timing" in out
+        assert "(paper)" not in out
+
+    def test_table3_prints_paper_rows_by_default(self, capsys):
+        code = main(
+            ["--table", "3", "--scale", "0.12", "--iterations", "5", "--circuits", "cktb"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "With Timing" in out
+        assert "(paper)" in out
+        assert "mean improvement" in out
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--circuits", "nope"])

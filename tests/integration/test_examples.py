@@ -1,0 +1,57 @@
+"""Smoke tests for the example scripts.
+
+``paper_example`` is executed outright (it is fast and asserts its own
+invariants); the heavier examples are compile-checked and their main
+entry points imported, which catches API drift without paying full
+solver runtimes in the unit suite.  The benchmark/CI pipeline runs them
+for real.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+ALL_SCRIPTS = sorted(EXAMPLES.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in ALL_SCRIPTS}
+    assert {
+        "quickstart.py",
+        "paper_example.py",
+        "mcm_repartition.py",
+        "fpga_timing_partition.py",
+        "qap_demo.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", ALL_SCRIPTS, ids=lambda p: p.name)
+def test_example_compiles(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+def test_paper_example_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "paper_example.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "exact optimum: cost 14" in proc.stdout
+    assert "entry [(a,2), (b,3)] = 50" in proc.stdout
+
+
+def test_fpga_example_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "fpga_timing_partition.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "feasible" in proc.stdout

@@ -1,0 +1,158 @@
+"""Tests for repro.netlist.circuit."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.circuit import Circuit, Wire
+from repro.netlist.component import Component
+
+
+@pytest.fixture
+def abc() -> Circuit:
+    ckt = Circuit("abc")
+    ckt.add_component("a", size=2.0)
+    ckt.add_component("b", size=3.0)
+    ckt.add_component("c", size=5.0)
+    ckt.add_wire("a", "b", 5.0)
+    ckt.add_wire("b", "c", 2.0)
+    return ckt
+
+
+class TestComponents:
+    def test_add_returns_index(self):
+        ckt = Circuit()
+        assert ckt.add_component("x") == 0
+        assert ckt.add_component("y") == 1
+
+    def test_add_component_object(self):
+        ckt = Circuit()
+        ckt.add_component(Component("x", size=7.0))
+        assert ckt.component("x").size == 7.0
+
+    def test_kwargs_with_object_rejected(self):
+        ckt = Circuit()
+        with pytest.raises(TypeError):
+            ckt.add_component(Component("x"), size=1.0)
+
+    def test_duplicate_name_rejected(self, abc):
+        with pytest.raises(ValueError, match="duplicate"):
+            abc.add_component("a")
+
+    def test_index_of_name_and_int(self, abc):
+        assert abc.index_of("b") == 1
+        assert abc.index_of(1) == 1
+
+    def test_index_of_missing_name(self, abc):
+        with pytest.raises(KeyError, match="zz"):
+            abc.index_of("zz")
+
+    def test_index_of_out_of_range(self, abc):
+        with pytest.raises(IndexError):
+            abc.index_of(3)
+
+    def test_sizes_vector(self, abc):
+        assert np.array_equal(abc.sizes(), [2.0, 3.0, 5.0])
+
+    def test_total_size(self, abc):
+        assert abc.total_size() == 10.0
+
+
+class TestWires:
+    def test_weight_accumulates(self, abc):
+        abc.add_wire("a", "b", 1.0)
+        assert abc.wire_weight("a", "b") == 6.0
+
+    def test_directed(self, abc):
+        assert abc.wire_weight("a", "b") == 5.0
+        assert abc.wire_weight("b", "a") == 0.0
+
+    def test_undirected_helper(self):
+        ckt = Circuit()
+        ckt.add_component("x")
+        ckt.add_component("y")
+        ckt.add_undirected_wire("x", "y", 2.0)
+        assert ckt.wire_weight("x", "y") == 2.0
+        assert ckt.wire_weight("y", "x") == 2.0
+
+    def test_num_wires_sums_multiplicity(self, abc):
+        assert abc.num_wires == 7.0
+
+    def test_num_connected_pairs(self, abc):
+        assert abc.num_connected_pairs == 2
+
+    def test_zero_weight_is_noop(self, abc):
+        abc.add_wire("a", "c", 0.0)
+        assert abc.wire_weight("a", "c") == 0.0
+        assert abc.num_connected_pairs == 2
+
+    def test_self_loop_rejected(self, abc):
+        with pytest.raises(ValueError, match="self-loop"):
+            abc.add_wire("a", "a")
+
+    def test_negative_weight_rejected(self, abc):
+        with pytest.raises(ValueError):
+            abc.add_wire("a", "c", -1.0)
+
+    def test_wires_iteration_sorted(self, abc):
+        wires = list(abc.wires())
+        assert wires == [Wire(0, 1, 5.0), Wire(1, 2, 2.0)]
+
+    def test_neighbors_both_directions(self, abc):
+        assert abc.neighbors("b") == [0, 2]
+        assert abc.neighbors("a") == [1]
+
+
+class TestMatrices:
+    def test_connection_matrix(self, abc):
+        a = abc.connection_matrix()
+        expected = np.zeros((3, 3))
+        expected[0, 1] = 5.0
+        expected[1, 2] = 2.0
+        assert np.array_equal(a, expected)
+
+    def test_symmetric_fold(self, abc):
+        a = abc.connection_matrix(symmetric=True)
+        assert a[1, 0] == 5.0 and a[0, 1] == 5.0
+
+    def test_sparse_matches_dense(self, abc):
+        assert np.array_equal(
+            abc.sparse_connection_matrix().toarray(), abc.connection_matrix()
+        )
+
+    def test_sparse_symmetric_matches(self, abc):
+        assert np.array_equal(
+            abc.sparse_connection_matrix(symmetric=True).toarray(),
+            abc.connection_matrix(symmetric=True),
+        )
+
+    def test_empty_circuit_sparse(self):
+        ckt = Circuit()
+        ckt.add_component("only")
+        assert ckt.sparse_connection_matrix().shape == (1, 1)
+
+
+class TestSubcircuitAndValidate:
+    def test_subcircuit_keeps_wires(self, abc):
+        sub = abc.subcircuit(["a", "b"])
+        assert sub.num_components == 2
+        assert sub.wire_weight("a", "b") == 5.0
+        assert sub.num_connected_pairs == 1
+
+    def test_subcircuit_drops_external_wires(self, abc):
+        sub = abc.subcircuit(["a", "c"])
+        assert sub.num_wires == 0
+
+    def test_subcircuit_duplicates_rejected(self, abc):
+        with pytest.raises(ValueError, match="duplicate"):
+            abc.subcircuit(["a", "a"])
+
+    def test_validate_passes(self, abc):
+        abc.validate()
+
+    def test_validate_catches_corruption(self, abc):
+        abc._wires[(0, 0)] = 1.0  # simulate corruption
+        with pytest.raises(ValueError):
+            abc.validate()
+
+    def test_repr_mentions_counts(self, abc):
+        assert "components=3" in repr(abc)

@@ -1,0 +1,54 @@
+"""Tests for repro.netlist.component."""
+
+import pytest
+
+from repro.netlist.component import Component
+
+
+class TestComponent:
+    def test_defaults(self):
+        c = Component("u1")
+        assert c.size == 1.0
+        assert c.intrinsic_delay == 0.0
+        assert c.attrs == {}
+
+    def test_fields(self):
+        c = Component("alu", size=12.5, intrinsic_delay=0.7, attrs={"cluster": 3})
+        assert c.name == "alu"
+        assert c.size == 12.5
+        assert c.intrinsic_delay == 0.7
+        assert c.attrs["cluster"] == 3
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Component("")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(ValueError):
+            Component(42)  # type: ignore[arg-type]
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError, match="size"):
+            Component("u", size=-1.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="intrinsic_delay"):
+            Component("u", intrinsic_delay=-0.1)
+
+    def test_zero_size_allowed(self):
+        assert Component("u", size=0.0).size == 0.0
+
+    def test_with_size_copies(self):
+        original = Component("u", size=2.0, intrinsic_delay=0.3, attrs={"k": 1})
+        resized = original.with_size(5.0)
+        assert resized.size == 5.0
+        assert resized.name == "u"
+        assert resized.intrinsic_delay == 0.3
+        assert resized.attrs == {"k": 1}
+        assert original.size == 2.0
+
+    def test_equality_ignores_attrs(self):
+        assert Component("u", attrs={"a": 1}) == Component("u", attrs={"b": 2})
+
+    def test_inequality_on_size(self):
+        assert Component("u", size=1.0) != Component("u", size=2.0)

@@ -1,0 +1,136 @@
+"""Tests for repro.netlist.generate (synthetic circuit generators)."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generate import (
+    ClusteredCircuitSpec,
+    generate_clustered_circuit,
+    generate_random_circuit,
+)
+
+
+class TestSpecValidation:
+    def test_rejects_too_few_components(self):
+        with pytest.raises(ValueError):
+            ClusteredCircuitSpec("x", num_components=1, num_wires=5)
+
+    def test_rejects_wire_budget_below_tree(self):
+        with pytest.raises(ValueError, match="num_wires"):
+            ClusteredCircuitSpec("x", num_components=10, num_wires=8)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            ClusteredCircuitSpec(
+                "x", num_components=10, num_wires=20, intra_cluster_probability=1.5
+            )
+
+    def test_rejects_bad_size_range(self):
+        with pytest.raises(ValueError):
+            ClusteredCircuitSpec("x", num_components=10, num_wires=20, size_range=(5, 1))
+
+    def test_auto_cluster_count(self):
+        spec = ClusteredCircuitSpec("x", num_components=100, num_wires=200)
+        assert spec.resolved_clusters() == 10
+
+    def test_explicit_cluster_count_capped(self):
+        spec = ClusteredCircuitSpec(
+            "x", num_components=5, num_wires=10, num_clusters=50
+        )
+        assert spec.resolved_clusters() == 5
+
+
+class TestExactCounts:
+    @pytest.mark.parametrize("n,w", [(10, 9), (20, 60), (50, 400), (100, 150)])
+    def test_exact_component_and_wire_counts(self, n, w):
+        spec = ClusteredCircuitSpec("x", num_components=n, num_wires=w)
+        ckt = generate_clustered_circuit(spec, seed=1)
+        assert ckt.num_components == n
+        assert ckt.num_wires == w
+
+    def test_table1_sized_circuit(self):
+        # ckta's published statistics, at full size.
+        spec = ClusteredCircuitSpec("ckta", num_components=339, num_wires=8200)
+        ckt = generate_clustered_circuit(spec, seed=0)
+        assert ckt.num_components == 339
+        assert ckt.num_wires == 8200
+
+
+class TestStructure:
+    def test_connected(self):
+        spec = ClusteredCircuitSpec("x", num_components=40, num_wires=60)
+        ckt = generate_clustered_circuit(spec, seed=3)
+        # BFS over undirected adjacency must reach every component.
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for nb in ckt.neighbors(node):
+                if nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        assert len(seen) == 40
+
+    def test_sizes_span_two_orders_of_magnitude(self):
+        spec = ClusteredCircuitSpec(
+            "x", num_components=300, num_wires=600, size_range=(1.0, 100.0)
+        )
+        ckt = generate_clustered_circuit(spec, seed=5)
+        sizes = ckt.sizes()
+        assert sizes.min() >= 1.0
+        assert sizes.max() <= 100.0
+        assert sizes.max() / sizes.min() > 20  # spread actually realised
+
+    def test_every_component_has_cluster_attr(self):
+        spec = ClusteredCircuitSpec("x", num_components=30, num_wires=50, num_clusters=5)
+        ckt = generate_clustered_circuit(spec, seed=2)
+        clusters = {c.attrs["cluster"] for c in ckt.components}
+        assert clusters <= set(range(5))
+        assert len(clusters) == 5  # all clusters non-empty
+
+    def test_clustering_bias(self):
+        # With high intra probability, most wires should stay in-cluster.
+        spec = ClusteredCircuitSpec(
+            "x",
+            num_components=100,
+            num_wires=1000,
+            num_clusters=5,
+            intra_cluster_probability=0.9,
+        )
+        ckt = generate_clustered_circuit(spec, seed=8)
+        cluster = np.array([c.attrs["cluster"] for c in ckt.components])
+        intra = sum(
+            w.weight for w in ckt.wires() if cluster[w.source] == cluster[w.target]
+        )
+        assert intra / ckt.num_wires > 0.6
+
+    def test_intrinsic_delays_generated(self):
+        spec = ClusteredCircuitSpec("x", num_components=20, num_wires=30, mean_delay=2.0)
+        ckt = generate_clustered_circuit(spec, seed=4)
+        assert ckt.intrinsic_delays().mean() > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_circuit(self):
+        spec = ClusteredCircuitSpec("x", num_components=30, num_wires=90)
+        a = generate_clustered_circuit(spec, seed=77)
+        b = generate_clustered_circuit(spec, seed=77)
+        assert list(a.wires()) == list(b.wires())
+        assert np.array_equal(a.sizes(), b.sizes())
+
+    def test_different_seed_different_circuit(self):
+        spec = ClusteredCircuitSpec("x", num_components=30, num_wires=90)
+        a = generate_clustered_circuit(spec, seed=1)
+        b = generate_clustered_circuit(spec, seed=2)
+        assert list(a.wires()) != list(b.wires())
+
+
+class TestRandomCircuit:
+    def test_counts(self):
+        ckt = generate_random_circuit(25, 70, seed=1)
+        assert ckt.num_components == 25
+        assert ckt.num_wires == 70
+
+    def test_single_cluster(self):
+        ckt = generate_random_circuit(10, 20, seed=1)
+        assert all(c.attrs["cluster"] == 0 for c in ckt.components)

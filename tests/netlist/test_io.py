@@ -1,0 +1,77 @@
+"""Tests for repro.netlist.io (JSON round-trip)."""
+
+import json
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.netlist.io import (
+    circuit_from_dict,
+    circuit_to_dict,
+    load_circuit,
+    save_circuit,
+)
+
+
+@pytest.fixture
+def circuit() -> Circuit:
+    spec = ClusteredCircuitSpec("roundtrip", num_components=15, num_wires=40)
+    return generate_clustered_circuit(spec, seed=9)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self, circuit):
+        restored = circuit_from_dict(circuit_to_dict(circuit))
+        assert restored.name == circuit.name
+        assert restored.num_components == circuit.num_components
+        assert list(restored.wires()) == list(circuit.wires())
+        for original, copy in zip(circuit.components, restored.components):
+            assert original == copy
+            assert original.attrs == copy.attrs
+
+    def test_file_roundtrip(self, circuit, tmp_path):
+        path = tmp_path / "ckt.json"
+        save_circuit(circuit, path)
+        restored = load_circuit(path)
+        assert list(restored.wires()) == list(circuit.wires())
+
+    def test_document_is_valid_json(self, circuit, tmp_path):
+        path = tmp_path / "ckt.json"
+        save_circuit(circuit, path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert len(data["components"]) == 15
+
+
+class TestSchemaValidation:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            circuit_from_dict({"format_version": 99, "components": []})
+
+    def test_missing_components_rejected(self):
+        with pytest.raises(ValueError, match="components"):
+            circuit_from_dict({"format_version": 1})
+
+    def test_malformed_wire_rejected(self):
+        doc = {
+            "format_version": 1,
+            "components": [{"name": "a"}, {"name": "b"}],
+            "wires": [[0]],
+        }
+        with pytest.raises(ValueError, match="malformed wire"):
+            circuit_from_dict(doc)
+
+    def test_wire_without_weight_defaults_to_one(self):
+        doc = {
+            "format_version": 1,
+            "components": [{"name": "a"}, {"name": "b"}],
+            "wires": [[0, 1]],
+        }
+        ckt = circuit_from_dict(doc)
+        assert ckt.wire_weight("a", "b") == 1.0
+
+    def test_component_defaults_applied(self):
+        doc = {"format_version": 1, "components": [{"name": "a"}]}
+        ckt = circuit_from_dict(doc)
+        assert ckt.component("a").size == 1.0

@@ -1,0 +1,84 @@
+"""Tests for repro.netlist.net (multi-pin net expansion)."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.net import Net, NetModel, expand_nets
+
+
+@pytest.fixture
+def four() -> Circuit:
+    ckt = Circuit()
+    for name in "wxyz":
+        ckt.add_component(name)
+    return ckt
+
+
+class TestNet:
+    def test_degree(self):
+        net = Net("n1", pins=("w", "x", "y"))
+        assert net.degree == 3
+
+    def test_rejects_single_pin(self):
+        with pytest.raises(ValueError, match=">= 2 pins"):
+            Net("n1", pins=("w",))
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            Net("n1", pins=("w", "x"), weight=0.0)
+
+
+class TestCliqueModel:
+    def test_two_pin_net_is_single_wire(self, four):
+        expand_nets(four, [Net("n", pins=("w", "x"))])
+        assert four.wire_weight("w", "x") == 1.0
+        assert four.wire_weight("x", "w") == 1.0
+
+    def test_three_pin_weights(self, four):
+        expand_nets(four, [Net("n", pins=("w", "x", "y"), weight=2.0)])
+        # k=3: each pair gets weight 2 / (3-1) = 1.
+        for a, b in (("w", "x"), ("w", "y"), ("x", "y")):
+            assert four.wire_weight(a, b) == pytest.approx(1.0)
+
+    def test_pair_count_returned(self, four):
+        added = expand_nets(four, [Net("n", pins=("w", "x", "y", "z"))])
+        assert added == 6  # C(4, 2)
+
+    def test_total_wire_weight_preserved(self, four):
+        # Clique normalisation keeps sum of pairwise weight = w * k / 2.
+        expand_nets(four, [Net("n", pins=("w", "x", "y", "z"), weight=3.0)])
+        assert four.num_wires == pytest.approx(2 * 3.0 * 4 / 2)
+
+
+class TestStarModel:
+    def test_driver_to_sinks(self, four):
+        expand_nets(four, [Net("n", pins=("w", "x", "y"))], model=NetModel.STAR)
+        assert four.wire_weight("w", "x") == 1.0
+        assert four.wire_weight("w", "y") == 1.0
+        assert four.wire_weight("x", "y") == 0.0
+
+    def test_directed_star(self, four):
+        expand_nets(
+            four, [Net("n", pins=("w", "x"))], model=NetModel.STAR, undirected=False
+        )
+        assert four.wire_weight("w", "x") == 1.0
+        assert four.wire_weight("x", "w") == 0.0
+
+
+class TestValidation:
+    def test_unknown_pin_fails_before_mutation(self, four):
+        nets = [Net("good", pins=("w", "x")), Net("bad", pins=("w", "nope"))]
+        with pytest.raises(KeyError):
+            expand_nets(four, nets)
+        assert four.num_wires == 0  # all-or-nothing
+
+    def test_duplicate_pin_rejected(self, four):
+        with pytest.raises(ValueError, match="twice"):
+            expand_nets(four, [Net("n", pins=("w", "w"))])
+
+    def test_multiple_nets_accumulate(self, four):
+        expand_nets(
+            four,
+            [Net("n1", pins=("w", "x")), Net("n2", pins=("w", "x"))],
+        )
+        assert four.wire_weight("w", "x") == 2.0

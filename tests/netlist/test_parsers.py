@@ -1,0 +1,114 @@
+"""Tests for repro.netlist.parsers (text netlist formats)."""
+
+import pytest
+
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.netlist.net import NetModel
+from repro.netlist.parsers import (
+    NetlistParseError,
+    load_edge_list,
+    parse_edge_list,
+    parse_net_list,
+    save_edge_list,
+    write_edge_list,
+)
+
+EDGE_TEXT = """
+# a tiny circuit
+component a 2.5
+component b 1.0 0.3
+component c          # default size
+wire a b 5
+wire b c             # default weight
+"""
+
+NET_TEXT = """
+component u0 1.0
+component u1 1.0
+component u2 1.0
+net clk u0 u1 u2
+net data 2.0 u1 u2
+"""
+
+
+class TestEdgeList:
+    def test_parse_components(self):
+        ckt = parse_edge_list(EDGE_TEXT)
+        assert ckt.num_components == 3
+        assert ckt.component("a").size == 2.5
+        assert ckt.component("b").intrinsic_delay == 0.3
+        assert ckt.component("c").size == 1.0
+
+    def test_parse_wires(self):
+        ckt = parse_edge_list(EDGE_TEXT)
+        assert ckt.wire_weight("a", "b") == 5.0
+        assert ckt.wire_weight("b", "c") == 1.0
+
+    def test_comments_and_blank_lines_ignored(self):
+        ckt = parse_edge_list("\n\n# only comments\ncomponent x\n")
+        assert ckt.num_components == 1
+
+    def test_unknown_directive(self):
+        with pytest.raises(NetlistParseError, match="unknown directive"):
+            parse_edge_list("gadget a b\n")
+
+    def test_wire_to_missing_component(self):
+        with pytest.raises(NetlistParseError, match="no component"):
+            parse_edge_list("component a\nwire a b\n")
+
+    def test_line_number_reported(self):
+        try:
+            parse_edge_list("component a\nbogus\n")
+        except NetlistParseError as err:
+            assert err.line_number == 2
+        else:  # pragma: no cover
+            raise AssertionError
+
+    def test_malformed_component(self):
+        with pytest.raises(NetlistParseError):
+            parse_edge_list("component a 1 2 3 4\n")
+
+    def test_roundtrip(self):
+        spec = ClusteredCircuitSpec("rt", num_components=20, num_wires=50)
+        original = generate_clustered_circuit(spec, seed=5)
+        restored = parse_edge_list(write_edge_list(original))
+        assert restored.num_components == original.num_components
+        assert list(restored.wires()) == list(original.wires())
+
+    def test_file_roundtrip(self, tmp_path):
+        spec = ClusteredCircuitSpec("rt", num_components=10, num_wires=20)
+        original = generate_clustered_circuit(spec, seed=1)
+        path = tmp_path / "x.wires"
+        save_edge_list(original, path)
+        restored = load_edge_list(path)
+        assert list(restored.wires()) == list(original.wires())
+        assert restored.name == "x"
+
+
+class TestNetList:
+    def test_clique_expansion(self):
+        ckt = parse_net_list(NET_TEXT)
+        # clk: 3 pins, clique weight 1/2 per pair, both directions.
+        assert ckt.wire_weight("u0", "u1") == pytest.approx(0.5)
+        # data (2 pins, weight 2) adds 2.0 on u1-u2 over clk's 0.5.
+        assert ckt.wire_weight("u1", "u2") == pytest.approx(0.5 + 2.0)
+
+    def test_star_expansion(self):
+        ckt = parse_net_list(NET_TEXT, model=NetModel.STAR)
+        assert ckt.wire_weight("u0", "u1") == 1.0
+        assert ckt.wire_weight("u1", "u2") == 2.0  # data driver u1
+        # clk star: u0 drives; no u1-u2 edge from clk.
+
+    def test_weightless_net(self):
+        ckt = parse_net_list("component a\ncomponent b\nnet n a b\n")
+        assert ckt.wire_weight("a", "b") == 1.0
+
+    def test_net_too_few_pins(self):
+        with pytest.raises(NetlistParseError, match="net"):
+            parse_net_list("component a\nnet n a\n")
+        with pytest.raises(NetlistParseError, match="pins"):
+            parse_net_list("component a\ncomponent b\nnet n 2.0 a\n")
+
+    def test_net_with_unknown_pin(self):
+        with pytest.raises(NetlistParseError):
+            parse_net_list("component a\ncomponent b\nnet n a zz\n")

@@ -1,0 +1,51 @@
+"""Tests for repro.netlist.stats."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.netlist.stats import circuit_stats
+
+
+class TestCircuitStats:
+    def test_basic_counts(self):
+        ckt = Circuit("t")
+        ckt.add_component("a", size=2.0)
+        ckt.add_component("b", size=8.0)
+        ckt.add_wire("a", "b", 3.0)
+        stats = circuit_stats(ckt)
+        assert stats.name == "t"
+        assert stats.num_components == 2
+        assert stats.num_wires == 3.0
+        assert stats.num_connected_pairs == 1
+        assert stats.total_size == 10.0
+        assert stats.min_size == 2.0
+        assert stats.max_size == 8.0
+        assert stats.size_dynamic_range == 4.0
+        assert stats.max_wire_multiplicity == 3.0
+
+    def test_mean_degree(self):
+        ckt = Circuit("t")
+        for name in "abc":
+            ckt.add_component(name)
+        ckt.add_wire("a", "b")
+        ckt.add_wire("b", "c")
+        stats = circuit_stats(ckt)
+        # Degrees: a=1, b=2, c=1 (bundle endpoints).
+        assert stats.mean_degree == pytest.approx(4 / 3)
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            circuit_stats(Circuit())
+
+    def test_zero_size_component_gives_inf_range(self):
+        ckt = Circuit("t")
+        ckt.add_component("a", size=0.0)
+        ckt.add_component("b", size=1.0)
+        assert circuit_stats(ckt).size_dynamic_range == float("inf")
+
+    def test_as_row_matches_table1_shape(self):
+        spec = ClusteredCircuitSpec("ckta", num_components=50, num_wires=120)
+        ckt = generate_clustered_circuit(spec, seed=0)
+        row = circuit_stats(ckt).as_row()
+        assert row == ["ckta", 50, 120]

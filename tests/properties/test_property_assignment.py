@@ -1,0 +1,88 @@
+"""Property-based tests: the three solution representations (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment
+from repro.core.qmatrix import flatten_index, unflatten_index
+
+
+@st.composite
+def assignments(draw, max_n=40, max_m=12):
+    m = draw(st.integers(1, max_m))
+    n = draw(st.integers(1, max_n))
+    part = draw(st.lists(st.integers(0, m - 1), min_size=n, max_size=n))
+    return Assignment(part, m)
+
+
+class TestRepresentationRoundTrips:
+    @given(assignments())
+    def test_x_matrix_roundtrip(self, a):
+        assert Assignment.from_x_matrix(a.to_x_matrix()) == a
+
+    @given(assignments())
+    def test_y_vector_roundtrip(self, a):
+        assert Assignment.from_y_vector(a.to_y_vector(), a.num_partitions) == a
+
+    @given(assignments())
+    def test_x_matrix_satisfies_c3(self, a):
+        x = a.to_x_matrix()
+        assert np.array_equal(x.sum(axis=0), np.ones(a.num_components, dtype=int))
+
+    @given(assignments())
+    def test_y_has_exactly_n_ones(self, a):
+        assert int(a.to_y_vector().sum()) == a.num_components
+
+
+class TestFlattening:
+    @given(st.integers(1, 64), st.integers(0, 4000))
+    def test_unflatten_flatten_identity(self, m, r):
+        i, j = unflatten_index(r, m)
+        assert 0 <= i < m
+        assert flatten_index(i, j, m) == r
+
+    @given(st.integers(1, 16), st.integers(0, 15), st.integers(0, 200))
+    def test_flatten_unflatten_identity(self, m, i, j):
+        if i >= m:
+            i = i % m
+        r = flatten_index(i, j, m)
+        assert unflatten_index(r, m) == (i, j)
+
+    @given(st.integers(2, 12), st.integers(1, 30))
+    def test_flattening_is_bijection(self, m, n):
+        seen = {
+            flatten_index(i, j, m) for i in range(m) for j in range(n)
+        }
+        assert seen == set(range(m * n))
+
+
+class TestMutationInvariants:
+    @given(assignments(), st.data())
+    def test_swap_is_involution(self, a, data):
+        n = a.num_components
+        j1 = data.draw(st.integers(0, n - 1))
+        j2 = data.draw(st.integers(0, n - 1))
+        before = a.copy()
+        a.swap(j1, j2)
+        a.swap(j1, j2)
+        assert a == before
+
+    @given(assignments(), st.data())
+    def test_move_changes_only_target(self, a, data):
+        n, m = a.num_components, a.num_partitions
+        j = data.draw(st.integers(0, n - 1))
+        i = data.draw(st.integers(0, m - 1))
+        before = a.copy()
+        a.move(j, i)
+        assert a[j] == i
+        for k in range(n):
+            if k != j:
+                assert a[k] == before[k]
+
+    @given(assignments())
+    def test_members_partition_the_components(self, a):
+        all_members = []
+        for i in range(a.num_partitions):
+            all_members.extend(a.members(i))
+        assert sorted(all_members) == list(range(a.num_components))

@@ -1,0 +1,126 @@
+"""Property-based tests: the embedding theorems on random instances.
+
+Theorem 1 (exact embedding) and Theorem 2 (sufficient condition) are
+checked by exhaustive enumeration on randomly generated tiny problems -
+the strongest form of validation the appendix proofs admit.
+"""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment
+from repro.core.constraints import capacity_violations
+from repro.core.embedding import (
+    RegionOfFeasiblePairs,
+    embed_timing,
+    matrices_coincident_over_region,
+    theorem1_penalty,
+)
+from repro.core.problem import PartitioningProblem
+from repro.core.qmatrix import build_q_dense, quadratic_form
+from repro.netlist.circuit import Circuit
+from repro.timing.constraints import TimingConstraints
+from repro.topology.grid import grid_topology
+
+
+@st.composite
+def timed_problems(draw):
+    n = draw(st.integers(2, 5))
+    m = draw(st.sampled_from([2, 3]))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    circuit = Circuit("prop")
+    for j in range(n):
+        circuit.add_component(f"u{j}", size=1.0)
+    for j1 in range(n):
+        for j2 in range(j1 + 1, n):
+            if rng.random() < 0.6:
+                circuit.add_undirected_wire(j1, j2, float(rng.integers(1, 5)))
+    topo = grid_topology(1, m, capacity=float(n))
+    tc = TimingConstraints(n)
+    for j1 in range(n):
+        for j2 in range(j1 + 1, n):
+            if rng.random() < 0.5:
+                tc.add(j1, j2, float(rng.integers(0, m)), symmetric=True)
+    return PartitioningProblem(circuit, topo, timing=tc)
+
+
+def feasible_assignments(problem, region):
+    sizes, caps = problem.sizes(), problem.capacities()
+    for combo in itertools.product(
+        range(problem.num_partitions), repeat=problem.num_components
+    ):
+        a = Assignment(list(combo), problem.num_partitions)
+        if capacity_violations(a, sizes, caps):
+            continue
+        yield a, region.is_feasible_y(a.to_y_vector())
+
+
+@settings(max_examples=30, deadline=None)
+@given(timed_problems())
+def test_theorem1_equivalence(problem):
+    """QBP(Q') and QBP_R(Q) share minima whenever F_R is nonempty."""
+    region = RegionOfFeasiblePairs.from_problem(problem)
+    q = build_q_dense(problem)
+    q_prime = embed_timing(q, problem, penalty=None)
+
+    best_prime, arg_prime = np.inf, None
+    best_constrained = np.inf
+    any_feasible = False
+    for a, feasible in feasible_assignments(problem, region):
+        y = a.to_y_vector()
+        value_prime = quadratic_form(q_prime, y)
+        if value_prime < best_prime:
+            best_prime, arg_prime = value_prime, a
+        if feasible:
+            any_feasible = True
+            best_constrained = min(best_constrained, quadratic_form(q, y))
+
+    if not any_feasible:
+        return  # the theorem's hypothesis (F_R nonempty) does not hold
+    assert region.is_feasible_y(arg_prime.to_y_vector())
+    assert abs(best_prime - best_constrained) < 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(timed_problems(), st.floats(1.0, 200.0))
+def test_theorem2_sufficient_condition(problem, penalty):
+    """If the Q_hat minimiser is in F_R it is optimal for QBP_R(Q)."""
+    region = RegionOfFeasiblePairs.from_problem(problem)
+    q = build_q_dense(problem)
+    q_hat = embed_timing(q, problem, penalty=penalty)
+    assert matrices_coincident_over_region(q, q_hat, region)
+
+    best_hat, arg_hat = np.inf, None
+    best_constrained = np.inf
+    any_feasible = False
+    for a, feasible in feasible_assignments(problem, region):
+        y = a.to_y_vector()
+        value = quadratic_form(q_hat, y)
+        if value < best_hat:
+            best_hat, arg_hat = value, a
+        if feasible:
+            any_feasible = True
+            best_constrained = min(best_constrained, quadratic_form(q, y))
+
+    if not any_feasible or arg_hat is None:
+        return
+    if region.is_feasible_y(arg_hat.to_y_vector()):
+        # Theorem 2's conclusion.
+        assert abs(quadratic_form(q, arg_hat.to_y_vector()) - best_constrained) < 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(timed_problems())
+def test_theorem1_penalty_bound(problem):
+    q = build_q_dense(problem)
+    u = theorem1_penalty(q)
+    assert u > 2.0 * np.abs(q).sum()
+    # Any single out-of-region activation exceeds every in-region total.
+    q_prime = embed_timing(q, problem, penalty=None)
+    region = RegionOfFeasiblePairs.from_problem(problem)
+    mask = region.feasibility_mask()
+    if (~mask).any():
+        assert q_prime[~mask].min() > np.abs(q[mask]).sum()

@@ -1,0 +1,85 @@
+"""Property-based tests: the circuit generator's exactness guarantees."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.netlist.io import circuit_from_dict, circuit_to_dict
+from repro.timing.constraints import synthesize_feasible_constraints
+from repro.topology.grid import grid_topology
+
+
+@st.composite
+def specs(draw):
+    n = draw(st.integers(2, 60))
+    wires = draw(st.integers(n - 1, 4 * n))
+    clusters = draw(st.integers(0, min(8, n)))
+    intra = draw(st.floats(0.0, 1.0))
+    return ClusteredCircuitSpec(
+        "prop",
+        num_components=n,
+        num_wires=wires,
+        num_clusters=clusters,
+        intra_cluster_probability=intra,
+    )
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(specs(), st.integers(0, 2**31))
+    def test_exact_counts_always(self, spec, seed):
+        circuit = generate_clustered_circuit(spec, seed=seed)
+        assert circuit.num_components == spec.num_components
+        assert circuit.num_wires == spec.num_wires
+        circuit.validate()
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs(), st.integers(0, 2**31))
+    def test_connected_always(self, spec, seed):
+        circuit = generate_clustered_circuit(spec, seed=seed)
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for nb in circuit.neighbors(node):
+                if nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        assert len(seen) == spec.num_components
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs(), st.integers(0, 2**31))
+    def test_json_roundtrip_identity(self, spec, seed):
+        circuit = generate_clustered_circuit(spec, seed=seed)
+        restored = circuit_from_dict(circuit_to_dict(circuit))
+        assert list(restored.wires()) == list(circuit.wires())
+        assert np.array_equal(restored.sizes(), circuit.sizes())
+
+
+class TestSynthesisProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(0, 2**31),
+        st.integers(1, 40),
+        st.floats(0.0, 1.0),
+        st.integers(0, 3),
+    )
+    def test_reference_always_satisfies(self, seed, count, tightness, margin):
+        spec = ClusteredCircuitSpec("s", num_components=20, num_wires=60)
+        circuit = generate_clustered_circuit(spec, seed=seed)
+        topo = grid_topology(2, 2, capacity=circuit.total_size())
+        rng = np.random.default_rng(seed)
+        reference = rng.integers(0, 4, size=20)
+        constraints = synthesize_feasible_constraints(
+            circuit,
+            topo.delay_matrix,
+            reference,
+            count=count,
+            tightness=tightness,
+            max_margin=margin,
+            min_budget=0.0,
+            seed=seed,
+        )
+        assert constraints.num_pairs == count
+        assert constraints.is_satisfied(reference, topo.delay_matrix)

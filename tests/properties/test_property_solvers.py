@@ -1,0 +1,127 @@
+"""Property-based tests: solver invariants on random instances."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment
+from repro.core.constraints import capacity_violations, check_feasibility
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.solvers.gap import GapInfeasibleError, solve_gap
+from repro.solvers.greedy import greedy_feasible_assignment
+from repro.solvers.lap import solve_lap
+from repro.solvers.repair import feasible_merge
+from repro.core.problem import PartitioningProblem
+from repro.topology.grid import grid_topology
+
+
+@st.composite
+def gap_instances(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    m = draw(st.integers(2, 5))
+    n = draw(st.integers(1, 20))
+    cost = rng.uniform(0, 10, (m, n))
+    sizes = rng.uniform(0.5, 3.0, n)
+    slack = draw(st.floats(1.1, 2.0))
+    caps = np.full(m, sizes.sum() / m * slack)
+    return cost, sizes, caps
+
+
+class TestGapProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(gap_instances())
+    def test_capacity_always_respected(self, instance):
+        cost, sizes, caps = instance
+        try:
+            result = solve_gap(cost, sizes, caps)
+        except GapInfeasibleError:
+            return
+        loads = np.bincount(result.assignment, weights=sizes, minlength=caps.size)
+        assert (loads <= caps + 1e-6).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(gap_instances())
+    def test_cost_reported_exactly(self, instance):
+        cost, sizes, caps = instance
+        try:
+            result = solve_gap(cost, sizes, caps)
+        except GapInfeasibleError:
+            return
+        n = cost.shape[1]
+        assert abs(result.cost - cost[result.assignment, np.arange(n)].sum()) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(gap_instances())
+    def test_improvement_monotone(self, instance):
+        cost, sizes, caps = instance
+        try:
+            raw = solve_gap(cost, sizes, caps, improve=False)
+            polished = solve_gap(cost, sizes, caps, improve=True)
+        except GapInfeasibleError:
+            return
+        assert polished.cost <= raw.cost + 1e-9
+
+
+class TestLapProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 8), st.integers(0, 2**31))
+    def test_result_is_permutation_and_lower_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0, 10, (n, n))
+        result = solve_lap(cost)
+        assert sorted(result.col_of_row.tolist()) == list(range(n))
+        # Optimal value is at least the sum of row minima (a valid LB).
+        assert result.cost >= cost.min(axis=1).sum() - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 7), st.integers(0, 2**31))
+    def test_no_single_swap_improves(self, n, seed):
+        """2-opt optimality: any pairwise swap cannot reduce the cost."""
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0, 10, (n, n))
+        result = solve_lap(cost)
+        perm = result.col_of_row
+        for i in range(n):
+            for j in range(i + 1, n):
+                swapped = perm.copy()
+                swapped[i], swapped[j] = swapped[j], swapped[i]
+                value = cost[np.arange(n), swapped].sum()
+                assert value >= result.cost - 1e-9
+
+
+@st.composite
+def small_problems(draw):
+    seed = draw(st.integers(0, 2**31))
+    n = draw(st.integers(8, 24))
+    wires = draw(st.integers(n, 3 * n))
+    spec = ClusteredCircuitSpec("p", num_components=n, num_wires=wires)
+    circuit = generate_clustered_circuit(spec, seed=seed)
+    slack = draw(st.floats(1.2, 1.8))
+    # Every slot must at least fit the largest component, else no
+    # feasible assignment exists at all.
+    capacity = max(
+        circuit.total_size() / 4 * slack, float(circuit.sizes().max()) * 1.05
+    )
+    topo = grid_topology(2, 2, capacity=capacity)
+    return PartitioningProblem(circuit, topo), seed
+
+
+class TestGreedyAndMergeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(small_problems())
+    def test_greedy_always_capacity_feasible(self, setting):
+        problem, seed = setting
+        a = greedy_feasible_assignment(problem, seed=seed)
+        assert not capacity_violations(a, problem.sizes(), problem.capacities())
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_problems(), st.integers(0, 2**31))
+    def test_merge_preserves_feasibility(self, setting, seed2):
+        problem, seed = setting
+        base = greedy_feasible_assignment(problem, seed=seed)
+        rng = np.random.default_rng(seed2)
+        target = Assignment(
+            rng.integers(0, 4, size=problem.num_components), 4
+        )
+        merged = feasible_merge(problem, base, target)
+        assert check_feasibility(problem, merged).feasible

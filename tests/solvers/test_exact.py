@@ -1,0 +1,113 @@
+"""Tests for repro.solvers.exact (branch-and-bound reference)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.constraints import capacity_violations
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.solvers.exact import solve_exact
+from repro.timing.constraints import TimingConstraints
+from repro.topology.grid import grid_topology
+
+
+def brute_force(problem, respect_timing=True):
+    evaluator = ObjectiveEvaluator(problem)
+    sizes, caps = problem.sizes(), problem.capacities()
+    best = np.inf
+    for combo in itertools.product(
+        range(problem.num_partitions), repeat=problem.num_components
+    ):
+        a = Assignment(list(combo), problem.num_partitions)
+        if capacity_violations(a, sizes, caps):
+            continue
+        if respect_timing and evaluator.timing_violation_count(a):
+            continue
+        best = min(best, evaluator.cost(a))
+    return best
+
+
+@pytest.fixture
+def random_problems():
+    problems = []
+    for seed in range(4):
+        spec = ClusteredCircuitSpec("x", num_components=7, num_wires=15)
+        ckt = generate_clustered_circuit(spec, seed=seed)
+        topo = grid_topology(1, 3, capacity=ckt.total_size() / 3 * 1.5)
+        problems.append(PartitioningProblem(ckt, topo))
+    return problems
+
+
+class TestAgainstBruteForce:
+    def test_unconstrained_optimum(self, random_problems):
+        for problem in random_problems:
+            result = solve_exact(problem)
+            assert result.proven_optimal
+            assert result.cost == pytest.approx(brute_force(problem))
+
+    def test_with_timing(self, paper_problem):
+        result = solve_exact(paper_problem)
+        assert result.proven_optimal
+        assert result.cost == pytest.approx(brute_force(paper_problem))
+
+    def test_timing_ignored_option(self, paper_problem):
+        constrained = solve_exact(paper_problem, respect_timing=True)
+        relaxed = solve_exact(paper_problem, respect_timing=False)
+        assert relaxed.cost <= constrained.cost
+        assert relaxed.cost == pytest.approx(
+            brute_force(paper_problem, respect_timing=False)
+        )
+
+    def test_with_linear_term(self, tiny_circuit, paper_topology):
+        p = np.arange(12, dtype=float).reshape(4, 3)
+        problem = PartitioningProblem(
+            tiny_circuit, paper_topology, linear_cost=p, alpha=1.5, beta=0.5
+        )
+        result = solve_exact(problem)
+        assert result.cost == pytest.approx(brute_force(problem))
+
+
+class TestFeasibilityHandling:
+    def test_infeasible_timing_returns_none(self):
+        ckt = Circuit()
+        ckt.add_component("a", size=1.0)
+        ckt.add_component("b", size=1.0)
+        ckt.add_wire("a", "b")
+        topo = grid_topology(1, 2, capacity=1.0)  # forces separation
+        tc = TimingConstraints(2)
+        tc.add(0, 1, 0.5, symmetric=True)  # but requires distance < 1
+        problem = PartitioningProblem(ckt, topo, timing=tc)
+        result = solve_exact(problem)
+        assert not result.feasible
+        assert result.assignment is None
+        assert result.cost == np.inf
+
+    def test_capacity_pruning_respected(self):
+        ckt = Circuit()
+        for idx, size in enumerate([5.0, 5.0, 5.0]):
+            ckt.add_component(f"u{idx}", size=size)
+        topo = grid_topology(1, 3, capacity=5.0)
+        problem = PartitioningProblem(ckt, topo)
+        result = solve_exact(problem)
+        # One component per partition, all permutations feasible.
+        assert result.feasible
+        loads = np.bincount(result.assignment.part, minlength=3)
+        assert loads.tolist() == [1, 1, 1]
+
+
+class TestNodeLimit:
+    def test_aborts_gracefully(self, medium_problem):
+        result = solve_exact(medium_problem, node_limit=500)
+        assert not result.proven_optimal
+        assert result.nodes_explored >= 500
+
+    def test_incumbent_still_reported(self, medium_problem):
+        result = solve_exact(medium_problem, node_limit=5000)
+        if result.assignment is not None:
+            evaluator = ObjectiveEvaluator(medium_problem)
+            assert evaluator.cost(result.assignment) == pytest.approx(result.cost)

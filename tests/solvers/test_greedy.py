@@ -1,0 +1,61 @@
+"""Tests for repro.solvers.greedy (initial-solution constructors)."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import capacity_violations
+from repro.core.problem import PartitioningProblem
+from repro.netlist.circuit import Circuit
+from repro.solvers.greedy import balanced_assignment, greedy_feasible_assignment
+from repro.topology.grid import grid_topology
+
+
+class TestGreedyFeasible:
+    def test_capacity_feasible(self, medium_problem):
+        for seed in range(5):
+            a = greedy_feasible_assignment(medium_problem, seed=seed)
+            assert not capacity_violations(
+                a, medium_problem.sizes(), medium_problem.capacities()
+            )
+
+    def test_deterministic_given_seed(self, medium_problem):
+        a = greedy_feasible_assignment(medium_problem, seed=3)
+        b = greedy_feasible_assignment(medium_problem, seed=3)
+        assert a == b
+
+    def test_seed_variation(self, medium_problem):
+        a = greedy_feasible_assignment(medium_problem, seed=1)
+        b = greedy_feasible_assignment(medium_problem, seed=2)
+        assert a != b  # randomized placement differs
+
+    def test_tight_packing(self):
+        # Items 6,6,4,4 into bins of 10,10: needs 6+4 twice.
+        ckt = Circuit()
+        for idx, size in enumerate([6.0, 6.0, 4.0, 4.0]):
+            ckt.add_component(f"u{idx}", size=size)
+        topo = grid_topology(1, 2, capacity=10.0)
+        problem = PartitioningProblem(ckt, topo)
+        a = greedy_feasible_assignment(problem, seed=0)
+        assert not capacity_violations(a, problem.sizes(), problem.capacities())
+
+    def test_non_random_mode(self, medium_problem):
+        a = greedy_feasible_assignment(medium_problem, randomize=False)
+        b = greedy_feasible_assignment(medium_problem, randomize=False)
+        assert a == b
+
+
+class TestBalanced:
+    def test_feasible_or_none(self, medium_problem):
+        a = balanced_assignment(medium_problem)
+        assert a is not None
+        assert not capacity_violations(
+            a, medium_problem.sizes(), medium_problem.capacities()
+        )
+
+    def test_balances_loads(self, medium_problem):
+        a = balanced_assignment(medium_problem)
+        loads = np.bincount(
+            a.part, weights=medium_problem.sizes(), minlength=medium_problem.num_partitions
+        )
+        # Largest-first into emptiest bin keeps loads within one max item.
+        assert loads.max() - loads.min() <= medium_problem.sizes().max() + 1e-9

@@ -1,0 +1,81 @@
+"""Tests for repro.solvers.lap (exact Hungarian LAP)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.solvers.lap import solve_lap
+
+
+def brute_force_lap(cost):
+    n = cost.shape[0]
+    best = np.inf
+    for perm in itertools.permutations(range(n)):
+        best = min(best, sum(cost[i, perm[i]] for i in range(n)))
+    return best
+
+
+class TestCorrectness:
+    def test_identity_optimal(self):
+        cost = np.array([[0.0, 9.0], [9.0, 0.0]])
+        result = solve_lap(cost)
+        assert result.col_of_row.tolist() == [0, 1]
+        assert result.cost == 0.0
+
+    def test_antidiagonal(self):
+        cost = np.array([[9.0, 0.0], [0.0, 9.0]])
+        result = solve_lap(cost)
+        assert result.col_of_row.tolist() == [1, 0]
+
+    def test_matches_brute_force_random(self):
+        rng = np.random.default_rng(2)
+        for n in (1, 2, 3, 4, 5, 6, 7):
+            for _ in range(5):
+                cost = rng.uniform(0, 10, (n, n))
+                result = solve_lap(cost)
+                assert result.cost == pytest.approx(brute_force_lap(cost))
+                # Must be a permutation.
+                assert sorted(result.col_of_row.tolist()) == list(range(n))
+
+    def test_float_costs_exact(self):
+        # Near-degenerate float costs (where epsilon-auction would fail).
+        cost = np.array(
+            [[1.0, 1.0 + 1e-12, 5.0], [2.0, 1.0, 1.0], [1.0, 3.0, 1.0 + 1e-12]]
+        )
+        result = solve_lap(cost)
+        assert result.cost == pytest.approx(brute_force_lap(cost))
+
+    def test_negative_costs(self):
+        cost = np.array([[-5.0, 0.0], [0.0, -5.0]])
+        result = solve_lap(cost)
+        assert result.cost == -10.0
+
+    def test_integer_input(self):
+        result = solve_lap(np.array([[3, 1], [1, 3]]))
+        assert result.cost == 2.0
+
+
+class TestValidation:
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            solve_lap(np.zeros((2, 3)))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            solve_lap(np.array([[np.inf]]))
+
+    def test_empty(self):
+        result = solve_lap(np.zeros((0, 0)))
+        assert result.cost == 0.0
+        assert result.col_of_row.size == 0
+
+
+class TestScale:
+    def test_medium_instance_runs(self):
+        rng = np.random.default_rng(0)
+        cost = rng.uniform(0, 100, (120, 120))
+        result = solve_lap(cost)
+        # Sanity: optimal <= greedy row-min assignment... at least <= diag.
+        assert result.cost <= np.trace(cost)
+        assert sorted(result.col_of_row.tolist()) == list(range(120))

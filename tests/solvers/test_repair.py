@@ -1,0 +1,124 @@
+"""Tests for repro.solvers.repair (min-conflicts finisher, feasible merge)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.constraints import check_feasibility
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.solvers.greedy import greedy_feasible_assignment
+from repro.solvers.repair import feasible_merge, repair_feasibility
+from repro.timing.constraints import synthesize_feasible_constraints
+from repro.topology.grid import grid_topology
+
+
+@pytest.fixture
+def timed_problem():
+    spec = ClusteredCircuitSpec("t", num_components=40, num_wires=160, num_clusters=5)
+    circuit = generate_clustered_circuit(spec, seed=21)
+    topo = grid_topology(2, 2, capacity=circuit.total_size() / 4 * 1.3)
+    base = PartitioningProblem(circuit, topo)
+    reference = greedy_feasible_assignment(base, seed=8)
+    timing = synthesize_feasible_constraints(
+        circuit, topo.delay_matrix, reference.part, count=60, min_budget=1.0, seed=2
+    )
+    return PartitioningProblem(circuit, topo, timing=timing), reference
+
+
+class TestRepairFeasibility:
+    def test_repairs_perturbed_assignment(self, timed_problem):
+        problem, reference = timed_problem
+        rng = np.random.default_rng(0)
+        evaluator = ObjectiveEvaluator(problem)
+        perturbed = reference.copy()
+        # Knock a handful of components loose (capacity-feasibly).
+        for j in rng.choice(problem.num_components, size=6, replace=False):
+            candidate = perturbed.copy().move(int(j), int(rng.integers(0, 4)))
+            if not check_feasibility(problem, candidate).capacity_violations:
+                perturbed = candidate
+        repaired = repair_feasibility(problem, perturbed, seed=1)
+        assert repaired is not None
+        assert check_feasibility(problem, repaired).feasible
+
+    def test_feasible_input_unchanged(self, timed_problem):
+        problem, reference = timed_problem
+        out = repair_feasibility(problem, reference, seed=0)
+        assert out is not None
+        assert out == reference
+
+    def test_no_timing_passthrough(self, small_problem):
+        a = greedy_feasible_assignment(small_problem, seed=0)
+        out = repair_feasibility(small_problem, a, seed=0)
+        assert out == a
+
+    def test_budget_exhaustion_returns_none(self, timed_problem):
+        problem, reference = timed_problem
+        rng = np.random.default_rng(5)
+        scrambled = Assignment(
+            rng.integers(0, 4, size=problem.num_components), 4
+        )
+        # Give it almost no budget; heavy scrambles cannot be fixed in 1 move.
+        out = repair_feasibility(problem, scrambled, max_moves=1, seed=0)
+        if out is not None:  # pragma: no cover - wildly unlikely
+            assert check_feasibility(problem, out).feasible
+
+    def test_cost_aware_mode_keeps_feasibility(self, timed_problem):
+        problem, reference = timed_problem
+        evaluator = ObjectiveEvaluator(problem)
+        rng = np.random.default_rng(3)
+        perturbed = reference.copy()
+        for j in rng.choice(problem.num_components, size=4, replace=False):
+            candidate = perturbed.copy().move(int(j), int(rng.integers(0, 4)))
+            if not check_feasibility(problem, candidate).capacity_violations:
+                perturbed = candidate
+        out = repair_feasibility(problem, perturbed, seed=2, evaluator=evaluator)
+        assert out is not None
+        assert check_feasibility(problem, out).feasible
+
+
+class TestFeasibleMerge:
+    def test_result_always_feasible(self, timed_problem):
+        problem, reference = timed_problem
+        rng = np.random.default_rng(7)
+        for trial in range(5):
+            target = Assignment(rng.integers(0, 4, size=problem.num_components), 4)
+            merged = feasible_merge(problem, reference, target)
+            assert check_feasibility(problem, merged).feasible, trial
+
+    def test_adopts_feasible_target_fully(self, timed_problem):
+        problem, reference = timed_problem
+        # Merging toward an identical target is the identity.
+        merged = feasible_merge(problem, reference, reference)
+        assert merged == reference
+
+    def test_moves_toward_target(self, timed_problem):
+        problem, reference = timed_problem
+        rng = np.random.default_rng(11)
+        target = Assignment(rng.integers(0, 4, size=problem.num_components), 4)
+        merged = feasible_merge(problem, reference, target)
+        before = int((reference.part != target.part).sum())
+        after = int((merged.part != target.part).sum())
+        assert after <= before  # never drifts away from the target
+
+    def test_cost_aware_merge_not_worse(self, timed_problem):
+        problem, reference = timed_problem
+        evaluator = ObjectiveEvaluator(problem)
+        rng = np.random.default_rng(13)
+        target = Assignment(rng.integers(0, 4, size=problem.num_components), 4)
+        plain = feasible_merge(problem, reference, target)
+        guided = feasible_merge(problem, reference, target, evaluator=evaluator)
+        assert check_feasibility(problem, guided).feasible
+        assert check_feasibility(problem, plain).feasible
+
+    def test_no_timing_merge_moves_toward_target(self, small_problem):
+        # Full adoption is not guaranteed (move *order* can block on
+        # capacity), but the merge must make progress and stay feasible.
+        base = greedy_feasible_assignment(small_problem, seed=1)
+        target = greedy_feasible_assignment(small_problem, seed=2)
+        merged = feasible_merge(small_problem, base, target)
+        assert check_feasibility(small_problem, merged).feasible
+        before = int((base.part != target.part).sum())
+        after = int((merged.part != target.part).sum())
+        assert after < before

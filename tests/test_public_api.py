@@ -1,0 +1,70 @@
+"""Guard tests for the public API surface.
+
+These fail loudly if a re-export is dropped or an ``__all__`` entry goes
+stale - the kind of breakage that unit tests of the underlying modules
+never notice.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.apps",
+    "repro.baselines",
+    "repro.core",
+    "repro.eval",
+    "repro.netlist",
+    "repro.solvers",
+    "repro.timing",
+    "repro.tools",
+    "repro.topology",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_top_level_quickstart_surface():
+    import repro
+
+    for symbol in (
+        "PartitioningProblem",
+        "Assignment",
+        "ObjectiveEvaluator",
+        "TimingConstraints",
+        "Circuit",
+        "solve_qbp",
+        "bootstrap_initial_solution",
+        "generate_clustered_circuit",
+        "grid_topology",
+        "check_feasibility",
+    ):
+        assert hasattr(repro, symbol)
+    assert repro.__version__ == "1.0.0"
+
+
+def test_every_public_callable_has_docstring():
+    import inspect
+
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            # Classes and functions only; type aliases (e.g. the
+            # RandomSource Union) have no docstring slot of their own.
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"

@@ -1,0 +1,197 @@
+"""Tests for repro.timing.constraints."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.timing.constraints import (
+    TimingConstraints,
+    derive_budgets,
+    synthesize_feasible_constraints,
+)
+from repro.timing.graph import TimingGraph
+from repro.topology.grid import grid_topology
+
+
+class TestTimingConstraints:
+    def test_add_and_lookup(self):
+        tc = TimingConstraints(4)
+        tc.add(0, 1, 2.5)
+        assert tc.budget(0, 1) == 2.5
+        assert tc.budget(1, 0) == np.inf
+        assert tc.budget(2, 2) == 0.0
+        assert len(tc) == 1
+
+    def test_symmetric_add(self):
+        tc = TimingConstraints(3)
+        tc.add(0, 1, 1.0, symmetric=True)
+        assert tc.budget(1, 0) == 1.0
+        assert len(tc) == 2
+        assert tc.num_pairs == 1
+
+    def test_tighter_budget_wins(self):
+        tc = TimingConstraints(3)
+        tc.add(0, 1, 5.0)
+        tc.add(0, 1, 2.0)
+        tc.add(0, 1, 9.0)
+        assert tc.budget(0, 1) == 2.0
+
+    def test_infinite_budget_is_noop(self):
+        tc = TimingConstraints(3)
+        tc.add(0, 1, np.inf)
+        assert len(tc) == 0
+
+    def test_rejects_self_pair(self):
+        tc = TimingConstraints(3)
+        with pytest.raises(ValueError):
+            tc.add(1, 1, 1.0)
+
+    def test_rejects_out_of_range(self):
+        tc = TimingConstraints(3)
+        with pytest.raises(IndexError):
+            tc.add(0, 3, 1.0)
+
+    def test_rejects_negative_budget(self):
+        tc = TimingConstraints(3)
+        with pytest.raises(ValueError):
+            tc.add(0, 1, -1.0)
+
+    def test_matrix_roundtrip(self):
+        tc = TimingConstraints(3)
+        tc.add(0, 1, 1.0)
+        tc.add(2, 0, 3.0)
+        mat = tc.to_matrix()
+        assert mat[0, 1] == 1.0
+        assert mat[2, 0] == 3.0
+        assert mat[1, 2] == np.inf
+        assert np.array_equal(np.diag(mat), np.zeros(3))
+        restored = TimingConstraints.from_matrix(mat)
+        assert list(restored.items()) == list(tc.items())
+
+    def test_violations_and_satisfaction(self):
+        tc = TimingConstraints(2)
+        tc.add(0, 1, 1.0)
+        delay = np.array([[0.0, 2.0], [2.0, 0.0]])
+        assert not tc.is_satisfied([0, 1], delay)
+        violations = tc.violations([0, 1], delay)
+        assert violations == [(0, 1, 2.0, 1.0)]
+        assert tc.is_satisfied([0, 0], delay)
+
+    def test_arrays_view(self):
+        tc = TimingConstraints(3)
+        tc.add(1, 2, 4.0)
+        tc.add(0, 1, 2.0)
+        src, dst, budget = tc.arrays()
+        assert src.tolist() == [0, 1]
+        assert dst.tolist() == [1, 2]
+        assert budget.tolist() == [2.0, 4.0]
+
+    def test_empty_arrays(self):
+        src, dst, budget = TimingConstraints(3).arrays()
+        assert src.size == dst.size == budget.size == 0
+
+
+class TestDeriveBudgets:
+    def test_chain_budgets_split_slack(self):
+        graph = TimingGraph(3, [1.0, 1.0, 1.0], [(0, 1), (1, 2)])
+        tc = derive_budgets(graph, cycle_time=9.0)
+        # Slack 6 over a 2-edge path -> 3 per edge.
+        assert tc.budget(0, 1) == pytest.approx(3.0)
+        assert tc.budget(1, 2) == pytest.approx(3.0)
+
+    def test_symmetric_by_default(self):
+        graph = TimingGraph(2, [1.0, 1.0], [(0, 1)])
+        tc = derive_budgets(graph, cycle_time=5.0)
+        assert tc.budget(1, 0) == tc.budget(0, 1)
+
+    def test_asymmetric_option(self):
+        graph = TimingGraph(2, [1.0, 1.0], [(0, 1)])
+        tc = derive_budgets(graph, cycle_time=5.0, symmetric=False)
+        assert np.isinf(tc.budget(1, 0))
+
+    def test_min_budget_floor(self):
+        graph = TimingGraph(2, [1.0, 1.0], [(0, 1)])
+        tc = derive_budgets(graph, cycle_time=2.0, min_budget=1.5)
+        assert tc.budget(0, 1) == 1.5
+
+    def test_infeasible_cycle_time_rejected(self):
+        graph = TimingGraph(2, [5.0, 5.0], [(0, 1)])
+        with pytest.raises(ValueError, match="infeasible"):
+            derive_budgets(graph, cycle_time=3.0)
+
+    def test_off_critical_edges_get_more_budget(self):
+        graph = TimingGraph(4, [1.0, 5.0, 1.0, 1.0], [(0, 1), (0, 2), (1, 3), (2, 3)])
+        tc = derive_budgets(graph, cycle_time=10.0)
+        assert tc.budget(0, 2) > tc.budget(0, 1)
+
+
+class TestSynthesize:
+    @pytest.fixture
+    def setting(self):
+        spec = ClusteredCircuitSpec("s", num_components=30, num_wires=120)
+        circuit = generate_clustered_circuit(spec, seed=3)
+        topo = grid_topology(2, 2, capacity=circuit.total_size())
+        reference = np.arange(30) % 4
+        return circuit, topo, reference
+
+    def test_exact_pair_count(self, setting):
+        circuit, topo, ref = setting
+        tc = synthesize_feasible_constraints(
+            circuit, topo.delay_matrix, ref, count=25, seed=1
+        )
+        assert tc.num_pairs == 25
+        assert len(tc) == 50  # both directions stored
+
+    def test_reference_always_feasible(self, setting):
+        circuit, topo, ref = setting
+        for seed in range(5):
+            tc = synthesize_feasible_constraints(
+                circuit, topo.delay_matrix, ref, count=40, tightness=1.0,
+                max_margin=0, min_budget=0.0, seed=seed,
+            )
+            assert tc.is_satisfied(ref, topo.delay_matrix)
+
+    def test_count_beyond_connected_pairs_uses_random_pairs(self, setting):
+        circuit, topo, ref = setting
+        want = circuit.num_connected_pairs + 50
+        tc = synthesize_feasible_constraints(
+            circuit, topo.delay_matrix, ref, count=want, seed=2
+        )
+        assert tc.num_pairs == want
+
+    def test_count_too_large_rejected(self, setting):
+        circuit, topo, ref = setting
+        with pytest.raises(ValueError, match="exceeds"):
+            synthesize_feasible_constraints(
+                circuit, topo.delay_matrix, ref, count=30 * 29 // 2 + 1, seed=0
+            )
+
+    def test_min_budget_respected(self, setting):
+        circuit, topo, ref = setting
+        tc = synthesize_feasible_constraints(
+            circuit, topo.delay_matrix, ref, count=20, min_budget=2.0,
+            tightness=1.0, seed=4,
+        )
+        budgets = [b for _, _, b in tc.items()]
+        assert min(budgets) >= 2.0
+
+    def test_deterministic(self, setting):
+        circuit, topo, ref = setting
+        a = synthesize_feasible_constraints(circuit, topo.delay_matrix, ref, count=30, seed=9)
+        b = synthesize_feasible_constraints(circuit, topo.delay_matrix, ref, count=30, seed=9)
+        assert list(a.items()) == list(b.items())
+
+    def test_validates_args(self, setting):
+        circuit, topo, ref = setting
+        with pytest.raises(ValueError):
+            synthesize_feasible_constraints(
+                circuit, topo.delay_matrix, ref, count=5, tightness=2.0
+            )
+        with pytest.raises(ValueError):
+            synthesize_feasible_constraints(
+                circuit, topo.delay_matrix, ref, count=5, max_margin=-1
+            )
+        with pytest.raises(ValueError):
+            synthesize_feasible_constraints(
+                circuit, topo.delay_matrix, np.zeros(5), count=5
+            )

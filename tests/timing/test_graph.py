@@ -1,0 +1,138 @@
+"""Tests for repro.timing.graph (STA substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.timing.graph import TimingGraph, acyclic_orientation
+
+
+@pytest.fixture
+def chain() -> TimingGraph:
+    """A 4-node chain with unit intrinsic delays."""
+    return TimingGraph(4, [1.0, 1.0, 1.0, 1.0], [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def diamond() -> TimingGraph:
+    """0 -> {1 slow, 2 fast} -> 3."""
+    return TimingGraph(4, [1.0, 5.0, 1.0, 1.0], [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestConstruction:
+    def test_rejects_bad_delays(self):
+        with pytest.raises(ValueError):
+            TimingGraph(2, [1.0], [])
+        with pytest.raises(ValueError):
+            TimingGraph(2, [1.0, -1.0], [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            TimingGraph(2, [0.0, 0.0], [(0, 0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(IndexError):
+            TimingGraph(2, [0.0, 0.0], [(0, 5)])
+
+    def test_duplicate_edges_collapsed(self):
+        g = TimingGraph(2, [0.0, 0.0], [(0, 1), (0, 1)])
+        assert g.edges == ((0, 1),)
+
+    def test_io_detection(self, diamond):
+        assert diamond.primary_inputs() == [0]
+        assert diamond.primary_outputs() == [3]
+
+    def test_cycle_detected(self):
+        g = TimingGraph(2, [0.0, 0.0], [(0, 1), (1, 0)])
+        with pytest.raises(ValueError, match="cycle"):
+            g.topological_order()
+
+    def test_topological_order_valid(self, diamond):
+        order = diamond.topological_order()
+        pos = {node: k for k, node in enumerate(order)}
+        for a, b in diamond.edges:
+            assert pos[a] < pos[b]
+
+
+class TestAnalysis:
+    def test_chain_arrivals(self, chain):
+        report = chain.analyze(cycle_time=10.0)
+        assert np.array_equal(report.arrival, [1.0, 2.0, 3.0, 4.0])
+        assert report.critical_path_delay == 4.0
+
+    def test_chain_requireds_and_slack(self, chain):
+        report = chain.analyze(cycle_time=10.0)
+        assert np.array_equal(report.required, [7.0, 8.0, 9.0, 10.0])
+        assert np.all(report.slack == 6.0)
+        assert report.worst_slack == 6.0
+
+    def test_diamond_critical_path(self, diamond):
+        report = diamond.analyze(cycle_time=10.0)
+        # Critical path 0 -> 1 -> 3: 1 + 5 + 1 = 7.
+        assert report.critical_path_delay == 7.0
+        # Node 2 is off-critical: slack larger than node 1's.
+        assert report.slack[2] > report.slack[1]
+
+    def test_negative_slack_when_cycle_too_short(self, diamond):
+        report = diamond.analyze(cycle_time=5.0)
+        assert report.worst_slack < 0
+
+    def test_edge_delays_constant(self, chain):
+        fast = chain.analyze(cycle_time=20.0)
+        slow = chain.analyze(cycle_time=20.0, edge_delays=2.0)
+        assert slow.critical_path_delay == fast.critical_path_delay + 3 * 2.0
+
+    def test_edge_delays_mapping(self, chain):
+        report = chain.analyze(cycle_time=20.0, edge_delays={(0, 1): 5.0})
+        assert report.arrival[1] == 1.0 + 5.0 + 1.0
+
+    def test_rejects_negative_cycle_time(self, chain):
+        with pytest.raises(ValueError):
+            chain.analyze(-1.0)
+
+    def test_rejects_negative_edge_delay(self, chain):
+        with pytest.raises(ValueError):
+            chain.analyze(10.0, edge_delays=-1.0)
+
+
+class TestEdgeSlacks:
+    def test_chain_edge_slacks_uniform(self, chain):
+        report = chain.analyze(cycle_time=10.0)
+        slacks = chain.edge_slacks(report)
+        assert set(slacks.values()) == {6.0}
+
+    def test_diamond_off_critical_edge_has_more_slack(self, diamond):
+        report = diamond.analyze(cycle_time=10.0)
+        slacks = diamond.edge_slacks(report)
+        assert slacks[(0, 2)] > slacks[(0, 1)]
+        assert slacks[(2, 3)] > slacks[(1, 3)]
+
+    def test_zero_cycle_slack_consistency(self, diamond):
+        # At cycle time == critical path, critical edges have zero slack.
+        report = diamond.analyze(cycle_time=7.0)
+        slacks = diamond.edge_slacks(report)
+        assert slacks[(0, 1)] == pytest.approx(0.0)
+        assert slacks[(1, 3)] == pytest.approx(0.0)
+
+
+class TestFromCircuit:
+    def test_orientation_is_acyclic(self):
+        ckt = Circuit()
+        for name in "abcd":
+            ckt.add_component(name, intrinsic_delay=1.0)
+        ckt.add_undirected_wire("a", "b")
+        ckt.add_undirected_wire("b", "c")
+        ckt.add_undirected_wire("c", "d")
+        ckt.add_undirected_wire("d", "a")  # cycle in the undirected sense
+        edges = acyclic_orientation(ckt)
+        assert edges == [(0, 1), (0, 3), (1, 2), (2, 3)]
+        graph = TimingGraph.from_circuit(ckt)
+        graph.topological_order()  # must not raise
+
+    def test_intrinsic_delays_carried(self):
+        ckt = Circuit()
+        ckt.add_component("a", intrinsic_delay=2.5)
+        ckt.add_component("b", intrinsic_delay=0.5)
+        ckt.add_wire("a", "b")
+        graph = TimingGraph.from_circuit(ckt)
+        assert np.array_equal(graph.intrinsic, [2.5, 0.5])

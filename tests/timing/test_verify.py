@@ -1,0 +1,76 @@
+"""Tests for repro.timing.verify (post-partitioning cycle-time check)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.timing.constraints import derive_budgets
+from repro.timing.graph import TimingGraph
+from repro.timing.verify import budgets_imply_cycle_time, verify_cycle_time
+
+# 1x3 linear topology delays.
+DELAY = np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]])
+
+
+@pytest.fixture
+def chain() -> TimingGraph:
+    return TimingGraph(3, [1.0, 1.0, 1.0], [(0, 1), (1, 2)])
+
+
+class TestVerifyCycleTime:
+    def test_colocated_meets_clock(self, chain):
+        verdict = verify_cycle_time(chain, Assignment([0, 0, 0], 3), DELAY, 3.0)
+        assert verdict.meets_cycle_time
+        assert verdict.achieved_delay == pytest.approx(3.0)  # intrinsic only
+        assert verdict.worst_slack == pytest.approx(0.0)
+
+    def test_spread_out_adds_routing(self, chain):
+        verdict = verify_cycle_time(chain, Assignment([0, 1, 2], 3), DELAY, 10.0)
+        # 3 intrinsic + routing 1 + 1.
+        assert verdict.achieved_delay == pytest.approx(5.0)
+        assert verdict.meets_cycle_time
+
+    def test_clock_violation_detected(self, chain):
+        verdict = verify_cycle_time(chain, Assignment([0, 2, 0], 3), DELAY, 5.0)
+        # Routing 2 + 2 => achieved 7 > 5.
+        assert verdict.achieved_delay == pytest.approx(7.0)
+        assert not verdict.meets_cycle_time
+        assert verdict.worst_slack == pytest.approx(-2.0)
+
+    def test_critical_edges_listed(self, chain):
+        verdict = verify_cycle_time(chain, Assignment([0, 2, 0], 3), DELAY, 5.0)
+        assert set(verdict.critical_edges) == {(0, 1), (1, 2)}
+
+    def test_off_critical_edge_excluded(self):
+        graph = TimingGraph(4, [1.0, 5.0, 1.0, 1.0], [(0, 1), (0, 2), (1, 3), (2, 3)])
+        verdict = verify_cycle_time(graph, Assignment([0, 0, 0, 0], 4), np.zeros((4, 4)), 8.0)
+        # Critical path runs through node 1; 0->2 and 2->3 are slack-rich.
+        assert (0, 2) not in verdict.critical_edges
+
+    def test_shape_validated(self, chain):
+        with pytest.raises(ValueError, match="cover 3 nodes"):
+            verify_cycle_time(chain, Assignment([0, 1], 2), DELAY, 5.0)
+
+    def test_slack_ratio(self, chain):
+        verdict = verify_cycle_time(chain, Assignment([0, 0, 0], 3), DELAY, 6.0)
+        assert verdict.slack_ratio == pytest.approx(3.0 / 6.0)
+
+
+class TestBudgetDecomposition:
+    """The soundness property: budgets met => cycle time met."""
+
+    def test_implication_holds_on_random_assignments(self, chain):
+        cycle_time = 7.0
+        budgets = derive_budgets(chain, cycle_time)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            a = Assignment(rng.integers(0, 3, size=3), 3)
+            if budgets_imply_cycle_time(chain, a, DELAY, budgets):
+                verdict = verify_cycle_time(chain, a, DELAY, cycle_time)
+                assert verdict.meets_cycle_time, a.part
+
+    def test_premise_fails_when_edge_over_budget(self, chain):
+        budgets = derive_budgets(chain, 3.5)  # slack 0.5 -> budgets 0.25
+        assert not budgets_imply_cycle_time(
+            chain, Assignment([0, 2, 0], 3), DELAY, budgets
+        )

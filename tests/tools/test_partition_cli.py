@@ -1,0 +1,103 @@
+"""Tests for the command-line partitioner (python -m repro.tools.partition)."""
+
+import json
+
+import pytest
+
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.netlist.io import save_circuit
+from repro.timing.constraints import TimingConstraints
+from repro.tools.files import timing_to_dict
+from repro.tools.partition import main, parse_grid
+
+
+@pytest.fixture
+def circuit_file(tmp_path):
+    spec = ClusteredCircuitSpec("cli", num_components=24, num_wires=70)
+    circuit = generate_clustered_circuit(spec, seed=9)
+    path = tmp_path / "circuit.json"
+    save_circuit(circuit, path)
+    return path, circuit
+
+
+class TestParseGrid:
+    def test_ok(self):
+        assert parse_grid("4x4") == (4, 4)
+        assert parse_grid("2X3") == (2, 3)
+
+    def test_bad(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_grid("4by4")
+
+
+class TestMain:
+    def test_qbp_run_writes_assignment(self, circuit_file, tmp_path, capsys):
+        path, circuit = circuit_file
+        out = tmp_path / "assignment.json"
+        code = main(
+            [
+                str(path),
+                "--grid",
+                "2x2",
+                "--solver",
+                "qbp",
+                "--iterations",
+                "10",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["solver"] == "qbp"
+        assert len(payload["assignment"]) == 24
+        assert set(payload["assignment"].values()) <= {0, 1, 2, 3}
+        assert "cost" in payload
+        assert "feasible" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("solver", ["gfm", "gkl"])
+    def test_baseline_solvers(self, circuit_file, solver, capsys):
+        path, _ = circuit_file
+        code = main([str(path), "--grid", "2x2", "--solver", solver])
+        assert code == 0
+        assert solver in capsys.readouterr().out
+
+    def test_report_flag(self, circuit_file, capsys):
+        path, _ = circuit_file
+        code = main([str(path), "--grid", "2x2", "--solver", "gfm", "--report"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partition utilisation" in out
+
+    def test_with_timing_file(self, circuit_file, tmp_path, capsys):
+        path, circuit = circuit_file
+        tc = TimingConstraints(circuit.num_components)
+        tc.add(0, 1, 2.0, symmetric=True)
+        timing_path = tmp_path / "timing.json"
+        timing_path.write_text(json.dumps(timing_to_dict(tc)))
+        code = main(
+            [
+                str(path),
+                "--grid",
+                "2x2",
+                "--timing",
+                str(timing_path),
+                "--solver",
+                "qbp",
+                "--iterations",
+                "5",
+            ]
+        )
+        assert code == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_explicit_capacity(self, circuit_file):
+        path, circuit = circuit_file
+        # Generous explicit capacity: must succeed.
+        code = main(
+            [str(path), "--grid", "1x2", "--capacity", str(circuit.total_size()),
+             "--solver", "gfm"]
+        )
+        assert code == 0

@@ -1,0 +1,89 @@
+"""Tests for repro.topology.distance."""
+
+import numpy as np
+import pytest
+
+from repro.topology.distance import (
+    euclidean_distance_matrix,
+    hop_distance_matrix,
+    manhattan_distance_matrix,
+    uniform_cost_matrix,
+)
+
+
+class TestManhattan:
+    def test_paper_2x2_grid(self):
+        # Positions of the paper example's partitions 1..4 on a 2x2 grid.
+        pos = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        d = manhattan_distance_matrix(pos)
+        expected = np.array(
+            [
+                [0, 1, 1, 2],
+                [1, 0, 2, 1],
+                [1, 2, 0, 1],
+                [2, 1, 1, 0],
+            ],
+            dtype=float,
+        )
+        assert np.array_equal(d, expected)
+
+    def test_symmetry_and_zero_diagonal(self):
+        pos = [(0.5, 2.0), (3.0, 1.0), (2.0, 2.0)]
+        d = manhattan_distance_matrix(pos)
+        assert np.array_equal(d, d.T)
+        assert np.array_equal(np.diag(d), np.zeros(3))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            manhattan_distance_matrix([(0, 0, 0)])
+
+
+class TestEuclidean:
+    def test_345_triangle(self):
+        d = euclidean_distance_matrix([(0, 0), (3, 4)])
+        assert d[0, 1] == pytest.approx(5.0)
+
+    def test_at_most_manhattan(self):
+        pos = [(0, 0), (2, 3), (5, 1), (4, 4)]
+        e = euclidean_distance_matrix(pos)
+        m = manhattan_distance_matrix(pos)
+        assert (e <= m + 1e-12).all()
+
+
+class TestUniform:
+    def test_structure(self):
+        u = uniform_cost_matrix(3, 2.5)
+        assert np.array_equal(np.diag(u), np.zeros(3))
+        assert u[0, 1] == 2.5
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            uniform_cost_matrix(0)
+        with pytest.raises(ValueError):
+            uniform_cost_matrix(3, -1.0)
+
+
+class TestHop:
+    def test_path_graph(self):
+        d = hop_distance_matrix(3, [(0, 1), (1, 2)])
+        assert d[0, 2] == 2.0
+        assert d[0, 1] == 1.0
+        assert d[0, 0] == 0.0
+
+    def test_disconnected_is_inf(self):
+        d = hop_distance_matrix(3, [(0, 1)])
+        assert np.isinf(d[0, 2])
+
+    def test_self_loop_ignored(self):
+        d = hop_distance_matrix(2, [(0, 0), (0, 1)])
+        assert d[0, 0] == 0.0
+        assert d[0, 1] == 1.0
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(IndexError):
+            hop_distance_matrix(2, [(0, 5)])
+
+    def test_symmetric(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]
+        d = hop_distance_matrix(4, edges)
+        assert np.array_equal(d, d.T)

@@ -1,0 +1,113 @@
+"""Tests for repro.topology.grid builders."""
+
+import numpy as np
+import pytest
+
+from repro.topology.grid import (
+    grid_topology,
+    linear_topology,
+    ring_topology,
+    star_topology,
+)
+
+
+class TestGrid:
+    def test_paper_4x4(self):
+        topo = grid_topology(4, 4, capacity=100.0)
+        assert topo.num_partitions == 16
+        assert topo.total_capacity() == 1600.0
+        # Opposite corners of a 4x4 grid are Manhattan distance 6 apart.
+        assert topo.cost_matrix.max() == 6.0
+        assert np.array_equal(topo.cost_matrix, topo.delay_matrix)
+
+    def test_2x2_matches_paper_example(self):
+        topo = grid_topology(2, 2, capacity=1.0)
+        expected = np.array(
+            [[0, 1, 1, 2], [1, 0, 2, 1], [1, 2, 0, 1], [2, 1, 1, 0]], dtype=float
+        )
+        assert np.array_equal(topo.cost_matrix, expected)
+
+    def test_per_slot_capacities(self):
+        topo = grid_topology(1, 3, capacity=[1.0, 2.0, 3.0])
+        assert np.array_equal(topo.capacities(), [1.0, 2.0, 3.0])
+
+    def test_capacity_count_mismatch(self):
+        with pytest.raises(ValueError, match="expected 4"):
+            grid_topology(2, 2, capacity=[1.0, 2.0])
+
+    def test_pitch_scales_distances(self):
+        topo = grid_topology(1, 2, capacity=1.0, pitch=2.5)
+        assert topo.cost_matrix[0, 1] == 2.5
+
+    def test_uniform_metric(self):
+        topo = grid_topology(2, 2, capacity=1.0, metric="uniform")
+        off_diag = topo.cost_matrix[0, 1:]
+        assert np.array_equal(off_diag, np.ones(3))
+
+    def test_euclidean_metric(self):
+        topo = grid_topology(2, 2, capacity=1.0, metric="euclidean")
+        assert topo.cost_matrix[0, 3] == pytest.approx(np.sqrt(2))
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            grid_topology(2, 2, capacity=1.0, metric="chebyshev")
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            grid_topology(0, 4, capacity=1.0)
+
+    def test_positions_stored(self):
+        topo = grid_topology(2, 3, capacity=1.0)
+        assert topo.positions().shape == (6, 2)
+
+
+class TestLinear:
+    def test_is_1xn_grid(self):
+        topo = linear_topology(4, capacity=2.0)
+        assert topo.num_partitions == 4
+        assert topo.cost_matrix[0, 3] == 3.0
+
+
+class TestRing:
+    def test_hop_metric_wraps(self):
+        topo = ring_topology(6, capacity=1.0)
+        assert topo.cost_matrix[0, 3] == 3.0  # halfway round
+        assert topo.cost_matrix[0, 5] == 1.0  # wraps
+
+    def test_single_partition_ring(self):
+        topo = ring_topology(1, capacity=1.0)
+        assert topo.num_partitions == 1
+        assert topo.cost_matrix[0, 0] == 0.0
+
+
+class TestStar:
+    def test_hub_and_leaf_distances(self):
+        topo = star_topology(4, hub_capacity=10.0, leaf_capacity=2.0)
+        assert topo.num_partitions == 5
+        assert topo.cost_matrix[0, 1] == 1.0  # hub-leaf
+        assert topo.cost_matrix[1, 2] == 2.0  # leaf-leaf via hub
+
+    def test_capacities(self):
+        topo = star_topology(2, hub_capacity=10.0, leaf_capacity=3.0)
+        assert np.array_equal(topo.capacities(), [10.0, 3.0, 3.0])
+
+    def test_rejects_no_leaves(self):
+        with pytest.raises(ValueError):
+            star_topology(0, hub_capacity=1.0, leaf_capacity=1.0)
+
+
+class TestQuadraticMetric:
+    def test_squared_manhattan(self):
+        import numpy as np
+        from repro.topology.grid import grid_topology
+
+        quad = grid_topology(2, 2, capacity=1.0, metric="quadratic")
+        man = grid_topology(2, 2, capacity=1.0, metric="manhattan")
+        assert np.array_equal(quad.cost_matrix, man.cost_matrix**2)
+
+    def test_penalises_long_wires_superlinearly(self):
+        from repro.topology.grid import grid_topology
+
+        quad = grid_topology(1, 4, capacity=1.0, metric="quadratic")
+        assert quad.cost_matrix[0, 3] == 9.0
+        assert quad.cost_matrix[0, 1] == 1.0

@@ -1,0 +1,98 @@
+"""Tests for repro.topology.partition."""
+
+import numpy as np
+import pytest
+
+from repro.topology.partition import Partition, Topology, summarize
+
+
+@pytest.fixture
+def topo() -> Topology:
+    parts = [
+        Partition("p0", capacity=10.0, position=(0.0, 0.0)),
+        Partition("p1", capacity=20.0, position=(1.0, 0.0)),
+    ]
+    cost = [[0.0, 1.0], [1.0, 0.0]]
+    delay = [[0.0, 3.0], [3.0, 0.0]]
+    return Topology(parts, cost, delay)
+
+
+class TestPartition:
+    def test_fields(self):
+        p = Partition("slot", capacity=5.0, position=(1.0, 2.0))
+        assert p.name == "slot"
+        assert p.capacity == 5.0
+        assert p.position == (1.0, 2.0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            Partition("p", capacity=-1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Partition("", capacity=1.0)
+
+
+class TestTopology:
+    def test_counts_and_vectors(self, topo):
+        assert topo.num_partitions == 2
+        assert np.array_equal(topo.capacities(), [10.0, 20.0])
+        assert topo.total_capacity() == 30.0
+
+    def test_b_and_d_independent(self, topo):
+        assert topo.cost_matrix[0, 1] == 1.0
+        assert topo.delay_matrix[0, 1] == 3.0
+
+    def test_delay_defaults_to_cost(self):
+        t = Topology([Partition("p", 1.0)], [[0.0]])
+        assert np.array_equal(t.delay_matrix, t.cost_matrix)
+
+    def test_matrices_read_only(self, topo):
+        with pytest.raises(ValueError):
+            topo.cost_matrix[0, 1] = 9.0
+
+    def test_index_of(self, topo):
+        assert topo.index_of("p1") == 1
+        assert topo.index_of(0) == 0
+        with pytest.raises(KeyError):
+            topo.index_of("nope")
+        with pytest.raises(IndexError):
+            topo.index_of(5)
+
+    def test_positions(self, topo):
+        pos = topo.positions()
+        assert pos.shape == (2, 2)
+        assert tuple(pos[1]) == (1.0, 0.0)
+
+    def test_positions_none_when_missing(self):
+        t = Topology([Partition("p", 1.0)], [[0.0]])
+        assert t.positions() is None
+
+    def test_duplicate_names_rejected(self):
+        parts = [Partition("p", 1.0), Partition("p", 1.0)]
+        with pytest.raises(ValueError, match="unique"):
+            Topology(parts, np.zeros((2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Topology([], np.zeros((0, 0)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Topology([Partition("p", 1.0)], np.zeros((2, 2)))
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Topology([Partition("p", 1.0)], [[-1.0]])
+
+    def test_with_cost_matrix_keeps_delay(self, topo):
+        zeroed = topo.with_cost_matrix(np.zeros((2, 2)))
+        assert zeroed.cost_matrix.sum() == 0.0
+        # Crucial for the paper's B = 0 bootstrap: D must be preserved.
+        assert zeroed.delay_matrix[0, 1] == 3.0
+
+    def test_summarize(self, topo):
+        s = summarize(topo)
+        assert s.num_partitions == 2
+        assert s.total_capacity == 30.0
+        assert s.max_delay == 3.0

@@ -1,0 +1,96 @@
+"""Tests for repro.utils.matrices."""
+
+import numpy as np
+import pytest
+
+from repro.utils.matrices import (
+    INFINITE_BUDGET,
+    as_cost_matrix,
+    as_square_matrix,
+    is_symmetric,
+    validate_nonnegative,
+    zero_diagonal,
+)
+
+
+class TestAsSquareMatrix:
+    def test_accepts_square(self):
+        out = as_square_matrix([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == float
+
+    def test_size_check(self):
+        with pytest.raises(ValueError, match="must be 3x3"):
+            as_square_matrix(np.eye(2), size=3)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="must be square"):
+            as_square_matrix(np.ones((2, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            as_square_matrix([1, 2, 3])
+
+    def test_name_in_error(self):
+        with pytest.raises(ValueError, match="myname"):
+            as_square_matrix([1], name="myname")
+
+
+class TestAsCostMatrix:
+    def test_accepts_shape(self):
+        out = as_cost_matrix(np.ones((2, 5)), 2, 5)
+        assert out.shape == (2, 5)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match=r"\(3, 5\)"):
+            as_cost_matrix(np.ones((2, 5)), 3, 5)
+
+
+class TestValidateNonnegative:
+    def test_accepts_zeros(self):
+        arr = np.zeros((2, 2))
+        assert validate_nonnegative(arr) is arr
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_nonnegative(np.array([[0.0, -1.0]]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            validate_nonnegative(np.array([np.nan]))
+
+    def test_accepts_inf(self):
+        validate_nonnegative(np.array([np.inf]))
+
+
+class TestIsSymmetric:
+    def test_symmetric(self):
+        assert is_symmetric(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_asymmetric(self):
+        assert not is_symmetric(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_tolerance(self):
+        mat = np.array([[0.0, 1.0], [1.0 + 1e-9, 0.0]])
+        assert not is_symmetric(mat)
+        assert is_symmetric(mat, tol=1e-8)
+
+    def test_infinities_compare_equal(self):
+        mat = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        assert is_symmetric(mat)
+
+    def test_rectangular_is_not_symmetric(self):
+        assert not is_symmetric(np.ones((2, 3)))
+
+
+class TestZeroDiagonal:
+    def test_accepts_zero_diagonal(self):
+        zero_diagonal(np.array([[0.0, 5.0], [3.0, 0.0]]))
+
+    def test_rejects_nonzero(self):
+        with pytest.raises(ValueError, match="zero diagonal"):
+            zero_diagonal(np.eye(2))
+
+
+def test_infinite_budget_is_inf():
+    assert INFINITE_BUDGET == np.inf

@@ -1,0 +1,73 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_children
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=10)
+        b = ensure_rng(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            ensure_rng("seed")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            ensure_rng(1.5)
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        children = spawn_children(ensure_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.integers(0, 10**9) for g in spawn_children(ensure_rng(3), 4)]
+        second = [g.integers(0, 10**9) for g in spawn_children(ensure_rng(3), 4)]
+        assert first == second
+        assert len(set(first)) > 1
+
+    def test_zero_children(self):
+        assert spawn_children(ensure_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_children(ensure_rng(0), -1)
+
+
+class TestDeriveSeed:
+    def test_none_base_stays_none(self):
+        assert derive_seed(None, "anything") is None
+
+    def test_deterministic(self):
+        assert derive_seed(42, "ckta") == derive_seed(42, "ckta")
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(42, "ckta") != derive_seed(42, "cktb")
+
+    def test_base_changes_seed(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_result_in_uint64_range(self):
+        value = derive_seed(2**62, "long-salt-string" * 10)
+        assert 0 <= value < 2**64

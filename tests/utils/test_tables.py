@@ -1,0 +1,62 @@
+"""Tests for repro.utils.tables (already partially covered in eval tests)."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_cell
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        t = TextTable(["ckt", "cost"])
+        t.add_row(["ckta", 20756])
+        out = t.render()
+        assert "ckt" in out and "20756" in out
+        assert "-+-" in out  # separator row
+
+    def test_empty_table_renders_headers(self):
+        t = TextTable(["only"])
+        out = t.render()
+        assert out.splitlines()[0].strip() == "only"
+
+    def test_str_is_render(self):
+        t = TextTable(["x"])
+        t.add_row([5])
+        assert str(t) == t.render()
+
+    def test_column_widths_grow_with_content(self):
+        t = TextTable(["a", "b"])
+        t.add_row(["short", 1])
+        t.add_row(["a-much-longer-cell", 2])
+        lines = [l for l in t.render().splitlines() if "|" in l]
+        # The column separator is vertically aligned across all rows.
+        assert len({line.index("|") for line in lines}) == 1
+
+    def test_float_formatting_one_decimal(self):
+        t = TextTable(["v"])
+        t.add_row([3.14159])
+        assert "3.1" in t.render()
+        assert "3.14" not in t.render()
+
+    def test_mismatched_row_rejected(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1, 2, 3])
+
+
+class TestFormatCell:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1, "1"),
+            (1.0, "1.0"),
+            (True, "yes"),
+            (False, "no"),
+            ("text", "text"),
+            (-2.55, "-2.5"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert format_cell(value) == expected
+
+    def test_nan_is_dash(self):
+        assert format_cell(float("nan")) == "-"

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_index,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        assert check_type(3, int, "x") == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type(3.5, (int, float), "x") == 3.5
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("3", int, "x")
+
+    def test_tuple_error_message_lists_both(self):
+        with pytest.raises(TypeError, match="int or float"):
+            check_type("3", (int, float), "x")
+
+
+class TestCheckPositive:
+    def test_strict_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_strict_rejects_zero(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive(0, "x")
+
+    def test_non_strict_accepts_zero(self):
+        assert check_positive(0, "x", strict=False) == 0
+
+    def test_non_strict_rejects_negative(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            check_positive(-1, "x", strict=False)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_positive("1", "x")
+
+
+class TestCheckIndex:
+    def test_accepts_in_range(self):
+        assert check_index(2, 5, "i") == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(IndexError):
+            check_index(-1, 5, "i")
+
+    def test_rejects_at_size(self):
+        with pytest.raises(IndexError):
+            check_index(5, 5, "i")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_index(1.0, 5, "i")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+    def test_coerces_to_float(self):
+        assert isinstance(check_probability(1, "p"), float)
