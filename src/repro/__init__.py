@@ -19,6 +19,9 @@ from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
 from repro.netlist.circuit import Circuit
 from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.runtime.budget import Budget, BudgetExceededError
+from repro.runtime.checkpoint import QbpCheckpointer
+from repro.runtime.supervisor import SolverSupervisor
 from repro.solvers.burkard import bootstrap_initial_solution, solve_qbp
 from repro.timing.constraints import TimingConstraints
 from repro.topology.grid import grid_topology
@@ -27,10 +30,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Assignment",
+    "Budget",
+    "BudgetExceededError",
     "Circuit",
     "ClusteredCircuitSpec",
     "ObjectiveEvaluator",
     "PartitioningProblem",
+    "QbpCheckpointer",
+    "SolverSupervisor",
     "TimingConstraints",
     "__version__",
     "bootstrap_initial_solution",

@@ -25,6 +25,7 @@ from repro.baselines.result import InterchangeResult
 from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.problem import PartitioningProblem
+from repro.runtime.budget import STOP_COMPLETED, Budget
 from repro.utils.rng import RandomSource, ensure_rng
 
 
@@ -38,6 +39,7 @@ def annealing_partition(
     temperature_steps: int = 40,
     swap_probability: float = 0.4,
     seed: RandomSource = None,
+    budget: Optional[Budget] = None,
 ) -> InterchangeResult:
     """Anneal from a feasible ``initial`` assignment.
 
@@ -53,6 +55,10 @@ def annealing_partition(
     swap_probability:
         Fraction of proposals that are pairwise swaps (the rest are
         single moves).
+    budget:
+        Optional :class:`repro.runtime.budget.Budget`, checked per
+        sweep and every few proposals; the best solution seen so far is
+        returned with ``stop_reason`` recording any early stop.
     """
     report = check_feasibility(problem, initial)
     if not report.feasible:
@@ -89,9 +95,23 @@ def annealing_partition(
     best_cost = initial_cost
     current_cost = initial_cost
     applied = 0
+    steps_run = 0
+    stop_reason = STOP_COMPLETED
 
     for _ in range(temperature_steps):
-        for _ in range(proposals):
+        if budget is not None:
+            reason = budget.check()
+            if reason is not None:
+                stop_reason = reason
+                break
+        steps_run += 1
+        for proposal_index in range(proposals):
+            if (
+                budget is not None
+                and proposal_index % 32 == 0
+                and budget.check() is not None
+            ):
+                break
             delta_applied = None
             if rng.random() < swap_probability and n >= 2:
                 j1, j2 = rng.choice(n, size=2, replace=False)
@@ -136,8 +156,9 @@ def annealing_partition(
         assignment=final,
         cost=best_cost,
         initial_cost=initial_cost,
-        passes=temperature_steps,
+        passes=steps_run,
         moves_applied=applied,
         feasible=feasible,
         elapsed_seconds=time.perf_counter() - start_time,
+        stop_reason=stop_reason,
     )

@@ -31,6 +31,7 @@ from repro.baselines.result import InterchangeResult
 from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.problem import PartitioningProblem
+from repro.runtime.budget import STOP_COMPLETED, Budget
 
 
 def gfm_partition(
@@ -40,6 +41,7 @@ def gfm_partition(
     max_passes: int = 50,
     max_moves_per_pass: Optional[int] = None,
     min_gain: float = 1e-9,
+    budget: Optional[Budget] = None,
 ) -> InterchangeResult:
     """Run GFM from a feasible ``initial`` assignment.
 
@@ -56,6 +58,11 @@ def gfm_partition(
         unlocked feasible move remains, the classic FM rule).
     min_gain:
         Minimum net pass improvement to continue iterating.
+    budget:
+        Optional :class:`repro.runtime.budget.Budget`, checked per pass
+        and per move.  A budget stop still rolls the interrupted pass
+        back to its best prefix, so the result never worsens and
+        ``stop_reason`` records why the run ended early.
     """
     report = check_feasibility(problem, initial)
     if not report.feasible:
@@ -67,12 +74,21 @@ def gfm_partition(
     pass_costs: List[float] = []
     total_moves = 0
     passes = 0
+    stop_reason = STOP_COMPLETED
 
     for _ in range(max_passes):
+        if budget is not None:
+            reason = budget.check()
+            if reason is not None:
+                stop_reason = reason
+                break
         passes += 1
-        improvement, moves = _run_pass(engine, max_moves_per_pass)
+        improvement, moves = _run_pass(engine, max_moves_per_pass, budget)
         total_moves += moves
         pass_costs.append(engine.current_cost())
+        if budget is not None and budget.check() is not None:
+            stop_reason = budget.check() or stop_reason
+            break
         if improvement <= min_gain:
             break
 
@@ -88,13 +104,18 @@ def gfm_partition(
         feasible=feasible,
         elapsed_seconds=time.perf_counter() - start,
         pass_costs=pass_costs,
+        stop_reason=stop_reason,
     )
 
 
-def _run_pass(engine: GainEngine, max_moves: Optional[int]) -> Tuple[float, int]:
+def _run_pass(
+    engine: GainEngine, max_moves: Optional[int], budget: Optional[Budget] = None
+) -> Tuple[float, int]:
     """One FM pass with locking and best-prefix rollback.
 
-    Returns ``(net_improvement, moves_kept)``.
+    Returns ``(net_improvement, moves_kept)``.  An exhausted ``budget``
+    ends the pass early; the rollback below still restores the best
+    prefix, so interruption never degrades the solution.
     """
     n = engine.n
     locked = np.zeros(n, dtype=bool)
@@ -105,6 +126,8 @@ def _run_pass(engine: GainEngine, max_moves: Optional[int]) -> Tuple[float, int]
     limit = n if max_moves is None else min(n, max_moves)
 
     while len(trail) < limit:
+        if budget is not None and budget.check() is not None:
+            break
         move = engine.best_move(locked)
         if move is None:
             break

@@ -34,6 +34,7 @@ from repro.baselines.result import InterchangeResult
 from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.problem import PartitioningProblem
+from repro.runtime.budget import STOP_COMPLETED, Budget
 
 
 def gkl_partition(
@@ -43,6 +44,7 @@ def gkl_partition(
     max_outer_loops: int = 6,
     max_swaps_per_pass: Optional[int] = None,
     min_gain: float = 1e-9,
+    budget: Optional[Budget] = None,
 ) -> InterchangeResult:
     """Run GKL from a feasible ``initial`` assignment.
 
@@ -56,6 +58,10 @@ def gkl_partition(
     max_swaps_per_pass:
         Optional cap on swaps per pass (``None`` = classic KL: continue
         until no unlocked feasible swap remains).
+    budget:
+        Optional :class:`repro.runtime.budget.Budget`, checked per outer
+        loop and per swap.  A budget stop still rolls the interrupted
+        pass back to its best prefix; ``stop_reason`` records the cause.
     """
     report = check_feasibility(problem, initial)
     if not report.feasible:
@@ -67,12 +73,21 @@ def gkl_partition(
     pass_costs: List[float] = []
     total_swaps = 0
     passes = 0
+    stop_reason = STOP_COMPLETED
 
     for _ in range(max_outer_loops):
+        if budget is not None:
+            reason = budget.check()
+            if reason is not None:
+                stop_reason = reason
+                break
         passes += 1
-        improvement, swaps = _run_pass(engine, max_swaps_per_pass)
+        improvement, swaps = _run_pass(engine, max_swaps_per_pass, budget)
         total_swaps += swaps
         pass_costs.append(engine.current_cost())
+        if budget is not None and budget.check() is not None:
+            stop_reason = budget.check() or stop_reason
+            break
         if improvement <= min_gain:
             break
 
@@ -88,11 +103,18 @@ def gkl_partition(
         feasible=feasible,
         elapsed_seconds=time.perf_counter() - start,
         pass_costs=pass_costs,
+        stop_reason=stop_reason,
     )
 
 
-def _run_pass(engine: GainEngine, max_swaps: Optional[int]) -> Tuple[float, int]:
-    """One KL pass: best-swap/lock until exhausted, then best-prefix rollback."""
+def _run_pass(
+    engine: GainEngine, max_swaps: Optional[int], budget: Optional[Budget] = None
+) -> Tuple[float, int]:
+    """One KL pass: best-swap/lock until exhausted, then best-prefix rollback.
+
+    An exhausted ``budget`` ends the pass early; the rollback still
+    restores the best prefix, so interruption never degrades the result.
+    """
     n = engine.n
     locked = np.zeros(n, dtype=bool)
     trail: List[Tuple[int, int]] = []  # swapped pairs, in order
@@ -102,6 +124,8 @@ def _run_pass(engine: GainEngine, max_swaps: Optional[int]) -> Tuple[float, int]
     limit = n // 2 if max_swaps is None else min(n // 2, max_swaps)
 
     while len(trail) < limit:
+        if budget is not None and budget.check() is not None:
+            break
         pair = _best_swap(engine, locked)
         if pair is None:
             break

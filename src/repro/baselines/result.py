@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.core.assignment import Assignment
+from repro.runtime.budget import STOP_COMPLETED
 
 
 @dataclass
@@ -25,6 +26,8 @@ class InterchangeResult:
     feasible: bool
     elapsed_seconds: float
     pass_costs: List[float] = field(default_factory=list)
+    stop_reason: str = STOP_COMPLETED
+    """Why the run ended: ``completed | deadline | cancelled``."""
 
     @property
     def improvement_percent(self) -> float:

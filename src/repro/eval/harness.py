@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.baselines.gfm import gfm_partition
@@ -28,6 +29,23 @@ from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
 from repro.eval.paper_data import GKL_OUTER_LOOPS, QBP_ITERATIONS
 from repro.eval.workloads import Workload, build_workload, workload_names
+from repro.runtime.budget import (
+    STOP_COMPLETED,
+    STOP_STALLED,
+    Budget,
+    BudgetExceededError,
+)
+from repro.runtime.checkpoint import (
+    TABLE_CHECKPOINT_FORMAT,
+    QbpCheckpointer,
+    atomic_write_json,
+    try_load_json_checkpoint,
+)
+from repro.runtime.supervisor import (
+    Attempt,
+    SolverSupervisor,
+    SupervisorExhaustedError,
+)
 from repro.solvers.burkard import bootstrap_initial_solution, solve_qbp
 from repro.utils.rng import RandomSource
 
@@ -58,6 +76,10 @@ class ExperimentRow:
     gkl_improvement: float
     gkl_cpu: float
     all_feasible: bool
+    stop_reason: str = STOP_COMPLETED
+    """``completed`` unless a budget cut some solver short
+    (``deadline`` / ``cancelled``); such rows hold each solver's best
+    incumbent at the stop, still feasible but possibly unconverged."""
 
     def to_dict(self) -> dict:
         """Plain-dict view for JSON export."""
@@ -68,7 +90,11 @@ class ExperimentRow:
 
 
 def shared_initial_solution(
-    workload: Workload, seed: RandomSource = None, *, bootstrap_iterations: int = 40
+    workload: Workload,
+    seed: RandomSource = None,
+    *,
+    bootstrap_iterations: int = 40,
+    budget: Optional[Budget] = None,
 ) -> Assignment:
     """The shared start: paper bootstrap, reference as the safety net.
 
@@ -83,13 +109,34 @@ def shared_initial_solution(
     full feasibility (the published circuits are not available to tune
     against); the workload's hidden reference assignment - feasible by
     construction - then stands in, playing the same role as the
-    designer's initial assignment in the MCM flow.
+    designer's initial assignment in the MCM flow.  The fallback runs as
+    a :class:`~repro.runtime.supervisor.SolverSupervisor` ladder, and an
+    exhausted ``budget`` also falls through to the reference so callers
+    always get *some* feasible start.
     """
-    try:
+
+    def paper_bootstrap(attempt_budget: Optional[Budget]) -> Assignment:
         return bootstrap_initial_solution(
-            workload.problem, iterations=bootstrap_iterations, seed=seed
+            workload.problem,
+            iterations=bootstrap_iterations,
+            seed=seed,
+            budget=attempt_budget,
         )
-    except RuntimeError:
+
+    def reference_fallback(attempt_budget: Optional[Budget]) -> Assignment:
+        return workload.reference.copy()
+
+    supervisor = SolverSupervisor(
+        [
+            Attempt("paper-bootstrap", paper_bootstrap),
+            Attempt("reference-fallback", reference_fallback),
+        ],
+        transient=(RuntimeError,),
+        budget=budget,
+    )
+    try:
+        return supervisor.run().value
+    except (BudgetExceededError, SupervisorExhaustedError):
         return workload.reference.copy()
 
 
@@ -101,11 +148,21 @@ def run_circuit_experiment(
     gkl_outer_loops: int = GKL_OUTER_LOOPS,
     seed: RandomSource = 0,
     initial: Optional[Assignment] = None,
+    budget: Optional[Budget] = None,
+    qbp_checkpoint_path=None,
 ) -> ExperimentRow:
-    """Run all three solvers on one circuit and assemble the table row."""
+    """Run all three solvers on one circuit and assemble the table row.
+
+    ``budget`` is shared by every stage (bootstrap, QBP, GFM, GKL); each
+    returns its best feasible incumbent on expiry, and the row's
+    ``stop_reason`` records any budget stop.  With
+    ``qbp_checkpoint_path``, the QBP solve snapshots its state there
+    periodically and resumes bit-exactly from an existing snapshot; the
+    file is cleared once QBP finishes on its own.
+    """
     problem = workload.problem if with_timing else workload.problem_no_timing
     if initial is None:
-        initial = shared_initial_solution(workload, seed)
+        initial = shared_initial_solution(workload, seed, budget=budget)
     report = check_feasibility(problem, initial)
     if not report.feasible:
         raise RuntimeError(
@@ -115,16 +172,34 @@ def run_circuit_experiment(
     evaluator = ObjectiveEvaluator(problem)
     start_cost = evaluator.cost(initial)
 
+    checkpointer = None
+    resume = None
+    if qbp_checkpoint_path is not None:
+        checkpointer = QbpCheckpointer(qbp_checkpoint_path, label=workload.name)
+        resume = checkpointer.load()
+
     t0 = time.perf_counter()
-    qbp = solve_qbp(problem, iterations=qbp_iterations, initial=initial, seed=seed)
+    qbp = solve_qbp(
+        problem,
+        iterations=qbp_iterations,
+        initial=initial,
+        seed=seed,
+        budget=budget,
+        checkpointer=checkpointer,
+        resume=resume,
+    )
     qbp_cpu = time.perf_counter() - t0
+    if checkpointer is not None and qbp.stop_reason in (STOP_COMPLETED, STOP_STALLED):
+        checkpointer.clear()  # finished on its own merits; nothing to resume
     qbp_assignment = qbp.best_feasible_assignment
     if qbp_assignment is None:  # initial is feasible, so this cannot regress
         qbp_assignment = initial
     qbp_cost = min(evaluator.cost(qbp_assignment), start_cost)
 
-    gfm = gfm_partition(problem, initial)
-    gkl = gkl_partition(problem, initial, max_outer_loops=gkl_outer_loops)
+    gfm = gfm_partition(problem, initial, budget=budget)
+    gkl = gkl_partition(
+        problem, initial, max_outer_loops=gkl_outer_loops, budget=budget
+    )
 
     feasible = all(
         check_feasibility(problem, a).feasible
@@ -133,6 +208,15 @@ def run_circuit_experiment(
 
     def pct(final: float) -> float:
         return 0.0 if start_cost == 0 else 100.0 * (start_cost - final) / start_cost
+
+    # A budget stop in any stage marks the whole row; QBP's natural
+    # "stalled" exit is a completion, not an interruption.
+    budget_reasons = [
+        r
+        for r in (qbp.stop_reason, gfm.stop_reason, gkl.stop_reason)
+        if r not in (STOP_COMPLETED, STOP_STALLED)
+    ]
+    stop_reason = budget_reasons[0] if budget_reasons else STOP_COMPLETED
 
     return ExperimentRow(
         name=workload.name,
@@ -148,7 +232,74 @@ def run_circuit_experiment(
         gkl_improvement=pct(gkl.cost),
         gkl_cpu=gkl.elapsed_seconds,
         all_feasible=feasible,
+        stop_reason=stop_reason,
     )
+
+
+class TableCheckpoint:
+    """Directory-based progress record for a Table II/III sweep.
+
+    One JSON file per table (``table{N}.json``, format
+    ``table-checkpoint-v1``) stores every *completed* circuit row plus
+    the run parameters; per-circuit QBP snapshots live alongside it
+    (``table{N}-{circuit}-qbp.json``).  On resume, completed circuits
+    are skipped outright and an interrupted circuit restarts from its
+    QBP snapshot, so a killed sweep loses no finished work.  A
+    parameter mismatch (different scale/seed/iterations) invalidates
+    the record rather than mixing incompatible rows.
+    """
+
+    def __init__(self, directory, table: int, *, params: Optional[dict] = None):
+        self.directory = Path(directory)
+        self.table = int(table)
+        self.path = self.directory / f"table{self.table}.json"
+        self.params = params or {}
+        self._rows: Dict[str, ExperimentRow] = {}
+        payload = try_load_json_checkpoint(
+            self.path, expected_format=TABLE_CHECKPOINT_FORMAT
+        )
+        if (
+            payload is not None
+            and payload.get("table") == self.table
+            and payload.get("params") == self.params
+        ):
+            for entry in payload.get("rows", []):
+                try:
+                    row = ExperimentRow(**entry)
+                except TypeError:
+                    continue  # written by an older/newer schema: recompute
+                if row.stop_reason == STOP_COMPLETED:
+                    self._rows[row.name] = row
+
+    def completed(self, name: str) -> Optional[ExperimentRow]:
+        """The recorded row for ``name``, or ``None`` if it must run."""
+        return self._rows.get(name)
+
+    def record(self, row: ExperimentRow) -> None:
+        """Persist ``row``; only completed rows count toward resume."""
+        if row.stop_reason != STOP_COMPLETED:
+            return
+        self._rows[row.name] = row
+        atomic_write_json(
+            self.path,
+            {
+                "format": TABLE_CHECKPOINT_FORMAT,
+                "table": self.table,
+                "params": self.params,
+                "rows": [r.to_dict() for r in self._rows.values()],
+            },
+        )
+
+    def qbp_checkpoint_path(self, name: str) -> Path:
+        return self.directory / f"table{self.table}-{name}-qbp.json"
+
+    def clear(self) -> None:
+        """Remove the table record and all per-circuit QBP snapshots."""
+        for path in [self.path, *self.directory.glob(f"table{self.table}-*-qbp.json")]:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
 
 
 def run_table(
@@ -160,6 +311,8 @@ def run_table(
     seed: RandomSource = 0,
     workloads: Optional[Dict[str, Workload]] = None,
     initials: Optional[Dict[str, Assignment]] = None,
+    budget: Optional[Budget] = None,
+    checkpoint_dir=None,
 ) -> List[ExperimentRow]:
     """Reproduce Table II (``table=2``) or Table III (``table=3``).
 
@@ -175,27 +328,61 @@ def run_table(
         Pre-computed shared initial solutions per circuit, to avoid
         re-running the (deterministic but costly) bootstrap when both
         tables are produced in one session.
+    budget:
+        Shared :class:`~repro.runtime.budget.Budget` for the whole
+        sweep.  On expiry the in-flight circuit's row (best incumbents,
+        ``stop_reason`` set) is still emitted, then the sweep stops.
+    checkpoint_dir:
+        Directory for a :class:`TableCheckpoint`.  Completed circuits
+        are skipped on re-run and the interrupted one resumes from its
+        QBP snapshot, so the resumed sweep reproduces an uninterrupted
+        run's rows (same seed).
     """
     if table not in (2, 3):
         raise ValueError(f"table must be 2 or 3, got {table}")
     names = tuple(circuits) if circuits else workload_names()
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = TableCheckpoint(
+            checkpoint_dir,
+            table,
+            params={
+                "scale": scale,
+                "qbp_iterations": qbp_iterations,
+                "seed": seed if isinstance(seed, int) else None,
+            },
+        )
     rows = []
     for name in names:
+        if checkpoint is not None:
+            done = checkpoint.completed(name)
+            if done is not None:
+                rows.append(done)
+                continue
+        if budget is not None and budget.check() is not None:
+            break  # nothing started for this circuit: resume later
         workload = (
             workloads[name]
             if workloads and name in workloads
             else build_workload(name, scale=scale)
         )
         initial = initials.get(name) if initials else None
-        rows.append(
-            run_circuit_experiment(
-                workload,
-                with_timing=(table == 3),
-                qbp_iterations=qbp_iterations,
-                seed=seed,
-                initial=initial.copy() if initial is not None else None,
-            )
+        row = run_circuit_experiment(
+            workload,
+            with_timing=(table == 3),
+            qbp_iterations=qbp_iterations,
+            seed=seed,
+            initial=initial.copy() if initial is not None else None,
+            budget=budget,
+            qbp_checkpoint_path=(
+                checkpoint.qbp_checkpoint_path(name) if checkpoint else None
+            ),
         )
+        rows.append(row)
+        if checkpoint is not None:
+            checkpoint.record(row)
+        if row.stop_reason != STOP_COMPLETED:
+            break  # budget expired mid-circuit; the row holds the incumbents
     return rows
 
 

@@ -32,6 +32,7 @@ from repro.eval.paper_data import PAPER_TABLE2, PAPER_TABLE3, QBP_ITERATIONS
 from repro.eval.tables import render_table1, render_table23
 from repro.eval.workloads import all_workloads, build_workload, workload_names
 from repro.netlist.stats import circuit_stats
+from repro.runtime.budget import STOP_COMPLETED, Budget
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -67,6 +68,22 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole run; on expiry every solver "
+        "returns its best incumbent and rows are marked stop_reason=deadline",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="PATH",
+        help="directory for resumable sweep checkpoints; re-running with the "
+        "same parameters skips completed circuits and resumes the "
+        "interrupted one mid-solve",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH", help="also dump rows as JSON"
     )
     parser.add_argument(
@@ -81,11 +98,17 @@ def main(argv: List[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown circuits: {sorted(unknown)}")
 
+    budget = None
+    if args.budget is not None:
+        if args.budget <= 0:
+            parser.error("--budget must be positive")
+        budget = Budget(wall_seconds=args.budget)
+
     workloads = {name: build_workload(name, scale=args.scale) for name in names}
     initials = None
     if args.table in ("2", "3", "all"):
         initials = {
-            name: shared_initial_solution(workload, seed=args.seed)
+            name: shared_initial_solution(workload, seed=args.seed, budget=budget)
             for name, workload in workloads.items()
         }
     collected = {}
@@ -109,6 +132,8 @@ def main(argv: List[str] | None = None) -> int:
             seed=args.seed,
             workloads=workloads,
             initials=initials,
+            budget=budget,
+            checkpoint_dir=args.checkpoint_dir,
         )
         collected[table_num] = rows
         print(
@@ -123,6 +148,19 @@ def main(argv: List[str] | None = None) -> int:
             f"mean improvement: QBP {means['qbp']:.1f}%  "
             f"GFM {means['gfm']:.1f}%  GKL {means['gkl']:.1f}%"
         )
+        interrupted = [r for r in rows if r.stop_reason != STOP_COMPLETED]
+        missing = len(names) - len(rows)
+        if interrupted or missing:
+            detail = interrupted[0].stop_reason if interrupted else "deadline"
+            print(
+                f"note: table {table_num} stopped early ({detail}); "
+                f"{len(rows)}/{len(names)} circuits have rows"
+                + (
+                    " - re-run with the same --checkpoint-dir to resume"
+                    if args.checkpoint_dir
+                    else ""
+                )
+            )
         print()
 
     if args.json:

@@ -1,0 +1,80 @@
+"""Fault-tolerant solver runtime: budgets, supervision, checkpoints, faults.
+
+The paper's anytime story ("the user can have precise control over the
+total runtime") made operational:
+
+* :mod:`repro.runtime.budget` - wall-clock deadlines, iteration caps,
+  cooperative cancellation, and the shared ``stop_reason`` vocabulary,
+* :mod:`repro.runtime.supervisor` - audited retry/fallback ladders
+  replacing ad-hoc ``try/except`` chains,
+* :mod:`repro.runtime.checkpoint` - atomic JSON snapshots so killed
+  runs resume mid-circuit with bit-exact results,
+* :mod:`repro.runtime.faults` - deterministic fault injection used by
+  ``tests/runtime`` to prove every degradation path stays feasible.
+"""
+
+from repro.runtime.budget import (
+    STOP_CANCELLED,
+    STOP_COMPLETED,
+    STOP_DEADLINE,
+    STOP_REASONS,
+    STOP_STALLED,
+    Budget,
+    BudgetExceededError,
+    budget_stop,
+)
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    QbpCheckpoint,
+    QbpCheckpointer,
+    atomic_write_json,
+    load_json_checkpoint,
+    load_qbp_checkpoint,
+    save_qbp_checkpoint,
+    try_load_json_checkpoint,
+    try_load_qbp_checkpoint,
+)
+from repro.runtime.faults import (
+    FaultPlan,
+    InjectedFault,
+    corrupt_json_file,
+    inject_faults,
+    maybe_fault,
+)
+from repro.runtime.supervisor import (
+    Attempt,
+    AttemptRecord,
+    SolverSupervisor,
+    SupervisorExhaustedError,
+    SupervisorOutcome,
+)
+
+__all__ = [
+    "Attempt",
+    "AttemptRecord",
+    "Budget",
+    "BudgetExceededError",
+    "CheckpointError",
+    "FaultPlan",
+    "InjectedFault",
+    "QbpCheckpoint",
+    "QbpCheckpointer",
+    "STOP_CANCELLED",
+    "STOP_COMPLETED",
+    "STOP_DEADLINE",
+    "STOP_REASONS",
+    "STOP_STALLED",
+    "SolverSupervisor",
+    "SupervisorExhaustedError",
+    "SupervisorOutcome",
+    "atomic_write_json",
+    "budget_stop",
+    "corrupt_json_file",
+    "inject_faults",
+    "load_json_checkpoint",
+    "load_qbp_checkpoint",
+    "maybe_fault",
+    "save_qbp_checkpoint",
+    "try_load_json_checkpoint",
+    "try_load_qbp_checkpoint",
+]

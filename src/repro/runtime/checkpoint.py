@@ -1,0 +1,238 @@
+"""Atomic JSON checkpoints so long anytime solves survive being killed.
+
+Two layers use this module:
+
+* :func:`repro.solvers.burkard.solve_qbp` periodically snapshots its
+  full iteration state (:class:`QbpCheckpoint`: iteration counter,
+  current/incumbent/shadow parts, the accumulated ``h`` vector, cost
+  history, and the RNG state) through a :class:`QbpCheckpointer`.
+  Resuming from such a snapshot is *bit-exact*: the continued run
+  produces the same incumbent as an uninterrupted one.
+* ``repro.eval.harness.run_table`` records completed circuit rows in a
+  :class:`TableCheckpoint` (defined there) so a killed Table II/III
+  sweep loses no finished circuits and resumes mid-circuit from the QBP
+  snapshot.
+
+File format (``qbp-checkpoint-v1``): a single JSON object with keys
+``format, label, n, m, iteration, part, h, best_part, best_pen,
+best_feas_part, best_feas_cost, shadow_part, history, improvements,
+rng_state``.  Writes are atomic (temp file + ``os.replace``), so a kill
+mid-write leaves the previous snapshot intact; corrupted or
+wrong-format files surface as :class:`CheckpointError` (or ``None``
+from the forgiving loader).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.runtime.faults import maybe_fault
+
+logger = logging.getLogger(__name__)
+
+QBP_CHECKPOINT_FORMAT = "qbp-checkpoint-v1"
+TABLE_CHECKPOINT_FORMAT = "table-checkpoint-v1"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupted, or incompatible."""
+
+
+# ----------------------------------------------------------------------
+# Atomic JSON primitives
+# ----------------------------------------------------------------------
+def atomic_write_json(path, payload: Dict[str, Any]) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    maybe_fault("checkpoint.write")
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
+def load_json_checkpoint(path, *, expected_format: str) -> Dict[str, Any]:
+    """Load and validate a checkpoint; raises :class:`CheckpointError`."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint {path} is unreadable: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != expected_format:
+        raise CheckpointError(
+            f"checkpoint {path} has format {payload.get('format') if isinstance(payload, dict) else None!r}, "
+            f"expected {expected_format!r}"
+        )
+    return payload
+
+
+def try_load_json_checkpoint(path, *, expected_format: str) -> Optional[Dict[str, Any]]:
+    """Forgiving loader: ``None`` (with a logged warning) instead of raising.
+
+    Missing files are silent (nothing to resume); damaged or
+    incompatible files warn, because losing a checkpoint silently would
+    mask the fault the snapshot existed to survive.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        return load_json_checkpoint(path, expected_format=expected_format)
+    except CheckpointError as exc:
+        logger.warning("ignoring unusable checkpoint: %s", exc)
+        return None
+
+
+# ----------------------------------------------------------------------
+# QBP solver checkpoints
+# ----------------------------------------------------------------------
+@dataclass
+class QbpCheckpoint:
+    """Complete resumable state of a :func:`solve_qbp` run.
+
+    ``iteration`` is the last *completed* Burkard iteration; all array
+    state is as of the end of that iteration, and ``rng_state`` is the
+    generator state at the same instant - which is what makes resumption
+    bit-exact.
+    """
+
+    iteration: int
+    part: np.ndarray
+    h: np.ndarray
+    best_part: np.ndarray
+    best_pen: float
+    best_feas_part: Optional[np.ndarray]
+    best_feas_cost: float
+    shadow_part: Optional[np.ndarray]
+    history: List[float]
+    improvements: List[int]
+    rng_state: Optional[Dict[str, Any]]
+    label: str = ""
+
+    @property
+    def num_components(self) -> int:
+        return int(self.part.size)
+
+    @property
+    def num_partitions(self) -> int:
+        return int(self.h.shape[1])
+
+    def to_payload(self) -> Dict[str, Any]:
+        def opt(a):
+            return None if a is None else np.asarray(a).tolist()
+
+        return {
+            "format": QBP_CHECKPOINT_FORMAT,
+            "label": self.label,
+            "n": self.num_components,
+            "m": self.num_partitions,
+            "iteration": int(self.iteration),
+            "part": self.part.tolist(),
+            "h": self.h.tolist(),
+            "best_part": self.best_part.tolist(),
+            "best_pen": float(self.best_pen),
+            "best_feas_part": opt(self.best_feas_part),
+            "best_feas_cost": float(self.best_feas_cost),
+            "shadow_part": opt(self.shadow_part),
+            "history": [float(v) for v in self.history],
+            "improvements": [int(v) for v in self.improvements],
+            "rng_state": self.rng_state,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "QbpCheckpoint":
+        try:
+            part = np.asarray(payload["part"], dtype=int)
+            h = np.asarray(payload["h"], dtype=float)
+            best_part = np.asarray(payload["best_part"], dtype=int)
+            feas = payload["best_feas_part"]
+            shadow = payload["shadow_part"]
+            ckpt = cls(
+                iteration=int(payload["iteration"]),
+                part=part,
+                h=h,
+                best_part=best_part,
+                best_pen=float(payload["best_pen"]),
+                best_feas_part=None if feas is None else np.asarray(feas, dtype=int),
+                best_feas_cost=float(payload["best_feas_cost"]),
+                shadow_part=None if shadow is None else np.asarray(shadow, dtype=int),
+                history=[float(v) for v in payload["history"]],
+                improvements=[int(v) for v in payload["improvements"]],
+                rng_state=payload.get("rng_state"),
+                label=str(payload.get("label", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed QBP checkpoint: {exc}") from exc
+        if ckpt.h.ndim != 2 or ckpt.h.shape[0] != ckpt.part.size:
+            raise CheckpointError(
+                f"inconsistent QBP checkpoint shapes: part {ckpt.part.shape}, h {ckpt.h.shape}"
+            )
+        return ckpt
+
+
+def save_qbp_checkpoint(path, checkpoint: QbpCheckpoint) -> None:
+    """Atomically persist ``checkpoint`` as ``qbp-checkpoint-v1`` JSON."""
+    atomic_write_json(path, checkpoint.to_payload())
+
+
+def load_qbp_checkpoint(path) -> QbpCheckpoint:
+    """Strict loader; raises :class:`CheckpointError` on any damage."""
+    return QbpCheckpoint.from_payload(
+        load_json_checkpoint(path, expected_format=QBP_CHECKPOINT_FORMAT)
+    )
+
+
+def try_load_qbp_checkpoint(path) -> Optional[QbpCheckpoint]:
+    """Forgiving loader used on resume paths: damage => start fresh."""
+    payload = try_load_json_checkpoint(path, expected_format=QBP_CHECKPOINT_FORMAT)
+    if payload is None:
+        return None
+    try:
+        return QbpCheckpoint.from_payload(payload)
+    except CheckpointError as exc:
+        logger.warning("ignoring unusable checkpoint: %s", exc)
+        return None
+
+
+class QbpCheckpointer:
+    """Periodic checkpoint writer attached to :func:`solve_qbp`.
+
+    Snapshots are taken every ``every`` completed iterations and at
+    every stop (natural or budget-forced).  ``clear()`` removes the file
+    once the run completes, so stale state is never resumed by accident.
+    """
+
+    def __init__(self, path, *, every: int = 10, label: str = "") -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.path = Path(path)
+        self.every = int(every)
+        self.label = label
+        self.saves = 0
+
+    def due(self, iteration: int) -> bool:
+        return iteration % self.every == 0
+
+    def save(self, checkpoint: QbpCheckpoint) -> None:
+        if not checkpoint.label:
+            checkpoint.label = self.label
+        save_qbp_checkpoint(self.path, checkpoint)
+        self.saves += 1
+
+    def load(self) -> Optional[QbpCheckpoint]:
+        return try_load_qbp_checkpoint(self.path)
+
+    def clear(self) -> None:
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

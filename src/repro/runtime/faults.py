@@ -1,0 +1,176 @@
+"""Deterministic fault injection for exercising degradation paths.
+
+Production code is sprinkled with named *fault sites* - cheap
+``maybe_fault("gap.trust")`` calls at the entry of each supervised
+fallback rung, iteration, or checkpoint write.  With no plan active
+(the default, always, outside tests) a site is a single ``None`` check.
+Inside :func:`inject_faults`, an active :class:`FaultPlan` can
+
+* fail the first ``times`` calls at a site with a chosen exception
+  (how the runtime tests force every rung of a fallback ladder),
+* fail calls probabilistically from a seeded stream (transient-failure
+  soak tests - deterministic for a given seed and call order),
+* sleep at a site (simulated slow iterations, for deadline tests).
+
+Every injected event is recorded on ``plan.injected`` so tests can
+assert exactly which degradation path ran.
+
+Fault sites in the repo::
+
+    gap.trust / gap.timing / gap.plain   the three inner-GAP ladder rungs
+    qbp.iteration                        top of each Burkard iteration
+    bootstrap.attempt                    each zero-B bootstrap attempt
+    checkpoint.write                     each checkpoint file write
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+ErrorSpec = Union[None, BaseException, type, Callable[[], BaseException]]
+
+
+class InjectedFault(RuntimeError):
+    """Default exception raised at a failing fault site."""
+
+
+def _make_error(spec: ErrorSpec, site: str) -> BaseException:
+    if spec is None:
+        return InjectedFault(f"injected fault at {site!r}")
+    if isinstance(spec, BaseException):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, BaseException):
+        return spec(f"injected fault at {site!r}")
+    return spec()
+
+
+@dataclass
+class _Rule:
+    kind: str  # "fail" | "rate" | "slow"
+    times: Optional[int] = None  # None = unlimited
+    after: int = 0
+    rate: float = 0.0
+    seconds: float = 0.0
+    error: ErrorSpec = None
+    fired: int = 0
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of failures/slowdowns per fault site.
+
+    All configuration methods return ``self`` so plans read fluently::
+
+        plan = (FaultPlan(seed=7)
+                .fail("gap.trust", times=3, error=GapInfeasibleError)
+                .slow("qbp.iteration", seconds=0.05))
+    """
+
+    seed: int = 0
+    _rules: Dict[str, List[_Rule]] = field(default_factory=dict)
+    calls: Dict[str, int] = field(default_factory=dict)
+    injected: List[Tuple[str, int, str]] = field(default_factory=list)
+    """Audit log: ``(site, call_index, kind)`` per injected event."""
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def fail(
+        self,
+        site: str,
+        *,
+        times: Optional[int] = 1,
+        after: int = 0,
+        error: ErrorSpec = None,
+    ) -> "FaultPlan":
+        """Raise at ``site`` on calls ``after .. after+times-1`` (0-based).
+
+        ``times=None`` fails every call from ``after`` on.
+        """
+        self._rules.setdefault(site, []).append(
+            _Rule(kind="fail", times=times, after=after, error=error)
+        )
+        return self
+
+    def fail_rate(self, site: str, rate: float, *, error: ErrorSpec = None) -> "FaultPlan":
+        """Raise at ``site`` with seeded probability ``rate`` per call."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self._rules.setdefault(site, []).append(_Rule(kind="rate", rate=rate, error=error))
+        return self
+
+    def slow(
+        self, site: str, seconds: float, *, times: Optional[int] = None, after: int = 0
+    ) -> "FaultPlan":
+        """Sleep ``seconds`` at ``site`` (first ``times`` calls, or all)."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self._rules.setdefault(site, []).append(
+            _Rule(kind="slow", times=times, after=after, seconds=seconds)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def hit(self, site: str) -> None:
+        """Apply this plan at ``site`` (called via :func:`maybe_fault`)."""
+        index = self.calls.get(site, 0)
+        self.calls[site] = index + 1
+        for rule in self._rules.get(site, ()):
+            in_window = index >= rule.after and (
+                rule.times is None or index < rule.after + rule.times
+            )
+            if rule.kind == "slow" and in_window:
+                self.injected.append((site, index, "slow"))
+                rule.fired += 1
+                time.sleep(rule.seconds)
+            elif rule.kind == "fail" and in_window:
+                self.injected.append((site, index, "fail"))
+                rule.fired += 1
+                raise _make_error(rule.error, site)
+            elif rule.kind == "rate" and self._rng.random() < rule.rate:
+                self.injected.append((site, index, "fail"))
+                rule.fired += 1
+                raise _make_error(rule.error, site)
+
+
+_active: Optional[FaultPlan] = None
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the duration of the ``with`` block."""
+    global _active
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+def maybe_fault(site: str) -> None:
+    """Fault-site hook: a no-op unless a plan is active (tests only)."""
+    if _active is not None:
+        _active.hit(site)
+
+
+def corrupt_json_file(path, seed: int = 0) -> None:
+    """Deterministically corrupt a JSON file in place (checkpoint tests).
+
+    Truncates at a seeded offset and scribbles a few non-JSON bytes, so
+    loaders must treat the file as damaged rather than crash.
+    """
+    raw = os.stat(path).st_size
+    rng = np.random.default_rng(seed)
+    cut = int(rng.integers(1, max(2, raw)))
+    with open(path, "r+b") as fh:
+        fh.truncate(cut)
+        fh.seek(max(0, cut - 1))
+        fh.write(b"\x00{corrupt")

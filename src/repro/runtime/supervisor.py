@@ -1,0 +1,190 @@
+"""Supervised fallback ladders: retry, timeout, backoff, audit trail.
+
+Several places in the repo used to hand-roll the same pattern - try the
+best solver, catch its failure, fall back to something cruder, repeat::
+
+    try:    trust-region GAP
+    except: try:    timing-aware GAP
+            except: plain GAP
+
+:class:`SolverSupervisor` makes that policy explicit and auditable: a
+ladder of :class:`Attempt` rungs is run top to bottom, each rung with
+its own retry count, exponential backoff, and per-attempt wall-clock
+allowance; every try is recorded in an :class:`AttemptRecord` so a
+degraded result can explain *how* it degraded.  Only *transient*
+exception types are absorbed - programming errors propagate immediately.
+
+Used by:
+
+* ``repro.solvers.burkard._solve_gap_graceful`` - inner GAP ladder,
+* ``repro.solvers.burkard.bootstrap_initial_solution`` - bootstrap
+  attempts,
+* ``repro.eval.harness.shared_initial_solution`` - bootstrap with the
+  reference assignment as the last resort,
+* ``repro.tools.partition`` - bootstrap -> repair -> greedy ladder.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+
+from repro.runtime.budget import Budget, BudgetExceededError
+
+
+@dataclass
+class Attempt:
+    """One rung of a fallback ladder.
+
+    ``run`` is called with a single argument: a :class:`Budget` scoped
+    to this attempt (or ``None`` when unconstrained).  Cooperative
+    callables honor it; others simply ignore the argument.
+    """
+
+    name: str
+    run: Callable[[Optional[Budget]], Any]
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    timeout_seconds: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """Audit entry for one try of one rung."""
+
+    name: str
+    try_index: int
+    status: str  # "ok" | "error" | "timeout" | "skipped"
+    elapsed_seconds: float
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SupervisorOutcome:
+    """A successful supervised run: the value plus how it was obtained."""
+
+    value: Any
+    attempt: str
+    records: Tuple[AttemptRecord, ...]
+
+    @property
+    def degraded(self) -> bool:
+        """True when any earlier rung or try failed before success."""
+        return any(r.status != "ok" for r in self.records)
+
+
+class SupervisorExhaustedError(RuntimeError):
+    """Every rung of the ladder failed; ``records`` holds the audit."""
+
+    def __init__(self, records: Sequence[AttemptRecord]) -> None:
+        trail = "; ".join(
+            f"{r.name}#{r.try_index}: {r.status}" + (f" ({r.error})" if r.error else "")
+            for r in records
+        )
+        super().__init__(f"all supervised attempts failed [{trail}]")
+        self.records: Tuple[AttemptRecord, ...] = tuple(records)
+
+
+class SolverSupervisor:
+    """Run a fallback ladder under a shared budget with per-rung retries.
+
+    Parameters
+    ----------
+    attempts:
+        The rungs, best-first.
+    transient:
+        Exception types absorbed as "this rung failed, keep going".
+        Anything else (including :class:`BudgetExceededError` from the
+        *shared* budget) propagates.
+    budget:
+        Optional shared budget.  When it runs out, remaining rungs are
+        recorded as ``skipped`` and :class:`BudgetExceededError` is
+        raised - callers keep their incumbent.
+    sleep:
+        Injectable sleep (tests pass a recorder instead of waiting).
+    """
+
+    def __init__(
+        self,
+        attempts: Sequence[Attempt],
+        *,
+        transient: Tuple[Type[BaseException], ...] = (RuntimeError,),
+        budget: Optional[Budget] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not attempts:
+            raise ValueError("supervisor needs at least one attempt")
+        self.attempts = list(attempts)
+        self.transient = transient
+        self.budget = budget
+        self.sleep = sleep
+
+    # ------------------------------------------------------------------
+    def run(self) -> SupervisorOutcome:
+        records: List[AttemptRecord] = []
+        for attempt in self.attempts:
+            outcome = self._run_attempt(attempt, records)
+            if outcome is not None:
+                return SupervisorOutcome(
+                    value=outcome[0], attempt=attempt.name, records=tuple(records)
+                )
+        raise SupervisorExhaustedError(records)
+
+    # ------------------------------------------------------------------
+    def _run_attempt(
+        self, attempt: Attempt, records: List[AttemptRecord]
+    ) -> Optional[Tuple[Any]]:
+        """Try one rung (with retries); ``(value,)`` on success."""
+        for try_index in range(attempt.retries + 1):
+            if self.budget is not None and self.budget.check() is not None:
+                records.append(
+                    AttemptRecord(attempt.name, try_index, "skipped", 0.0, "budget exhausted")
+                )
+                raise BudgetExceededError(self.budget.check() or "deadline")
+            scoped = self._scoped_budget(attempt)
+            start = time.perf_counter()
+            try:
+                value = attempt.run(scoped)
+            except BudgetExceededError:
+                elapsed = time.perf_counter() - start
+                if self.budget is not None and self.budget.check() is not None:
+                    # The *shared* budget ran out mid-attempt: stop the ladder.
+                    records.append(
+                        AttemptRecord(attempt.name, try_index, "skipped", elapsed, "budget exhausted")
+                    )
+                    raise
+                # Only the per-attempt allowance expired: treat as a rung
+                # failure and keep descending the ladder.
+                records.append(
+                    AttemptRecord(attempt.name, try_index, "timeout", elapsed, "attempt timeout")
+                )
+                continue
+            except self.transient as exc:
+                elapsed = time.perf_counter() - start
+                records.append(
+                    AttemptRecord(
+                        attempt.name,
+                        try_index,
+                        "error",
+                        elapsed,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                if try_index < attempt.retries and attempt.backoff_seconds > 0:
+                    self.sleep(attempt.backoff_seconds * (2.0 ** try_index))
+                continue
+            records.append(
+                AttemptRecord(attempt.name, try_index, "ok", time.perf_counter() - start)
+            )
+            return (value,)
+        return None
+
+    def _scoped_budget(self, attempt: Attempt) -> Optional[Budget]:
+        if self.budget is not None:
+            if attempt.timeout_seconds is None:
+                return self.budget
+            return self.budget.scoped(attempt.timeout_seconds)
+        if attempt.timeout_seconds is not None:
+            return Budget(wall_seconds=attempt.timeout_seconds)
+        return None

@@ -34,6 +34,7 @@ solution seen is returned.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
@@ -44,10 +45,21 @@ from repro.core.assignment import Assignment
 from repro.core.constraints import TimingIndex, capacity_violations, timing_move_mask
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
+from repro.runtime.budget import (
+    STOP_COMPLETED,
+    STOP_STALLED,
+    Budget,
+    BudgetExceededError,
+)
+from repro.runtime.checkpoint import QbpCheckpoint, QbpCheckpointer
+from repro.runtime.faults import maybe_fault
+from repro.runtime.supervisor import Attempt, SolverSupervisor, SupervisorExhaustedError
 from repro.solvers.gap import GapInfeasibleError, solve_gap
 from repro.solvers.repair import feasible_merge
 from repro.solvers.greedy import greedy_feasible_assignment
 from repro.utils.rng import RandomSource, ensure_rng
+
+logger = logging.getLogger(__name__)
 
 PAPER_PENALTY = 50.0
 """The fixed penalty value used in the paper's experiments."""
@@ -56,6 +68,12 @@ DEFAULT_GAP_CRITERIA = ("cost", "cost_per_size")
 """Desirability criteria for the inner GAP solves (speed/quality balance)."""
 
 ETA_MODES = ("burkard", "diagonal", "symmetric")
+
+ANCHOR_MODES = ("trajectory", "incumbent")
+
+
+class BootstrapStallError(RuntimeError):
+    """One zero-``B`` bootstrap attempt failed to reach full feasibility."""
 
 
 @dataclass
@@ -82,6 +100,8 @@ class BurkardResult:
     best_feasible_cost: float = float("inf")
     history: List[float] = field(default_factory=list)
     improvement_iterations: List[int] = field(default_factory=list)
+    stop_reason: str = STOP_COMPLETED
+    """Why the run ended: ``completed | deadline | cancelled | stalled``."""
 
 
 def resolve_penalty(problem: PartitioningProblem, penalty) -> float:
@@ -134,6 +154,9 @@ def solve_qbp(
     project_trajectory: bool = False,
     anchor_mode: str = "trajectory",
     callback: Optional[Callable[[int, Assignment, float], None]] = None,
+    budget: Optional[Budget] = None,
+    checkpointer: Optional[QbpCheckpointer] = None,
+    resume: Optional[QbpCheckpoint] = None,
 ) -> BurkardResult:
     """Run the generalized Burkard heuristic on ``problem``.
 
@@ -178,12 +201,32 @@ def solve_qbp(
         the cheap merge projection has no budget to tune.
     callback:
         Called as ``callback(k, assignment, penalized_cost)`` after each
-        iteration (for progress reporting / live ablation traces).
+        iteration (for progress reporting / live ablation traces).  A
+        raising callback is demoted to a logged warning - it never
+        destroys the run or its incumbent.
+    budget:
+        Optional :class:`repro.runtime.budget.Budget`.  Checked at the
+        top of every iteration and inside the inner GAP solves; on
+        expiry/cancellation the best incumbent so far is returned with
+        ``stop_reason`` set accordingly.
+    checkpointer:
+        Optional :class:`repro.runtime.checkpoint.QbpCheckpointer`.
+        Snapshots the full iteration state (including the RNG state)
+        every ``checkpointer.every`` iterations and at budget-forced
+        stops, so a killed run can resume bit-exactly.
+    resume:
+        A :class:`repro.runtime.checkpoint.QbpCheckpoint` to continue
+        from (``initial`` is then ignored).  A resumed run reproduces
+        the uninterrupted run exactly on the same problem and seed.
     """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
     if eta_mode not in ETA_MODES:
         raise ValueError(f"eta_mode must be one of {ETA_MODES}, got {eta_mode!r}")
+    if anchor_mode not in ANCHOR_MODES:
+        raise ValueError(
+            f"anchor_mode must be one of {ANCHOR_MODES}, got {anchor_mode!r}"
+        )
 
     start_time = time.perf_counter()
     rng = ensure_rng(seed)
@@ -191,31 +234,89 @@ def solve_qbp(
     pen_value = resolve_penalty(problem, penalty)
     state = _IterationState(problem, evaluator, pen_value, eta_mode)
 
-    if initial is None:
-        current = greedy_feasible_assignment(problem, rng)
-    else:
-        current = _validated_initial(problem, initial)
-    part = current.part.copy()
-
     n, m = problem.num_components, problem.num_partitions
     sizes = problem.sizes()
     capacities = problem.capacities()
 
-    best_part = part.copy()
-    best_pen = evaluator.penalized_cost(part, pen_value)
     best_feas_part: Optional[np.ndarray] = None
-    best_feas_cost = np.inf
     shadow_part: Optional[np.ndarray] = None
-    if _is_fully_feasible(problem, evaluator, part):
-        best_feas_part = part.copy()
-        best_feas_cost = evaluator.cost(part)
-        shadow_part = part.copy()
+    if resume is not None:
+        if resume.num_components != n or resume.num_partitions != m:
+            raise ValueError(
+                f"checkpoint shape (N={resume.num_components}, M={resume.num_partitions}) "
+                f"does not match problem (N={n}, M={m})"
+            )
+        part = resume.part.copy()
+        h = resume.h.copy()
+        best_part = resume.best_part.copy()
+        best_pen = float(resume.best_pen)
+        if resume.best_feas_part is not None:
+            best_feas_part = resume.best_feas_part.copy()
+        best_feas_cost = float(resume.best_feas_cost)
+        if resume.shadow_part is not None:
+            shadow_part = resume.shadow_part.copy()
+        history: List[float] = list(resume.history)
+        improvements: List[int] = list(resume.improvements)
+        start_iteration = int(resume.iteration)
+        if resume.rng_state is not None:
+            rng.bit_generator.state = resume.rng_state
+    else:
+        if initial is None:
+            current = greedy_feasible_assignment(problem, rng)
+        else:
+            current = _validated_initial(problem, initial)
+        part = current.part.copy()
+        best_part = part.copy()
+        best_pen = evaluator.penalized_cost(part, pen_value)
+        best_feas_cost = np.inf
+        if _is_fully_feasible(problem, evaluator, part):
+            best_feas_part = part.copy()
+            best_feas_cost = evaluator.cost(part)
+            shadow_part = part.copy()
+        history = [best_pen]
+        improvements = []
+        h = np.zeros((n, m))
+        start_iteration = 0
 
-    history: List[float] = [best_pen]
-    improvements: List[int] = []
-    h = np.zeros((n, m))
+    def snapshot(iteration: int) -> QbpCheckpoint:
+        """State as of the end of ``iteration`` (for bit-exact resume)."""
+        return QbpCheckpoint(
+            iteration=iteration,
+            part=part.copy(),
+            h=h.copy(),
+            best_part=best_part.copy(),
+            best_pen=float(best_pen),
+            best_feas_part=None if best_feas_part is None else best_feas_part.copy(),
+            best_feas_cost=float(best_feas_cost),
+            shadow_part=None if shadow_part is None else shadow_part.copy(),
+            history=list(history),
+            improvements=list(improvements),
+            rng_state=rng.bit_generator.state,
+        )
 
-    for k in range(1, iterations + 1):
+    def safe_checkpoint(iteration: int) -> None:
+        try:
+            checkpointer.save(snapshot(iteration))
+        except Exception:
+            logger.warning(
+                "solve_qbp: checkpoint write failed at iteration %d; continuing",
+                iteration,
+                exc_info=True,
+            )
+
+    effective_iterations = (
+        iterations if budget is None else budget.iteration_cap(iterations)
+    )
+    stop_reason = STOP_COMPLETED
+    last_completed = start_iteration
+
+    for k in range(start_iteration + 1, effective_iterations + 1):
+        if budget is not None:
+            reason = budget.check()
+            if reason is not None:
+                stop_reason = reason
+                break
+        maybe_fault("qbp.iteration")
         if anchor_mode == "incumbent" and best_feas_part is not None:
             # Variant: always linearise at the best feasible incumbent
             # instead of the previous iterate (see docstring).
@@ -233,19 +334,29 @@ def solve_qbp(
             ).T
             idx = np.arange(n)
             trust_mask[shadow_part, idx] = True  # anchor always allowed
-        step4 = _solve_gap_graceful(
-            eta.T, sizes, capacities, gap_criteria, gap_timing, trust_mask
-        )  # STEP 4
-        if step4 is None:
-            # S itself is (heuristically) empty for these costs; keep the
-            # incumbent and stop - more iterations cannot recover.
+        try:
+            step4 = _solve_gap_graceful(
+                eta.T, sizes, capacities, gap_criteria, gap_timing, trust_mask, budget
+            )  # STEP 4
+            if step4 is None:
+                # S itself is (heuristically) empty for these costs; keep
+                # the incumbent and stop - more iterations cannot recover.
+                stop_reason = STOP_STALLED
+                break
+            z = step4.cost
+            # STEP 5 - computed into a fresh array so a budget abort in
+            # STEP 6 leaves the end-of-previous-iteration state intact
+            # (which is what checkpoints snapshot).
+            h_next = h + eta / max(1.0, abs(z - xi))
+            nxt = _solve_gap_graceful(
+                h_next.T, sizes, capacities, gap_criteria, gap_timing, trust_mask, budget
+            )  # STEP 6
+        except BudgetExceededError as exc:
+            stop_reason = exc.reason
             break
-        z = step4.cost
-        h += eta / max(1.0, abs(z - xi))  # STEP 5
-        nxt = _solve_gap_graceful(
-            h.T, sizes, capacities, gap_criteria, gap_timing, trust_mask
-        )  # STEP 6
+        h = h_next
         if nxt is None:
+            stop_reason = STOP_STALLED
             break
         part = nxt.assignment
         candidates = [part, step4.assignment]
@@ -311,8 +422,32 @@ def solve_qbp(
         if shadow_part is None and best_feas_part is not None:
             # First feasible iterate found mid-run: seed the shadow.
             shadow_part = best_feas_part.copy()
+        last_completed = k
         if callback is not None:
-            callback(k, Assignment(part, m), pen)
+            try:
+                callback(k, Assignment(part, m), pen)
+            except Exception:
+                logger.warning(
+                    "solve_qbp: progress callback raised at iteration %d; "
+                    "continuing without interrupting the run",
+                    k,
+                    exc_info=True,
+                )
+        if checkpointer is not None and (
+            checkpointer.due(k) or k == effective_iterations
+        ):
+            safe_checkpoint(k)
+
+    if (
+        checkpointer is not None
+        and stop_reason not in (STOP_COMPLETED, STOP_STALLED)
+        and last_completed > start_iteration
+    ):
+        # Budget-forced stop: persist the last consistent state so the
+        # run can resume exactly where it left off.  (Stalled runs keep
+        # their last periodic snapshot - the in-flight iteration mutated
+        # ``h`` past the point the snapshot closure would capture.)
+        safe_checkpoint(last_completed)
 
     best_assignment = Assignment(best_part, m)
     elapsed = time.perf_counter() - start_time
@@ -332,6 +467,7 @@ def solve_qbp(
         best_feasible_cost=float(best_feas_cost),
         history=history,
         improvement_iterations=improvements,
+        stop_reason=stop_reason,
     )
 
 
@@ -341,6 +477,7 @@ def solve_qbp_multistart(
     restarts: int = 3,
     iterations: int = 100,
     seed: RandomSource = None,
+    budget: Optional[Budget] = None,
     **kwargs,
 ) -> BurkardResult:
     """Run :func:`solve_qbp` from several independent starts; keep the best.
@@ -351,22 +488,34 @@ def solve_qbp_multistart(
     larger budget.  Each restart builds its own randomized greedy
     initial solution; the result with the best feasible cost (falling
     back to best penalized cost) is returned.
+
+    A shared ``budget`` bounds the whole multi-start: restarts stop when
+    it runs out, and the returned result's ``stop_reason`` then records
+    why (the first restart always runs - it bails out quickly on its
+    own budget checks, so an already-expired budget still yields a
+    capacity-feasible incumbent).
     """
     if restarts < 1:
         raise ValueError(f"restarts must be >= 1, got {restarts}")
     rng = ensure_rng(seed)
     best: Optional[BurkardResult] = None
-    for _ in range(restarts):
-        result = solve_qbp(problem, iterations=iterations, seed=rng, **kwargs)
-        if best is None:
-            best = result
-            continue
-        if (result.best_feasible_cost, result.penalized_cost) < (
+    truncated: Optional[str] = None
+    for index in range(restarts):
+        if index > 0 and budget is not None:
+            truncated = budget.check()
+            if truncated is not None:
+                break
+        result = solve_qbp(
+            problem, iterations=iterations, seed=rng, budget=budget, **kwargs
+        )
+        if best is None or (result.best_feasible_cost, result.penalized_cost) < (
             best.best_feasible_cost,
             best.penalized_cost,
         ):
             best = result
     assert best is not None
+    if truncated is not None:
+        best.stop_reason = truncated
     return best
 
 
@@ -376,6 +525,7 @@ def bootstrap_initial_solution(
     iterations: int = 20,
     attempts: int = 3,
     seed: RandomSource = None,
+    budget: Optional[Budget] = None,
 ) -> Assignment:
     """The paper's initial-solution recipe: QBP with ``B`` set to zero.
 
@@ -387,13 +537,19 @@ def bootstrap_initial_solution(
 
     Each attempt starts from a fresh randomized greedy placement and
     finishes with min-conflicts repair (the zero-``B`` iteration drives
-    violations down globally but can stall with a small residue).
+    violations down globally but can stall with a small residue).  The
+    attempts run under a :class:`~repro.runtime.supervisor.SolverSupervisor`
+    so each try is audited and an optional ``budget`` bounds the total
+    wall clock.
 
     Raises
     ------
     RuntimeError
         When no fully feasible assignment is found within ``attempts``
-        runs of ``iterations`` iterations each.
+        runs of ``iterations`` iterations each (the supervisor's audit
+        trail rides along as ``__cause__``), or - as the
+        :class:`~repro.runtime.budget.BudgetExceededError` subclass -
+        when the budget runs out first.
     """
     zeroed = problem.with_zero_interconnect()
     if not zeroed.has_timing:
@@ -401,20 +557,31 @@ def bootstrap_initial_solution(
     rng = ensure_rng(seed)
     from repro.solvers.repair import repair_feasibility
 
-    last_violations = -1
-    for _ in range(max(1, attempts)):
-        result = solve_qbp(zeroed, iterations=iterations, seed=rng)
+    def one_attempt(attempt_budget: Optional[Budget]) -> Assignment:
+        maybe_fault("bootstrap.attempt")
+        result = solve_qbp(zeroed, iterations=iterations, seed=rng, budget=attempt_budget)
         if result.best_feasible_assignment is not None:
             return result.best_feasible_assignment
         repaired = repair_feasibility(zeroed, result.assignment, seed=rng)
         if repaired is not None:
             return repaired
-        last_violations = result.timing_violations
-    raise RuntimeError(
-        "bootstrap failed: no timing+capacity feasible assignment found in "
-        f"{attempts} attempt(s) of {iterations} iterations plus repair "
-        f"({last_violations} violations remained before the last repair)"
+        raise BootstrapStallError(
+            f"zero-B attempt stalled with {result.timing_violations} "
+            "timing violation(s) after repair"
+        )
+
+    supervisor = SolverSupervisor(
+        [Attempt("qbp-bootstrap", one_attempt, retries=max(1, attempts) - 1)],
+        transient=(BootstrapStallError,),
+        budget=budget,
     )
+    try:
+        return supervisor.run().value
+    except SupervisorExhaustedError as exc:
+        raise RuntimeError(
+            "bootstrap failed: no timing+capacity feasible assignment found in "
+            f"{attempts} attempt(s) of {iterations} iterations plus repair"
+        ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -537,10 +704,12 @@ class _IterationState:
         return omega
 
 
-def _solve_gap_graceful(cost, sizes, capacities, criteria, timing, trust_mask=None):
-    """One inner GAP solve with layered fallbacks.
+def _solve_gap_graceful(
+    cost, sizes, capacities, criteria, timing, trust_mask=None, budget=None
+):
+    """One inner GAP solve under a supervised fallback ladder.
 
-    Attempts, in order: (1) the trust-region mask (single moves feasible
+    Rungs, in order: (1) the trust-region mask (single moves feasible
     against the shadow anchor - constructible whenever the shadow fits
     capacity-wise, and its iterates carry few mutual violations),
     (2) the dynamically timing-aware construction (the paper's
@@ -549,23 +718,31 @@ def _solve_gap_graceful(cost, sizes, capacities, criteria, timing, trust_mask=No
     (3) the plain capacity-only GAP (iterates may violate C2; the eta
     penalties and the feasible-merge projection absorb that).  Returns
     ``None`` only when even the plain GAP finds no capacity-feasible
-    assignment.
+    assignment.  :class:`BudgetExceededError` from an exhausted shared
+    budget propagates so the caller stops with its incumbent.
     """
-    if trust_mask is not None:
-        try:
+
+    def rung(site: str, **kwargs) -> Attempt:
+        def run(attempt_budget):
+            maybe_fault(site)
             return solve_gap(
-                cost, sizes, capacities, criteria=criteria, allowed_mask=trust_mask
+                cost, sizes, capacities, criteria=criteria, budget=attempt_budget, **kwargs
             )
-        except GapInfeasibleError:
-            pass
+
+        return Attempt(name=site, run=run)
+
+    attempts = []
+    if trust_mask is not None:
+        attempts.append(rung("gap.trust", allowed_mask=trust_mask))
     if timing is not None:
-        try:
-            return solve_gap(cost, sizes, capacities, criteria=criteria, timing=timing)
-        except GapInfeasibleError:
-            pass
+        attempts.append(rung("gap.timing", timing=timing))
+    attempts.append(rung("gap.plain"))
+    supervisor = SolverSupervisor(
+        attempts, transient=(GapInfeasibleError,), budget=budget
+    )
     try:
-        return solve_gap(cost, sizes, capacities, criteria=criteria)
-    except GapInfeasibleError:
+        return supervisor.run().value
+    except SupervisorExhaustedError:
         return None
 
 

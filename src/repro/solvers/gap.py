@@ -33,6 +33,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.runtime.budget import Budget
+
 DEFAULT_CRITERIA = ("cost", "cost_per_size", "size", "cost_times_size")
 """Desirability criteria tried, in order, by :func:`solve_gap`."""
 
@@ -66,6 +68,7 @@ def solve_gap(
     timing=None,
     allowed_mask=None,
     timing_in_construction: bool = True,
+    budget: Optional[Budget] = None,
 ) -> GapResult:
     """Solve a min-cost GAP heuristically with MTHG.
 
@@ -92,6 +95,11 @@ def solve_gap(
         constrained pair, whichever item lands second respected the
         first).  The improvement phase then only considers moves that
         stay violation-free.
+    budget:
+        Optional :class:`repro.runtime.budget.Budget`.  Checked at each
+        construction/improvement boundary; an exhausted budget raises
+        :class:`repro.runtime.budget.BudgetExceededError` so the calling
+        solver can stop with its last consistent incumbent.
 
     Returns
     -------
@@ -122,8 +130,10 @@ def solve_gap(
     best_criterion = "none"
     construction_timing = timing if timing_in_construction else None
     for criterion in criteria:
+        if budget is not None:
+            budget.raise_if_exceeded()
         assignment = _construct(
-            cost, sizes, capacities, criterion, construction_timing, static
+            cost, sizes, capacities, criterion, construction_timing, static, budget
         )
         if assignment is None:
             continue
@@ -132,6 +142,8 @@ def solve_gap(
             best, best_cost, best_criterion = assignment, value, criterion
 
     if best is None:
+        if budget is not None:
+            budget.raise_if_exceeded()
         assignment = _best_fit_decreasing(
             cost, sizes, capacities, construction_timing, static
         )
@@ -146,10 +158,10 @@ def solve_gap(
     improved = False
     if improve:
         improved = _improve(
-            best, cost, sizes, capacities, max_improvement_passes, timing, static
+            best, cost, sizes, capacities, max_improvement_passes, timing, static, budget
         )
         improved |= _exchange_improve(
-            best, cost, sizes, capacities, max_improvement_passes, timing, static
+            best, cost, sizes, capacities, max_improvement_passes, timing, static, budget
         )
         best_cost = float(cost[best, np.arange(n)].sum())
     return GapResult(
@@ -182,6 +194,7 @@ def _construct(
     criterion: str,
     timing=None,
     static=None,
+    budget: Optional[Budget] = None,
 ) -> Optional[np.ndarray]:
     """Regret-ordered MTHG construction; ``None`` when it dead-ends.
 
@@ -224,15 +237,15 @@ def _construct(
             return True
         delay = timing.delay
         # Constraint (j -> k): delay[i, where k goes] must fit.
-        for k, budget in timing._out[j]:
+        for k, bound in timing._out[j]:
             if assignment[k] < 0:
-                allowed[k] &= delay[i, :] <= budget
+                allowed[k] &= delay[i, :] <= bound
                 if not allowed[k].any():
                     return False
         # Constraint (k -> j): delay[where k goes, i] must fit.
-        for k, budget in timing._in[j]:
+        for k, bound in timing._in[j]:
             if assignment[k] < 0:
-                allowed[k] &= delay[:, i] <= budget
+                allowed[k] &= delay[:, i] <= bound
                 if not allowed[k].any():
                     return False
         return True
@@ -248,7 +261,11 @@ def _construct(
         heapq.heappush(heap, (-regret, -sizes[j], j, best_i))
 
     placed = 0
+    pops = 0
     while heap:
+        pops += 1
+        if budget is not None and pops % 128 == 0:
+            budget.raise_if_exceeded()
         neg_regret, _, j, cached_i = heapq.heappop(heap)
         if assignment[j] >= 0:
             continue
@@ -333,16 +350,21 @@ def _improve(
     max_passes: int,
     timing=None,
     static=None,
+    budget: Optional[Budget] = None,
 ) -> bool:
     """Single-item reassignment descent (in place); True if improved.
 
     With ``timing``, only moves that keep every constraint satisfied
-    (against all other items' current positions) are considered.
+    (against all other items' current positions) are considered.  The
+    assignment stays feasible at every step, so an exhausted ``budget``
+    simply stops polishing (no exception).
     """
     m, n = cost.shape
     residual = capacities - np.bincount(assignment, weights=sizes, minlength=m)
     any_improvement = False
     for _ in range(max_passes):
+        if budget is not None and budget.check() is not None:
+            break
         changed = False
         for j in range(n):
             current = assignment[j]
@@ -353,10 +375,10 @@ def _improve(
                 fits[current] = True
             if timing is not None and timing.degree(j):
                 delay = timing.delay
-                for k, budget in timing._out[j]:
-                    fits &= delay[:, assignment[k]] <= budget
-                for k, budget in timing._in[j]:
-                    fits &= delay[assignment[k], :] <= budget
+                for k, bound in timing._out[j]:
+                    fits &= delay[:, assignment[k]] <= bound
+                for k, bound in timing._in[j]:
+                    fits &= delay[assignment[k], :] <= bound
                 fits[current] = True  # staying put is always permitted
             vals = np.where(fits, cost[:, j], np.inf)
             target = int(np.argmin(vals))
@@ -379,6 +401,7 @@ def _exchange_improve(
     max_passes: int,
     timing=None,
     static=None,
+    budget: Optional[Budget] = None,
 ) -> bool:
     """Pairwise exchange descent (Martello-Toth improvement, in place).
 
@@ -393,6 +416,8 @@ def _exchange_improve(
         return False
     improved = False
     for _ in range(max_passes):
+        if budget is not None and budget.check() is not None:
+            break
         part = assignment
         loads = np.bincount(part, weights=sizes, minlength=m)
         headroom = (capacities - loads)[part]  # per item, at its partition

@@ -25,14 +25,73 @@ from typing import List
 from repro.analysis.report import analyze_solution, render_report
 from repro.baselines.gfm import gfm_partition
 from repro.baselines.gkl import gkl_partition
+from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
+from repro.runtime.budget import (
+    STOP_COMPLETED,
+    Budget,
+    BudgetExceededError,
+)
+from repro.runtime.checkpoint import QbpCheckpointer
+from repro.runtime.supervisor import (
+    Attempt,
+    SolverSupervisor,
+    SupervisorExhaustedError,
+)
 from repro.solvers.burkard import bootstrap_initial_solution, solve_qbp
+from repro.solvers.greedy import greedy_feasible_assignment
+from repro.solvers.repair import repair_feasibility
 from repro.tools.files import assignment_to_dict, load_any_circuit, timing_from_dict
 from repro.topology.grid import grid_topology
 
 SOLVERS = ("qbp", "gfm", "gkl")
+
+
+def supervised_initial_solution(
+    problem: PartitioningProblem,
+    seed: int,
+    budget: Budget | None = None,
+) -> tuple[Assignment, str]:
+    """Build a starting assignment via a degrading fallback ladder.
+
+    Rungs, in order: the paper's QBP bootstrap (fully feasible), greedy
+    placement polished by min-conflicts repair (fully feasible), and
+    plain greedy placement (capacity-feasible only - timing violations
+    possible, but the partitioner still has *something* to improve).
+    Returns the assignment and the name of the rung that produced it.
+    """
+
+    def qbp_bootstrap(attempt_budget: Budget | None) -> Assignment:
+        return bootstrap_initial_solution(problem, seed=seed, budget=attempt_budget)
+
+    def repaired_greedy(attempt_budget: Budget | None) -> Assignment:
+        base = greedy_feasible_assignment(problem, seed=seed)
+        repaired = repair_feasibility(problem, base, seed=seed)
+        if repaired is None:
+            raise RuntimeError("min-conflicts repair exhausted its move budget")
+        return repaired
+
+    def greedy_capacity_only(attempt_budget: Budget | None) -> Assignment:
+        return greedy_feasible_assignment(problem, seed=seed)
+
+    supervisor = SolverSupervisor(
+        [
+            Attempt("qbp-bootstrap", qbp_bootstrap),
+            Attempt("greedy+repair", repaired_greedy),
+            Attempt("greedy-capacity-only", greedy_capacity_only),
+        ],
+        transient=(RuntimeError,),
+        budget=budget,
+    )
+    try:
+        outcome = supervisor.run()
+    except BudgetExceededError:
+        # Budget gone before any rung finished: fall back to the cheap
+        # constructor outside supervision so the caller still gets a start.
+        return greedy_feasible_assignment(problem, seed=seed), "greedy-capacity-only"
+    return outcome.value, outcome.attempt
 
 
 def parse_grid(spec: str):
@@ -72,6 +131,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--iterations", type=int, default=100, help="QBP iterations")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on expiry the best incumbent found so far "
+        "is reported with its stop reason",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="QBP checkpoint file: written periodically during the solve, "
+        "resumed from if present, removed on natural completion",
+    )
+    parser.add_argument(
         "--output", default=None, metavar="PATH", help="write the assignment JSON here"
     )
     parser.add_argument(
@@ -100,22 +169,55 @@ def main(argv: List[str] | None = None) -> int:
         timing = timing_from_dict(json.loads(Path(args.timing).read_text()))
     problem = PartitioningProblem(circuit, topology, timing=timing)
 
-    initial = bootstrap_initial_solution(problem, seed=args.seed)
-    if args.solver == "qbp":
-        result = solve_qbp(
-            problem, iterations=args.iterations, initial=initial, seed=args.seed
+    budget = None
+    if args.budget is not None:
+        if args.budget <= 0:
+            build_parser().error("--budget must be positive")
+        budget = Budget(wall_seconds=args.budget)
+
+    try:
+        initial, initial_rung = supervised_initial_solution(
+            problem, args.seed, budget
         )
+    except SupervisorExhaustedError as exc:
+        print(f"error: no initial solution could be constructed: {exc}")
+        return 2
+    if initial_rung != "qbp-bootstrap":
+        print(f"note: initial solution from fallback rung '{initial_rung}'")
+
+    stop_reason = STOP_COMPLETED
+    if args.solver == "qbp":
+        checkpointer = (
+            QbpCheckpointer(args.checkpoint) if args.checkpoint else None
+        )
+        resume = checkpointer.load() if checkpointer else None
+        if resume is not None:
+            print(f"resuming from checkpoint at iteration {resume.iteration}")
+        result = solve_qbp(
+            problem,
+            iterations=args.iterations,
+            initial=initial,
+            seed=args.seed,
+            budget=budget,
+            checkpointer=checkpointer,
+            resume=resume,
+        )
+        stop_reason = result.stop_reason
+        if checkpointer is not None and stop_reason == STOP_COMPLETED:
+            checkpointer.clear()
         assignment = result.best_feasible_assignment or initial
     elif args.solver == "gfm":
-        assignment = gfm_partition(problem, initial).assignment
+        gfm = gfm_partition(problem, initial, budget=budget)
+        assignment, stop_reason = gfm.assignment, gfm.stop_reason
     else:
-        assignment = gkl_partition(problem, initial).assignment
+        gkl = gkl_partition(problem, initial, budget=budget)
+        assignment, stop_reason = gkl.assignment, gkl.stop_reason
 
     evaluator = ObjectiveEvaluator(problem)
     feasibility = check_feasibility(problem, assignment)
     print(
         f"{args.solver}: cost {evaluator.cost(assignment):g} "
-        f"({feasibility.summary()})"
+        f"({feasibility.summary()}; stop: {stop_reason})"
     )
     if args.report:
         print()
@@ -124,6 +226,7 @@ def main(argv: List[str] | None = None) -> int:
         payload = assignment_to_dict(assignment, circuit)
         payload["cost"] = evaluator.cost(assignment)
         payload["solver"] = args.solver
+        payload["stop_reason"] = stop_reason
         Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"wrote {args.output}")
     return 0 if feasibility.feasible else 1

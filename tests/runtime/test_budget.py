@@ -1,0 +1,165 @@
+"""Budget semantics: fake clocks, cancellation, caps, scoping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.budget import (
+    STOP_CANCELLED,
+    STOP_COMPLETED,
+    STOP_DEADLINE,
+    STOP_REASONS,
+    STOP_STALLED,
+    Budget,
+    BudgetExceededError,
+    budget_stop,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestVocabulary:
+    def test_stop_reasons_enumeration(self):
+        assert STOP_REASONS == ("completed", "deadline", "cancelled", "stalled")
+        assert STOP_COMPLETED == "completed"
+        assert STOP_DEADLINE == "deadline"
+        assert STOP_CANCELLED == "cancelled"
+        assert STOP_STALLED == "stalled"
+
+
+class TestDeadline:
+    def test_within_budget(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=10.0, clock=clock)
+        assert budget.check() is None
+        assert not budget.expired()
+        assert budget.remaining_seconds() == pytest.approx(10.0)
+
+    def test_deadline_reached(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=10.0, clock=clock)
+        clock.advance(9.99)
+        assert budget.check() is None
+        clock.advance(0.02)
+        assert budget.check() == STOP_DEADLINE
+        assert budget.expired()
+        assert budget.elapsed_seconds() == pytest.approx(10.01)
+
+    def test_unbounded_never_expires(self):
+        clock = FakeClock()
+        budget = Budget(clock=clock)
+        clock.advance(1e9)
+        assert budget.check() is None
+        assert budget.remaining_seconds() == float("inf")
+
+    def test_restart_resets_clock(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=5.0, clock=clock)
+        clock.advance(6.0)
+        assert budget.expired()
+        assert budget.restart() is budget
+        assert not budget.expired()
+        assert budget.remaining_seconds() == pytest.approx(5.0)
+
+    def test_raise_if_exceeded_carries_reason(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=1.0, clock=clock)
+        budget.raise_if_exceeded()  # within budget: no-op
+        clock.advance(2.0)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            budget.raise_if_exceeded()
+        assert excinfo.value.reason == STOP_DEADLINE
+        assert isinstance(excinfo.value, RuntimeError)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(wall_seconds=0.0)
+        with pytest.raises(ValueError):
+            Budget(wall_seconds=-1.0)
+        with pytest.raises(ValueError):
+            Budget(max_iterations=0)
+
+
+class TestCancel:
+    def test_cancel_wins_over_deadline(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=1.0, clock=clock)
+        clock.advance(5.0)
+        budget.cancel()
+        assert budget.check() == STOP_CANCELLED
+
+    def test_cancel_is_idempotent_and_sticky(self):
+        budget = Budget()
+        assert not budget.cancelled
+        budget.cancel()
+        budget.cancel()
+        assert budget.cancelled
+        assert budget.check() == STOP_CANCELLED
+        # restart() does not clear cancellation
+        budget.restart()
+        assert budget.cancelled
+
+
+class TestIterationCap:
+    def test_no_cap(self):
+        assert Budget().iteration_cap(100) == 100
+
+    def test_cap_applies(self):
+        assert Budget(max_iterations=7).iteration_cap(100) == 7
+
+    def test_cap_never_raises_default(self):
+        assert Budget(max_iterations=500).iteration_cap(100) == 100
+
+
+class TestScoped:
+    def test_scoped_takes_tighter_deadline(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=10.0, clock=clock)
+        child = budget.scoped(2.0)
+        assert child.wall_seconds == pytest.approx(2.0)
+        clock.advance(2.5)
+        assert child.check() == STOP_DEADLINE
+        assert budget.check() is None
+
+    def test_scoped_inherits_parent_remaining(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=10.0, clock=clock)
+        clock.advance(9.0)
+        child = budget.scoped(60.0)
+        assert child.wall_seconds == pytest.approx(1.0)
+
+    def test_scoped_shares_cancel_flag(self):
+        budget = Budget()
+        child = budget.scoped(5.0)
+        budget.cancel()
+        assert child.check() == STOP_CANCELLED
+        other = Budget().scoped(5.0)
+        other.cancel()  # cancelling a child also cancels its parent line
+        assert other.cancelled
+
+    def test_scoped_unbounded_parent_no_timeout(self):
+        child = Budget().scoped(None)
+        assert child.wall_seconds is None
+
+
+class TestBudgetStop:
+    def test_none_budget(self):
+        assert budget_stop(None) is None
+
+    def test_passthrough(self):
+        clock = FakeClock()
+        budget = Budget(wall_seconds=1.0, clock=clock)
+        assert budget_stop(budget) is None
+        clock.advance(2.0)
+        assert budget_stop(budget) == STOP_DEADLINE

@@ -1,0 +1,217 @@
+"""Checkpoints: atomic writes, corruption handling, bit-exact QBP resume."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.budget import Budget
+from repro.runtime.checkpoint import (
+    QBP_CHECKPOINT_FORMAT,
+    CheckpointError,
+    QbpCheckpoint,
+    QbpCheckpointer,
+    atomic_write_json,
+    load_json_checkpoint,
+    load_qbp_checkpoint,
+    save_qbp_checkpoint,
+    try_load_json_checkpoint,
+    try_load_qbp_checkpoint,
+)
+from repro.runtime.faults import corrupt_json_file
+from repro.solvers.burkard import solve_qbp
+
+
+class TestAtomicJson:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "a" / "b" / "ck.json"  # parents created on demand
+        atomic_write_json(path, {"format": "x-v1", "value": [1, 2, 3]})
+        assert load_json_checkpoint(path, expected_format="x-v1")["value"] == [1, 2, 3]
+
+    def test_missing_file_strict_vs_forgiving(self, tmp_path):
+        path = tmp_path / "absent.json"
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_json_checkpoint(path, expected_format="x-v1")
+        assert try_load_json_checkpoint(path, expected_format="x-v1") is None
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        atomic_write_json(path, {"format": "other-v1"})
+        with pytest.raises(CheckpointError, match="format"):
+            load_json_checkpoint(path, expected_format="x-v1")
+
+    def test_corrupted_file(self, tmp_path, caplog):
+        path = tmp_path / "ck.json"
+        atomic_write_json(path, {"format": "x-v1", "data": list(range(100))})
+        corrupt_json_file(path, seed=3)
+        with pytest.raises(CheckpointError):
+            load_json_checkpoint(path, expected_format="x-v1")
+        with caplog.at_level("WARNING", logger="repro.runtime.checkpoint"):
+            assert try_load_json_checkpoint(path, expected_format="x-v1") is None
+        assert any("unusable checkpoint" in r.message for r in caplog.records)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "ck.json"
+        atomic_write_json(path, {"format": "x-v1"})
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+
+def _sample_checkpoint() -> QbpCheckpoint:
+    rng = np.random.default_rng(9)
+    return QbpCheckpoint(
+        iteration=7,
+        part=np.array([0, 1, 2, 3, 0]),
+        h=rng.normal(size=(5, 4)),
+        best_part=np.array([0, 1, 2, 3, 1]),
+        best_pen=12.5,
+        best_feas_part=np.array([0, 1, 2, 3, 2]),
+        best_feas_cost=15.0,
+        shadow_part=None,
+        history=[20.0, 14.0, 12.5],
+        improvements=[1, 3],
+        rng_state=rng.bit_generator.state,
+        label="sample",
+    )
+
+
+class TestQbpCheckpointRoundtrip:
+    def test_payload_roundtrip_is_exact(self, tmp_path):
+        original = _sample_checkpoint()
+        path = tmp_path / "qbp.json"
+        save_qbp_checkpoint(path, original)
+        loaded = load_qbp_checkpoint(path)
+        assert loaded.iteration == original.iteration
+        assert np.array_equal(loaded.part, original.part)
+        assert np.array_equal(loaded.h, original.h)  # bit-exact float roundtrip
+        assert np.array_equal(loaded.best_part, original.best_part)
+        assert loaded.best_pen == original.best_pen
+        assert np.array_equal(loaded.best_feas_part, original.best_feas_part)
+        assert loaded.shadow_part is None
+        assert loaded.history == original.history
+        assert loaded.improvements == original.improvements
+        assert loaded.rng_state == original.rng_state
+        assert loaded.label == "sample"
+
+    def test_payload_format_tag(self, tmp_path):
+        path = tmp_path / "qbp.json"
+        save_qbp_checkpoint(path, _sample_checkpoint())
+        assert json.loads(path.read_text())["format"] == QBP_CHECKPOINT_FORMAT
+
+    def test_malformed_shapes_rejected(self):
+        payload = _sample_checkpoint().to_payload()
+        payload["h"] = [[1.0, 2.0]]  # h rows must match part length
+        with pytest.raises(CheckpointError, match="inconsistent"):
+            QbpCheckpoint.from_payload(payload)
+
+    def test_missing_key_rejected(self):
+        payload = _sample_checkpoint().to_payload()
+        del payload["best_pen"]
+        with pytest.raises(CheckpointError, match="malformed"):
+            QbpCheckpoint.from_payload(payload)
+
+    def test_corrupted_qbp_checkpoint_forgiving(self, tmp_path):
+        path = tmp_path / "qbp.json"
+        save_qbp_checkpoint(path, _sample_checkpoint())
+        corrupt_json_file(path, seed=1)
+        assert try_load_qbp_checkpoint(path) is None
+        with pytest.raises(CheckpointError):
+            load_qbp_checkpoint(path)
+
+
+class TestQbpCheckpointer:
+    def test_due_schedule(self, tmp_path):
+        ck = QbpCheckpointer(tmp_path / "x.json", every=5)
+        assert [k for k in range(1, 16) if ck.due(k)] == [5, 10, 15]
+
+    def test_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            QbpCheckpointer(tmp_path / "x.json", every=0)
+
+    def test_save_load_clear(self, tmp_path):
+        ck = QbpCheckpointer(tmp_path / "x.json", every=1, label="ckt")
+        assert ck.load() is None
+        ck.save(_sample_checkpoint())
+        assert ck.saves == 1
+        assert ck.load().iteration == 7
+        ck.clear()
+        assert ck.load() is None
+        ck.clear()  # idempotent
+
+
+class TestSolveQbpResume:
+    """Killing a run mid-flight and resuming must be bit-exact."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, timed_problem, feasible_start):
+        return solve_qbp(
+            timed_problem, iterations=10, initial=feasible_start, seed=7
+        )
+
+    def test_cancel_then_resume_matches_uninterrupted(
+        self, tmp_path, timed_problem, feasible_start, reference
+    ):
+        path = tmp_path / "qbp.json"
+        budget = Budget()
+
+        def cancel_at_4(k, assignment, pen):
+            if k == 4:
+                budget.cancel()
+
+        interrupted = solve_qbp(
+            timed_problem,
+            iterations=10,
+            initial=feasible_start,
+            seed=7,
+            budget=budget,
+            checkpointer=QbpCheckpointer(path, every=1),
+            callback=cancel_at_4,
+        )
+        assert interrupted.stop_reason == "cancelled"
+        assert interrupted.iterations < 10
+
+        resume = try_load_qbp_checkpoint(path)
+        assert resume is not None
+        assert resume.iteration == 4
+
+        resumed = solve_qbp(
+            timed_problem,
+            iterations=10,
+            initial=feasible_start,
+            seed=7,
+            resume=resume,
+        )
+        assert resumed.stop_reason == "completed"
+        assert resumed.cost == reference.cost
+        assert resumed.penalized_cost == reference.penalized_cost
+        assert resumed.best_feasible_cost == reference.best_feasible_cost
+        assert np.array_equal(resumed.assignment.part, reference.assignment.part)
+        assert resumed.history == reference.history
+
+    def test_resume_rejects_shape_mismatch(
+        self, tmp_path, timed_problem, small_problem, feasible_start
+    ):
+        path = tmp_path / "qbp.json"
+        solve_qbp(
+            timed_problem,
+            iterations=2,
+            initial=feasible_start,
+            seed=7,
+            checkpointer=QbpCheckpointer(path, every=1),
+        )
+        resume = try_load_qbp_checkpoint(path)
+        with pytest.raises(ValueError, match="does not match"):
+            solve_qbp(small_problem, iterations=2, seed=7, resume=resume)
+
+    def test_natural_completion_writes_final_snapshot(
+        self, tmp_path, timed_problem, feasible_start
+    ):
+        path = tmp_path / "qbp.json"
+        ck = QbpCheckpointer(path, every=100)  # never due mid-run
+        solve_qbp(
+            timed_problem, iterations=3, initial=feasible_start, seed=7,
+            checkpointer=ck,
+        )
+        assert ck.saves == 1  # the final-iteration snapshot
+        assert ck.load().iteration == 3

@@ -1,0 +1,140 @@
+"""Budgeted + checkpointed Table runs: deadline honoring and lossless resume."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.eval.harness as harness
+from repro.eval.harness import (
+    TableCheckpoint,
+    run_table,
+    shared_initial_solution,
+)
+from repro.eval.workloads import build_workload
+from repro.runtime.budget import Budget
+from repro.runtime.faults import FaultPlan, inject_faults
+
+QBP_ITERATIONS = 10
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("cktb", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def initials(workload):
+    return {"cktb": shared_initial_solution(workload, seed=0)}
+
+
+@pytest.fixture(scope="module")
+def reference_rows(workload, initials):
+    """Budget-free Table III rows to compare interrupted/resumed runs against."""
+    return run_table(
+        3,
+        scale=SCALE,
+        qbp_iterations=QBP_ITERATIONS,
+        circuits=["cktb"],
+        seed=0,
+        workloads={"cktb": workload},
+        initials=initials,
+    )
+
+
+def _run(workload, initials, **kwargs):
+    return run_table(
+        3,
+        scale=SCALE,
+        qbp_iterations=QBP_ITERATIONS,
+        circuits=["cktb"],
+        seed=0,
+        workloads={"cktb": workload},
+        initials=initials,
+        **kwargs,
+    )
+
+
+class TestDeadline:
+    def test_budgeted_table_honors_deadline(self, workload, initials, tmp_path):
+        wall = 0.4
+        plan = FaultPlan().slow("qbp.iteration", seconds=0.15)
+        budget = Budget(wall_seconds=wall)
+        start = time.perf_counter()
+        with inject_faults(plan):
+            rows = _run(
+                workload, initials, budget=budget, checkpoint_dir=tmp_path
+            )
+        elapsed = time.perf_counter() - start
+        # Terminates within ~1s of the deadline despite the slow iterations.
+        assert elapsed < wall + 1.0
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.stop_reason == "deadline"
+        # The emitted row still holds feasible incumbents for every solver.
+        assert row.all_feasible
+        assert row.qbp_cost <= row.start_cost + 1e-9
+
+
+class TestTableResume:
+    def test_interrupt_then_resume_matches_budget_free_run(
+        self, workload, initials, reference_rows, tmp_path
+    ):
+        plan = FaultPlan().slow("qbp.iteration", seconds=0.15)
+        with inject_faults(plan):
+            interrupted = _run(
+                workload,
+                initials,
+                budget=Budget(wall_seconds=0.4),
+                checkpoint_dir=tmp_path,
+            )
+        assert interrupted[0].stop_reason == "deadline"
+
+        resumed = _run(workload, initials, checkpoint_dir=tmp_path)
+        assert len(resumed) == len(reference_rows) == 1
+        ref, got = reference_rows[0], resumed[0]
+        assert got.stop_reason == "completed"
+        assert got.start_cost == ref.start_cost
+        assert got.qbp_cost == ref.qbp_cost
+        assert got.gfm_cost == ref.gfm_cost
+        assert got.gkl_cost == ref.gkl_cost
+
+    def test_completed_circuits_never_recomputed(
+        self, workload, initials, tmp_path, monkeypatch
+    ):
+        first = _run(workload, initials, checkpoint_dir=tmp_path)
+        assert first[0].stop_reason == "completed"
+
+        def explode(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("completed circuit was recomputed")
+
+        monkeypatch.setattr(harness, "run_circuit_experiment", explode)
+        again = _run(workload, initials, checkpoint_dir=tmp_path)
+        assert [r.to_dict() for r in again] == [r.to_dict() for r in first]
+
+    def test_parameter_mismatch_invalidates_record(
+        self, workload, initials, tmp_path
+    ):
+        _run(workload, initials, checkpoint_dir=tmp_path)
+        stale = TableCheckpoint(
+            tmp_path, 3, params={"scale": 0.5, "qbp_iterations": 1, "seed": 9}
+        )
+        assert stale.completed("cktb") is None  # params differ: must recompute
+
+    def test_clear_removes_all_state(self, workload, initials, tmp_path):
+        _run(workload, initials, checkpoint_dir=tmp_path)
+        checkpoint = TableCheckpoint(
+            tmp_path,
+            3,
+            params={"scale": SCALE, "qbp_iterations": QBP_ITERATIONS, "seed": 0},
+        )
+        assert checkpoint.completed("cktb") is not None
+        checkpoint.clear()
+        fresh = TableCheckpoint(
+            tmp_path,
+            3,
+            params={"scale": SCALE, "qbp_iterations": QBP_ITERATIONS, "seed": 0},
+        )
+        assert fresh.completed("cktb") is None

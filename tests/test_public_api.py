@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.core",
     "repro.eval",
     "repro.netlist",
+    "repro.runtime",
     "repro.solvers",
     "repro.timing",
     "repro.tools",
