@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Validate a combined JSONL telemetry trace against the schema.
+
+Reusable gate for CI and local runs: every line must be a valid span or
+event record (see ``repro.obs.events.validate_trace_line`` and
+``docs/OBSERVABILITY.md``).  Optionally also enforces minimum content,
+so a smoke run can assert the trace is not just well-formed but
+*populated*::
+
+    python scripts/check_trace.py out.jsonl --min-spans 3 --require-span partition
+
+Exit codes: 0 valid, 1 schema violation or unmet requirement, 2 unreadable
+input.  Needs ``src`` on ``PYTHONPATH`` (or the package installed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.events import validate_trace_line
+
+
+def check_trace(
+    path,
+    *,
+    min_spans: int = 0,
+    min_events: int = 0,
+    require_spans: Optional[List[str]] = None,
+) -> List[str]:
+    """Validate the trace at ``path``; returns a list of problems (empty = ok)."""
+    problems: List[str] = []
+    spans = 0
+    events = 0
+    names = set()
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = validate_trace_line(line)
+        except ValueError as exc:
+            problems.append(f"line {lineno}: {exc}")
+            continue
+        if record["type"] == "span":
+            spans += 1
+            names.add(record["name"])
+        else:
+            events += 1
+    if spans < min_spans:
+        problems.append(f"expected >= {min_spans} spans, found {spans}")
+    if events < min_events:
+        problems.append(f"expected >= {min_events} events, found {events}")
+    for required in require_spans or []:
+        if required not in names:
+            problems.append(f"required span {required!r} not present")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Schema-validate a combined JSONL telemetry trace."
+    )
+    parser.add_argument("trace", help="trace file written by a --trace flag")
+    parser.add_argument(
+        "--min-spans", type=int, default=1,
+        help="fail unless at least this many span lines exist (default 1)",
+    )
+    parser.add_argument(
+        "--min-events", type=int, default=0,
+        help="fail unless at least this many event lines exist (default 0)",
+    )
+    parser.add_argument(
+        "--require-span", action="append", default=None, metavar="NAME",
+        help="fail unless a span with this exact name exists (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    problems = check_trace(
+        args.trace,
+        min_spans=args.min_spans,
+        min_events=args.min_events,
+        require_spans=args.require_span,
+    )
+    if problems:
+        unreadable = any(p.startswith("unreadable:") for p in problems)
+        for problem in problems:
+            print(f"check_trace: {problem}", file=sys.stderr)
+        return 2 if unreadable else 1
+    print(f"check_trace: {args.trace} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,8 @@ from repro.baselines.result import InterchangeResult
 from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.problem import PartitioningProblem
+from repro.obs.events import IterationEvent
+from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
 from repro.runtime.budget import STOP_COMPLETED, Budget
 from repro.utils.rng import RandomSource, ensure_rng
 
@@ -40,6 +42,7 @@ def annealing_partition(
     swap_probability: float = 0.4,
     seed: RandomSource = None,
     budget: Optional[Budget] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> InterchangeResult:
     """Anneal from a feasible ``initial`` assignment.
 
@@ -59,6 +62,11 @@ def annealing_partition(
         Optional :class:`repro.runtime.budget.Budget`, checked per
         sweep and every few proposals; the best solution seen so far is
         returned with ``stop_reason`` recording any early stop.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; ``None`` uses
+        the ambient instance.  Each temperature step emits an
+        ``IterationEvent`` (``solver="annealing"``) and bumps
+        ``solver.passes``.
     """
     report = check_feasibility(problem, initial)
     if not report.feasible:
@@ -68,6 +76,7 @@ def annealing_partition(
     if not 0 < cooling < 1:
         raise ValueError(f"cooling must be in (0, 1), got {cooling}")
 
+    tel = resolve_telemetry(telemetry)
     start_time = time.perf_counter()
     rng = ensure_rng(seed)
     engine = GainEngine(problem, initial)
@@ -98,54 +107,71 @@ def annealing_partition(
     steps_run = 0
     stop_reason = STOP_COMPLETED
 
-    for _ in range(temperature_steps):
-        if budget is not None:
-            reason = budget.check()
-            if reason is not None:
-                stop_reason = reason
-                break
-        steps_run += 1
-        for proposal_index in range(proposals):
-            if (
-                budget is not None
-                and proposal_index % 32 == 0
-                and budget.check() is not None
-            ):
-                break
-            delta_applied = None
-            if rng.random() < swap_probability and n >= 2:
-                j1, j2 = rng.choice(n, size=2, replace=False)
-                j1, j2 = int(j1), int(j2)
-                if engine.part[j1] == engine.part[j2]:
-                    continue
-                if not engine.exact_swap_feasible(j1, j2):
-                    continue
-                delta = float(engine.evaluator.swap_delta(engine.part, j1, j2))
-                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                    engine.apply_swap(j1, j2)
-                    delta_applied = delta
-            else:
-                j = int(rng.integers(0, n))
-                i = int(rng.integers(0, m))
-                if i == engine.part[j]:
-                    continue
-                # O(1) feasibility: loads for capacity, the maintained
-                # timing_block for C2.
-                if engine.loads[i] + engine.sizes[j] > engine.capacities[i] + 1e-9:
-                    continue
-                if engine.timing_block[j, i]:
-                    continue
-                delta = float(engine.delta[j, i])
-                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                    engine.apply_move(j, i)
-                    delta_applied = delta
-            if delta_applied is not None:
-                applied += 1
-                current_cost += delta_applied
-                if current_cost < best_cost - 1e-12:
-                    best_cost = current_cost
-                    best_part = engine.part.copy()
-        temperature *= cooling
+    with tel.span(
+        "annealing.solve", components=n, temperature_steps=temperature_steps
+    ) as span:
+        for _ in range(temperature_steps):
+            if budget is not None:
+                reason = budget.check()
+                if reason is not None:
+                    stop_reason = reason
+                    break
+            steps_run += 1
+            step_best = best_cost
+            for proposal_index in range(proposals):
+                if (
+                    budget is not None
+                    and proposal_index % 32 == 0
+                    and budget.check() is not None
+                ):
+                    break
+                delta_applied = None
+                if rng.random() < swap_probability and n >= 2:
+                    j1, j2 = rng.choice(n, size=2, replace=False)
+                    j1, j2 = int(j1), int(j2)
+                    if engine.part[j1] == engine.part[j2]:
+                        continue
+                    if not engine.exact_swap_feasible(j1, j2):
+                        continue
+                    delta = float(engine.evaluator.swap_delta(engine.part, j1, j2))
+                    if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                        engine.apply_swap(j1, j2)
+                        delta_applied = delta
+                else:
+                    j = int(rng.integers(0, n))
+                    i = int(rng.integers(0, m))
+                    if i == engine.part[j]:
+                        continue
+                    # O(1) feasibility: loads for capacity, the maintained
+                    # timing_block for C2.
+                    if engine.loads[i] + engine.sizes[j] > engine.capacities[i] + 1e-9:
+                        continue
+                    if engine.timing_block[j, i]:
+                        continue
+                    delta = float(engine.delta[j, i])
+                    if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                        engine.apply_move(j, i)
+                        delta_applied = delta
+                if delta_applied is not None:
+                    applied += 1
+                    current_cost += delta_applied
+                    if current_cost < best_cost - 1e-12:
+                        best_cost = current_cost
+                        best_part = engine.part.copy()
+            temperature *= cooling
+            if tel.enabled:
+                tel.counter("solver.passes").inc()
+                tel.emit(
+                    IterationEvent(
+                        solver="annealing",
+                        iteration=steps_run,
+                        cost=float(current_cost),
+                        best_cost=float(best_cost),
+                        improved=best_cost < step_best - 1e-12,
+                    )
+                )
+        span.set("steps_run", steps_run)
+        span.set("stop_reason", stop_reason)
 
     # Guard against floating-point drift in the incremental tracking.
     best_cost = float(engine.evaluator.cost(best_part))

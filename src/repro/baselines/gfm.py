@@ -31,6 +31,8 @@ from repro.baselines.result import InterchangeResult
 from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.problem import PartitioningProblem
+from repro.obs.events import IterationEvent
+from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
 from repro.runtime.budget import STOP_COMPLETED, Budget
 
 
@@ -42,6 +44,7 @@ def gfm_partition(
     max_moves_per_pass: Optional[int] = None,
     min_gain: float = 1e-9,
     budget: Optional[Budget] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> InterchangeResult:
     """Run GFM from a feasible ``initial`` assignment.
 
@@ -63,11 +66,16 @@ def gfm_partition(
         and per move.  A budget stop still rolls the interrupted pass
         back to its best prefix, so the result never worsens and
         ``stop_reason`` records why the run ended early.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; ``None`` uses
+        the ambient instance.  Each pass emits an ``IterationEvent``
+        (``solver="gfm"``) and bumps the ``solver.passes`` counter.
     """
     report = check_feasibility(problem, initial)
     if not report.feasible:
         raise ValueError(f"GFM needs a feasible initial solution: {report.summary()}")
 
+    tel = resolve_telemetry(telemetry)
     start = time.perf_counter()
     engine = GainEngine(problem, initial)
     initial_cost = engine.current_cost()
@@ -76,21 +84,35 @@ def gfm_partition(
     passes = 0
     stop_reason = STOP_COMPLETED
 
-    for _ in range(max_passes):
-        if budget is not None:
-            reason = budget.check()
-            if reason is not None:
-                stop_reason = reason
+    with tel.span("gfm.solve", components=engine.n, max_passes=max_passes) as span:
+        for _ in range(max_passes):
+            if budget is not None:
+                reason = budget.check()
+                if reason is not None:
+                    stop_reason = reason
+                    break
+            passes += 1
+            improvement, moves = _run_pass(engine, max_moves_per_pass, budget)
+            total_moves += moves
+            pass_costs.append(engine.current_cost())
+            if tel.enabled:
+                tel.counter("solver.passes").inc()
+                tel.emit(
+                    IterationEvent(
+                        solver="gfm",
+                        iteration=passes,
+                        cost=float(pass_costs[-1]),
+                        best_cost=float(min(pass_costs)),
+                        improved=improvement > min_gain,
+                    )
+                )
+            if budget is not None and budget.check() is not None:
+                stop_reason = budget.check() or stop_reason
                 break
-        passes += 1
-        improvement, moves = _run_pass(engine, max_moves_per_pass, budget)
-        total_moves += moves
-        pass_costs.append(engine.current_cost())
-        if budget is not None and budget.check() is not None:
-            stop_reason = budget.check() or stop_reason
-            break
-        if improvement <= min_gain:
-            break
+            if improvement <= min_gain:
+                break
+        span.set("passes", passes)
+        span.set("stop_reason", stop_reason)
 
     final = engine.assignment()
     final_cost = engine.current_cost()

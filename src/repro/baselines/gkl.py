@@ -34,6 +34,8 @@ from repro.baselines.result import InterchangeResult
 from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.problem import PartitioningProblem
+from repro.obs.events import IterationEvent
+from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
 from repro.runtime.budget import STOP_COMPLETED, Budget
 
 
@@ -45,6 +47,7 @@ def gkl_partition(
     max_swaps_per_pass: Optional[int] = None,
     min_gain: float = 1e-9,
     budget: Optional[Budget] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> InterchangeResult:
     """Run GKL from a feasible ``initial`` assignment.
 
@@ -62,11 +65,16 @@ def gkl_partition(
         Optional :class:`repro.runtime.budget.Budget`, checked per outer
         loop and per swap.  A budget stop still rolls the interrupted
         pass back to its best prefix; ``stop_reason`` records the cause.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; ``None`` uses
+        the ambient instance.  Each outer loop emits an
+        ``IterationEvent`` (``solver="gkl"``) and bumps ``solver.passes``.
     """
     report = check_feasibility(problem, initial)
     if not report.feasible:
         raise ValueError(f"GKL needs a feasible initial solution: {report.summary()}")
 
+    tel = resolve_telemetry(telemetry)
     start = time.perf_counter()
     engine = GainEngine(problem, initial)
     initial_cost = engine.current_cost()
@@ -75,21 +83,35 @@ def gkl_partition(
     passes = 0
     stop_reason = STOP_COMPLETED
 
-    for _ in range(max_outer_loops):
-        if budget is not None:
-            reason = budget.check()
-            if reason is not None:
-                stop_reason = reason
+    with tel.span("gkl.solve", components=engine.n, max_outer_loops=max_outer_loops) as span:
+        for _ in range(max_outer_loops):
+            if budget is not None:
+                reason = budget.check()
+                if reason is not None:
+                    stop_reason = reason
+                    break
+            passes += 1
+            improvement, swaps = _run_pass(engine, max_swaps_per_pass, budget)
+            total_swaps += swaps
+            pass_costs.append(engine.current_cost())
+            if tel.enabled:
+                tel.counter("solver.passes").inc()
+                tel.emit(
+                    IterationEvent(
+                        solver="gkl",
+                        iteration=passes,
+                        cost=float(pass_costs[-1]),
+                        best_cost=float(min(pass_costs)),
+                        improved=improvement > min_gain,
+                    )
+                )
+            if budget is not None and budget.check() is not None:
+                stop_reason = budget.check() or stop_reason
                 break
-        passes += 1
-        improvement, swaps = _run_pass(engine, max_swaps_per_pass, budget)
-        total_swaps += swaps
-        pass_costs.append(engine.current_cost())
-        if budget is not None and budget.check() is not None:
-            stop_reason = budget.check() or stop_reason
-            break
-        if improvement <= min_gain:
-            break
+            if improvement <= min_gain:
+                break
+        span.set("passes", passes)
+        span.set("stop_reason", stop_reason)
 
     final = engine.assignment()
     final_cost = engine.current_cost()

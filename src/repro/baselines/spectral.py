@@ -35,6 +35,8 @@ from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
+from repro.obs.events import IterationEvent
+from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
 from repro.solvers.gap import GapInfeasibleError, solve_gap
 from repro.utils.rng import RandomSource, ensure_rng
 
@@ -111,6 +113,7 @@ def spectral_partition(
     dimensions: Optional[int] = None,
     repair_timing: bool = True,
     seed: RandomSource = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SpectralResult:
     """Barnes-style spectral partitioning with capacitated assignment.
 
@@ -125,37 +128,53 @@ def spectral_partition(
         ``feasible=False`` - faithfully reflecting the method's
         historical limitation.
     """
+    tel = resolve_telemetry(telemetry)
     start_time = time.perf_counter()
     rng = ensure_rng(seed)
     n, m = problem.num_components, problem.num_partitions
     if dimensions is None:
         dimensions = max(1, min(m, n - 1))
-    embedding = spectral_embedding(problem, dimensions)
-    sizes = problem.sizes()
+    with tel.span("spectral.solve", components=n, partitions=m):
+        with tel.span("spectral.embedding", dimensions=dimensions):
+            embedding = spectral_embedding(problem, dimensions)
+        sizes = problem.sizes()
 
-    centroids = _seed_centroids(embedding, sizes, m, rng)
-    distance_sq = np.sum(
-        (embedding[:, None, :] - centroids[None, :, :]) ** 2, axis=2
-    )
-    try:
-        gap = solve_gap(distance_sq.T, sizes, problem.capacities())
-        part = gap.assignment
-    except GapInfeasibleError:
-        # Capacities too tight for the geometric assignment: fall back
-        # to pure best-fit via uniform costs.
-        gap = solve_gap(np.zeros((m, n)), sizes, problem.capacities())
-        part = gap.assignment
+        with tel.span("spectral.centroids"):
+            centroids = _seed_centroids(embedding, sizes, m, rng)
+        distance_sq = np.sum(
+            (embedding[:, None, :] - centroids[None, :, :]) ** 2, axis=2
+        )
+        with tel.span("spectral.assign"):
+            try:
+                gap = solve_gap(distance_sq.T, sizes, problem.capacities())
+                part = gap.assignment
+            except GapInfeasibleError:
+                # Capacities too tight for the geometric assignment: fall back
+                # to pure best-fit via uniform costs.
+                gap = solve_gap(np.zeros((m, n)), sizes, problem.capacities())
+                part = gap.assignment
 
-    assignment = Assignment(part, m)
-    if repair_timing and problem.has_timing:
-        from repro.solvers.repair import repair_feasibility
+        assignment = Assignment(part, m)
+        if repair_timing and problem.has_timing:
+            from repro.solvers.repair import repair_feasibility
 
-        repaired = repair_feasibility(problem, assignment, seed=rng)
-        if repaired is not None:
-            assignment = repaired
+            with tel.span("spectral.repair"):
+                repaired = repair_feasibility(problem, assignment, seed=rng)
+            if repaired is not None:
+                assignment = repaired
 
     evaluator = ObjectiveEvaluator(problem)
     report = check_feasibility(problem, assignment)
+    if tel.enabled:
+        tel.emit(
+            IterationEvent(
+                solver="spectral",
+                iteration=1,
+                cost=float(evaluator.cost(assignment)),
+                best_cost=float(evaluator.cost(assignment)),
+                improved=True,
+            )
+        )
     return SpectralResult(
         assignment=assignment,
         cost=evaluator.cost(assignment),

@@ -29,6 +29,8 @@ from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
 from repro.eval.paper_data import GKL_OUTER_LOOPS, QBP_ITERATIONS
 from repro.eval.workloads import Workload, build_workload, workload_names
+from repro.obs.metrics import METRICS_SNAPSHOT_FORMAT, diff_snapshots
+from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
 from repro.runtime.budget import (
     STOP_COMPLETED,
     STOP_STALLED,
@@ -52,11 +54,47 @@ from repro.utils.rng import RandomSource
 
 @dataclass(frozen=True)
 class SolverTimings:
-    """CPU seconds per solver for one circuit."""
+    """Wall-clock seconds per solver for one circuit.
+
+    Serialises as a ``metrics-snapshot-v1`` payload (gauges named
+    ``timing.<solver>_seconds``), the same format
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` produces - so
+    ``full_results.json`` carries timings and metric snapshots uniformly
+    and :meth:`from_dict` round-trips :meth:`to_dict` exactly.
+    """
 
     qbp: float
     gfm: float
     gkl: float
+
+    @property
+    def total(self) -> float:
+        """Combined wall-clock seconds across the three solvers."""
+        return self.qbp + self.gfm + self.gkl
+
+    def to_dict(self) -> dict:
+        """A ``metrics-snapshot-v1`` payload holding the timing gauges."""
+        return {
+            "format": METRICS_SNAPSHOT_FORMAT,
+            "counters": {},
+            "gauges": {
+                "timing.gfm_seconds": float(self.gfm),
+                "timing.gkl_seconds": float(self.gkl),
+                "timing.qbp_seconds": float(self.qbp),
+                "timing.total_seconds": float(self.total),
+            },
+            "histograms": {},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SolverTimings":
+        """Rebuild from a :meth:`to_dict` payload (snapshot gauges)."""
+        gauges = payload.get("gauges", {})
+        return cls(
+            qbp=float(gauges.get("timing.qbp_seconds", 0.0)),
+            gfm=float(gauges.get("timing.gfm_seconds", 0.0)),
+            gkl=float(gauges.get("timing.gkl_seconds", 0.0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -80,6 +118,14 @@ class ExperimentRow:
     """``completed`` unless a budget cut some solver short
     (``deadline`` / ``cancelled``); such rows hold each solver's best
     incumbent at the stop, still feasible but possibly unconverged."""
+    timings: Optional[dict] = None
+    """Per-phase wall-clock seconds as a :meth:`SolverTimings.to_dict`
+    payload (``metrics-snapshot-v1``); ``None`` on rows restored from
+    older checkpoints."""
+    metrics: Optional[dict] = None
+    """Telemetry delta for this row (:func:`repro.obs.metrics.diff_snapshots`
+    of the registry around the circuit run); ``None`` when telemetry is
+    disabled."""
 
     def to_dict(self) -> dict:
         """Plain-dict view for JSON export."""
@@ -150,6 +196,7 @@ def run_circuit_experiment(
     initial: Optional[Assignment] = None,
     budget: Optional[Budget] = None,
     qbp_checkpoint_path=None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ExperimentRow:
     """Run all three solvers on one circuit and assemble the table row.
 
@@ -159,10 +206,18 @@ def run_circuit_experiment(
     ``qbp_checkpoint_path``, the QBP solve snapshots its state there
     periodically and resumes bit-exactly from an existing snapshot; the
     file is cleared once QBP finishes on its own.
+
+    When telemetry is enabled (``telemetry=`` or ambient) each phase runs
+    inside a ``harness.*`` span, per-phase wall-clock gauges are set, and
+    the row's ``metrics`` field records the counter deltas attributable
+    to this circuit.
     """
+    tel = resolve_telemetry(telemetry)
+    metrics_before = tel.metrics_snapshot() if tel.enabled else None
     problem = workload.problem if with_timing else workload.problem_no_timing
     if initial is None:
-        initial = shared_initial_solution(workload, seed, budget=budget)
+        with tel.span("harness.bootstrap", circuit=workload.name):
+            initial = shared_initial_solution(workload, seed, budget=budget)
     report = check_feasibility(problem, initial)
     if not report.feasible:
         raise RuntimeError(
@@ -175,19 +230,23 @@ def run_circuit_experiment(
     checkpointer = None
     resume = None
     if qbp_checkpoint_path is not None:
-        checkpointer = QbpCheckpointer(qbp_checkpoint_path, label=workload.name)
+        checkpointer = QbpCheckpointer(
+            qbp_checkpoint_path, label=workload.name, telemetry=telemetry
+        )
         resume = checkpointer.load()
 
     t0 = time.perf_counter()
-    qbp = solve_qbp(
-        problem,
-        iterations=qbp_iterations,
-        initial=initial,
-        seed=seed,
-        budget=budget,
-        checkpointer=checkpointer,
-        resume=resume,
-    )
+    with tel.span("harness.qbp", circuit=workload.name):
+        qbp = solve_qbp(
+            problem,
+            iterations=qbp_iterations,
+            initial=initial,
+            seed=seed,
+            budget=budget,
+            checkpointer=checkpointer,
+            resume=resume,
+            telemetry=telemetry,
+        )
     qbp_cpu = time.perf_counter() - t0
     if checkpointer is not None and qbp.stop_reason in (STOP_COMPLETED, STOP_STALLED):
         checkpointer.clear()  # finished on its own merits; nothing to resume
@@ -196,10 +255,13 @@ def run_circuit_experiment(
         qbp_assignment = initial
     qbp_cost = min(evaluator.cost(qbp_assignment), start_cost)
 
-    gfm = gfm_partition(problem, initial, budget=budget)
-    gkl = gkl_partition(
-        problem, initial, max_outer_loops=gkl_outer_loops, budget=budget
-    )
+    with tel.span("harness.gfm", circuit=workload.name):
+        gfm = gfm_partition(problem, initial, budget=budget, telemetry=telemetry)
+    with tel.span("harness.gkl", circuit=workload.name):
+        gkl = gkl_partition(
+            problem, initial, max_outer_loops=gkl_outer_loops, budget=budget,
+            telemetry=telemetry,
+        )
 
     feasible = all(
         check_feasibility(problem, a).feasible
@@ -218,6 +280,17 @@ def run_circuit_experiment(
     ]
     stop_reason = budget_reasons[0] if budget_reasons else STOP_COMPLETED
 
+    timings = SolverTimings(qbp=qbp_cpu, gfm=gfm.elapsed_seconds, gkl=gkl.elapsed_seconds)
+    row_metrics = None
+    if tel.enabled:
+        for gauge_name, seconds in (
+            ("harness.qbp_seconds", qbp_cpu),
+            ("harness.gfm_seconds", gfm.elapsed_seconds),
+            ("harness.gkl_seconds", gkl.elapsed_seconds),
+        ):
+            tel.gauge(gauge_name).set(seconds)
+        row_metrics = diff_snapshots(metrics_before, tel.metrics_snapshot())
+
     return ExperimentRow(
         name=workload.name,
         with_timing=with_timing,
@@ -233,6 +306,8 @@ def run_circuit_experiment(
         gkl_cpu=gkl.elapsed_seconds,
         all_feasible=feasible,
         stop_reason=stop_reason,
+        timings=timings.to_dict(),
+        metrics=row_metrics,
     )
 
 
@@ -313,6 +388,7 @@ def run_table(
     initials: Optional[Dict[str, Assignment]] = None,
     budget: Optional[Budget] = None,
     checkpoint_dir=None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[ExperimentRow]:
     """Reproduce Table II (``table=2``) or Table III (``table=3``).
 
@@ -337,6 +413,11 @@ def run_table(
         are skipped on re-run and the interrupted one resumes from its
         QBP snapshot, so the resumed sweep reproduces an uninterrupted
         run's rows (same seed).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; ``None`` uses
+        the ambient instance.  Each circuit runs inside a
+        ``harness.circuit`` span and its row carries per-phase timings
+        and metric deltas.
     """
     if table not in (2, 3):
         raise ValueError(f"table must be 2 or 3, got {table}")
@@ -352,6 +433,7 @@ def run_table(
                 "seed": seed if isinstance(seed, int) else None,
             },
         )
+    tel = resolve_telemetry(telemetry)
     rows = []
     for name in names:
         if checkpoint is not None:
@@ -367,17 +449,19 @@ def run_table(
             else build_workload(name, scale=scale)
         )
         initial = initials.get(name) if initials else None
-        row = run_circuit_experiment(
-            workload,
-            with_timing=(table == 3),
-            qbp_iterations=qbp_iterations,
-            seed=seed,
-            initial=initial.copy() if initial is not None else None,
-            budget=budget,
-            qbp_checkpoint_path=(
-                checkpoint.qbp_checkpoint_path(name) if checkpoint else None
-            ),
-        )
+        with tel.span("harness.circuit", circuit=name, table=table):
+            row = run_circuit_experiment(
+                workload,
+                with_timing=(table == 3),
+                qbp_iterations=qbp_iterations,
+                seed=seed,
+                initial=initial.copy() if initial is not None else None,
+                budget=budget,
+                qbp_checkpoint_path=(
+                    checkpoint.qbp_checkpoint_path(name) if checkpoint else None
+                ),
+                telemetry=telemetry,
+            )
         rows.append(row)
         if checkpoint is not None:
             checkpoint.record(row)

@@ -13,6 +13,11 @@ Reproduce Table II on quarter-scale workloads (quick)::
 Full reproduction of everything, JSON results included::
 
     python -m repro.eval.run --table all --json results.json
+
+Quick run with a full telemetry trace (inspect with traceview)::
+
+    python -m repro.eval.run --table 2 --scale 0.1 --trace run.jsonl
+    python -m repro.tools.traceview run.jsonl
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.eval.paper_data import PAPER_TABLE2, PAPER_TABLE3, QBP_ITERATIONS
 from repro.eval.tables import render_table1, render_table23
 from repro.eval.workloads import all_workloads, build_workload, workload_names
 from repro.netlist.stats import circuit_stats
+from repro.obs.telemetry import add_telemetry_arguments, session_from_args
 from repro.runtime.budget import STOP_COMPLETED, Budget
 
 
@@ -91,6 +97,7 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="omit the published rows from the rendered tables",
     )
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 
     names = tuple(args.circuits) if args.circuits else workload_names()
@@ -104,64 +111,65 @@ def main(argv: List[str] | None = None) -> int:
             parser.error("--budget must be positive")
         budget = Budget(wall_seconds=args.budget)
 
-    workloads = {name: build_workload(name, scale=args.scale) for name in names}
-    initials = None
-    if args.table in ("2", "3", "all"):
-        initials = {
-            name: shared_initial_solution(workload, seed=args.seed, budget=budget)
-            for name, workload in workloads.items()
-        }
-    collected = {}
+    with session_from_args(args, root_span="eval.run"):
+        workloads = {name: build_workload(name, scale=args.scale) for name in names}
+        initials = None
+        if args.table in ("2", "3", "all"):
+            initials = {
+                name: shared_initial_solution(workload, seed=args.seed, budget=budget)
+                for name, workload in workloads.items()
+            }
+        collected = {}
 
-    if args.table in ("1", "all"):
-        rows = [
-            (circuit_stats(w.circuit), w.timing.num_pairs)
-            for w in workloads.values()
-        ]
-        print(render_table1(rows))
-        print()
+        if args.table in ("1", "all"):
+            rows = [
+                (circuit_stats(w.circuit), w.timing.num_pairs)
+                for w in workloads.values()
+            ]
+            print(render_table1(rows))
+            print()
 
-    for table_num, paper in ((2, PAPER_TABLE2), (3, PAPER_TABLE3)):
-        if args.table not in (str(table_num), "all"):
-            continue
-        rows = run_table(
-            table_num,
-            scale=args.scale,
-            qbp_iterations=args.iterations,
-            circuits=names,
-            seed=args.seed,
-            workloads=workloads,
-            initials=initials,
-            budget=budget,
-            checkpoint_dir=args.checkpoint_dir,
-        )
-        collected[table_num] = rows
-        print(
-            render_table23(
-                rows,
-                with_timing=(table_num == 3),
-                paper=None if args.no_paper else paper,
+        for table_num, paper in ((2, PAPER_TABLE2), (3, PAPER_TABLE3)):
+            if args.table not in (str(table_num), "all"):
+                continue
+            rows = run_table(
+                table_num,
+                scale=args.scale,
+                qbp_iterations=args.iterations,
+                circuits=names,
+                seed=args.seed,
+                workloads=workloads,
+                initials=initials,
+                budget=budget,
+                checkpoint_dir=args.checkpoint_dir,
             )
-        )
-        means = summarize_rows(rows)
-        print(
-            f"mean improvement: QBP {means['qbp']:.1f}%  "
-            f"GFM {means['gfm']:.1f}%  GKL {means['gkl']:.1f}%"
-        )
-        interrupted = [r for r in rows if r.stop_reason != STOP_COMPLETED]
-        missing = len(names) - len(rows)
-        if interrupted or missing:
-            detail = interrupted[0].stop_reason if interrupted else "deadline"
+            collected[table_num] = rows
             print(
-                f"note: table {table_num} stopped early ({detail}); "
-                f"{len(rows)}/{len(names)} circuits have rows"
-                + (
-                    " - re-run with the same --checkpoint-dir to resume"
-                    if args.checkpoint_dir
-                    else ""
+                render_table23(
+                    rows,
+                    with_timing=(table_num == 3),
+                    paper=None if args.no_paper else paper,
                 )
             )
-        print()
+            means = summarize_rows(rows)
+            print(
+                f"mean improvement: QBP {means['qbp']:.1f}%  "
+                f"GFM {means['gfm']:.1f}%  GKL {means['gkl']:.1f}%"
+            )
+            interrupted = [r for r in rows if r.stop_reason != STOP_COMPLETED]
+            missing = len(names) - len(rows)
+            if interrupted or missing:
+                detail = interrupted[0].stop_reason if interrupted else "deadline"
+                print(
+                    f"note: table {table_num} stopped early ({detail}); "
+                    f"{len(rows)}/{len(names)} circuits have rows"
+                    + (
+                        " - re-run with the same --checkpoint-dir to resume"
+                        if args.checkpoint_dir
+                        else ""
+                    )
+                )
+            print()
 
     if args.json:
         payload = {

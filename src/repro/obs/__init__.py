@@ -1,0 +1,86 @@
+"""Observability: structured tracing, metrics, and solver telemetry.
+
+The instrumentation layer every solver, baseline, and harness stage in
+the repo reports through:
+
+* :mod:`repro.obs.trace` - nested spans with wall/CPU time, exported as
+  JSONL or Chrome ``chrome://tracing`` JSON,
+* :mod:`repro.obs.metrics` - process-local counters, gauges, and
+  histograms with ``metrics-snapshot-v1`` exports,
+* :mod:`repro.obs.events` - the typed solver event stream
+  (iteration / restart / fallback / checkpoint) with schema validation,
+* :mod:`repro.obs.telemetry` - the :class:`Telemetry` bundle, ambient
+  resolution, and the :func:`telemetry_session` scope the CLIs use.
+
+Telemetry is **off by default** and free when off: the ambient instance
+is an inert singleton whose span/emit/instrument calls are no-ops that
+allocate nothing.  See ``docs/OBSERVABILITY.md`` for span naming
+conventions, the metric catalogue, and the event schema policy.
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    CheckpointEvent,
+    EventLog,
+    FallbackEvent,
+    IterationEvent,
+    JsonlEventSink,
+    RestartEvent,
+    event_to_dict,
+    validate_trace_line,
+)
+from repro.obs.metrics import (
+    METRICS_SNAPSHOT_FORMAT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    empty_snapshot,
+)
+from repro.obs.telemetry import (
+    DISABLED,
+    Telemetry,
+    add_telemetry_arguments,
+    current,
+    resolve,
+    session_from_args,
+    telemetry_session,
+    use_telemetry,
+    write_combined_trace,
+)
+from repro.obs.trace import NULL_SPAN, TRACE_SCHEMA_VERSION, SpanRecord, Tracer
+
+__all__ = [
+    "CheckpointEvent",
+    "Counter",
+    "DISABLED",
+    "EVENT_SCHEMA",
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "FallbackEvent",
+    "Gauge",
+    "Histogram",
+    "IterationEvent",
+    "JsonlEventSink",
+    "METRICS_SNAPSHOT_FORMAT",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "RestartEvent",
+    "SpanRecord",
+    "TRACE_SCHEMA_VERSION",
+    "Telemetry",
+    "Tracer",
+    "add_telemetry_arguments",
+    "current",
+    "session_from_args",
+    "diff_snapshots",
+    "empty_snapshot",
+    "event_to_dict",
+    "resolve",
+    "telemetry_session",
+    "use_telemetry",
+    "validate_trace_line",
+    "write_combined_trace",
+]

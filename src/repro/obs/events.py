@@ -1,0 +1,213 @@
+"""Typed solver event stream: what happened, in order, machine-readable.
+
+The solvers emit a small vocabulary of frozen dataclass events instead
+of ad-hoc callbacks:
+
+* :class:`IterationEvent` - one Burkard iteration / FM pass / KL outer
+  loop / annealing temperature step, with the incumbent trajectory,
+* :class:`RestartEvent` - one multistart restart boundary,
+* :class:`FallbackEvent` - one failed (or skipped) rung try inside a
+  :class:`~repro.runtime.supervisor.SolverSupervisor` ladder,
+* :class:`CheckpointEvent` - one checkpoint file write.
+
+Every event serialises (:func:`event_to_dict`) to a JSONL line tagged
+``type: "event"`` and ``schema: EVENT_SCHEMA_VERSION``; the required
+fields per kind live in :data:`EVENT_SCHEMA` and are enforced by
+:func:`validate_trace_line` (used by ``scripts/check_trace.py``, the CI
+smoke job, and the unit tests).  Schema evolution policy is documented
+in ``docs/OBSERVABILITY.md``.
+
+Sinks are anything with an ``emit(event)`` method; :class:`EventLog`
+collects in memory (tests, traceview summaries) and
+:class:`JsonlEventSink` streams to disk as events happen (so a killed
+run still leaves a readable prefix).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import MISSING, asdict, dataclass, fields
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+EVENT_SCHEMA_VERSION = 1
+"""Bumped only when a field is removed or retyped; additions are free."""
+
+
+@dataclass(frozen=True)
+class IterationEvent:
+    """One outer-loop step of any iterative solver.
+
+    ``iteration`` counts from 1; ``cost`` is the step's own figure of
+    merit (penalized cost for QBP, pass cost for GFM/GKL, sweep cost for
+    annealing); ``best_cost`` tracks the incumbent by the same measure.
+    ``best_feasible_cost`` is ``None`` until a fully feasible incumbent
+    exists.
+    """
+
+    solver: str
+    iteration: int
+    cost: float
+    best_cost: float
+    best_feasible_cost: Optional[float] = None
+    improved: bool = False
+
+    kind = "iteration"
+
+
+@dataclass(frozen=True)
+class RestartEvent:
+    """One restart boundary in :func:`~repro.solvers.burkard.solve_qbp_multistart`."""
+
+    solver: str
+    index: int
+    restarts: int
+    best_cost: float
+    best_feasible_cost: Optional[float] = None
+    stop_reason: str = "completed"
+
+    kind = "restart"
+
+
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One non-ok rung try inside a supervised fallback ladder."""
+
+    ladder: str
+    rung: str
+    try_index: int
+    status: str
+    """``error | timeout | skipped`` (ok tries emit no event)."""
+    elapsed_seconds: float
+    error: Optional[str] = None
+
+    kind = "fallback"
+
+
+@dataclass(frozen=True)
+class CheckpointEvent:
+    """One checkpoint snapshot written to disk."""
+
+    label: str
+    iteration: int
+    path: str
+    bytes: int
+
+    kind = "checkpoint"
+
+
+EVENT_TYPES = (IterationEvent, RestartEvent, FallbackEvent, CheckpointEvent)
+
+EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
+    cls.kind: tuple(f.name for f in fields(cls)) for cls in EVENT_TYPES
+}
+"""Per-kind field lists; the contract ``validate_trace_line`` enforces."""
+
+_REQUIRED: Dict[str, Tuple[str, ...]] = {
+    cls.kind: tuple(f.name for f in fields(cls) if f.default is MISSING)
+    for cls in EVENT_TYPES
+}
+"""Fields with no default: every serialized event must carry them."""
+
+
+def event_to_dict(event) -> Dict[str, Any]:
+    """Serialise ``event`` to its JSONL line payload."""
+    payload = {"type": "event", "schema": EVENT_SCHEMA_VERSION, "event": event.kind}
+    payload.update(asdict(event))
+    return payload
+
+
+def validate_trace_line(line) -> Dict[str, Any]:
+    """Validate one trace record; returns it parsed, raises ``ValueError``.
+
+    ``line`` may be a raw JSONL string or an already-parsed dict.
+    Accepts the two record types a trace JSONL file may contain:
+    ``type: "span"`` (see :mod:`repro.obs.trace`) and ``type: "event"``
+    (this module).  Unknown extra keys are tolerated on events - the
+    schema version only bumps on removals - but missing required fields,
+    unknown kinds, and malformed timing are errors.
+    """
+    if isinstance(line, (str, bytes)):
+        try:
+            line = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"trace line is not valid JSON: {exc}") from exc
+    if not isinstance(line, dict):
+        raise ValueError(f"trace line must be a JSON object, got {type(line).__name__}")
+    kind = line.get("type")
+    if kind == "span":
+        for key in ("name", "id", "start", "wall", "cpu"):
+            if key not in line:
+                raise ValueError(f"span line missing {key!r}: {line}")
+        if not isinstance(line["name"], str) or not line["name"]:
+            raise ValueError(f"span name must be a non-empty string: {line}")
+        for key in ("start", "wall", "cpu"):
+            if not isinstance(line[key], (int, float)) or line[key] < 0:
+                raise ValueError(f"span {key!r} must be a non-negative number: {line}")
+        return line
+    if kind == "event":
+        event = line.get("event")
+        if event not in EVENT_SCHEMA:
+            raise ValueError(
+                f"unknown event kind {event!r}; expected one of {sorted(EVENT_SCHEMA)}"
+            )
+        if not isinstance(line.get("schema"), int):
+            raise ValueError(f"event line missing integer 'schema': {line}")
+        if line["schema"] > EVENT_SCHEMA_VERSION:
+            raise ValueError(
+                f"event schema {line['schema']} is newer than supported "
+                f"{EVENT_SCHEMA_VERSION}"
+            )
+        missing = [f for f in _REQUIRED[event] if f not in line]
+        if missing:
+            raise ValueError(f"{event} event missing fields {missing}: {line}")
+        return line
+    raise ValueError(f"trace line has unknown type {kind!r}: {line}")
+
+
+class EventLog:
+    """In-memory sink: keeps every event, filterable by kind."""
+
+    def __init__(self) -> None:
+        self.events: List[Any] = []
+
+    def emit(self, event) -> None:
+        """Append ``event`` to the log."""
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> List[Any]:
+        """Events whose ``kind`` matches (e.g. ``"iteration"``)."""
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class JsonlEventSink:
+    """Streaming sink: one JSON line per event, flushed eagerly."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.count = 0
+
+    def emit(self, event) -> None:
+        """Write ``event`` as one JSONL line and flush."""
+        self._fh.write(json.dumps(event_to_dict(event), sort_keys=True) + "\n")
+        self._fh.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

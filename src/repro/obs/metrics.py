@@ -1,0 +1,218 @@
+"""Process-local metrics: counters, gauges, histograms with snapshots.
+
+A :class:`MetricsRegistry` creates instruments on first use::
+
+    registry.counter("solver.iterations").inc()
+    registry.gauge("harness.qbp_seconds").set(1.25)
+    registry.histogram("gap.construct_pops").observe(412)
+
+and :meth:`~MetricsRegistry.snapshot` renders the whole registry as the
+``metrics-snapshot-v1`` dict carried by ``full_results.json`` rows and
+the ``--metrics-out`` CLI flag.  The metric name catalogue lives in
+``docs/OBSERVABILITY.md``.
+
+Disabled telemetry uses the module-level :data:`NULL_COUNTER` /
+:data:`NULL_GAUGE` / :data:`NULL_HISTOGRAM` singletons: their mutators
+are no-ops and nothing is ever registered, so a disabled hot path
+allocates no instruments and a disabled registry snapshot stays empty.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict
+
+METRICS_SNAPSHOT_FORMAT = "metrics-snapshot-v1"
+"""Format tag on every exported snapshot."""
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the level by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/last)."""
+
+    __slots__ = ("count", "total", "min", "max", "last")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.last = 0.0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The snapshot payload for this histogram."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class _NullInstrument:
+    """Do-nothing counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Ignore the increment (disabled telemetry)."""
+
+    def set(self, value: float) -> None:
+        """Ignore the write (disabled telemetry)."""
+
+    def observe(self, value: float) -> None:
+        """Ignore the observation (disabled telemetry)."""
+
+
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Create-on-first-use instrument registry with JSON snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created if new)."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created if new)."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created if new)."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram()
+            return instrument
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The full registry as a ``metrics-snapshot-v1`` dict."""
+        with self._lock:
+            return {
+                "format": METRICS_SNAPSHOT_FORMAT,
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: h.summary() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def export_json(self, path) -> None:
+        """Write :meth:`snapshot` to ``path`` (pretty, key-sorted)."""
+        Path(path).write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True))
+
+
+def empty_snapshot() -> Dict[str, Any]:
+    """A snapshot with no instruments (what a disabled registry reports)."""
+    return {
+        "format": METRICS_SNAPSHOT_FORMAT,
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+def diff_snapshots(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-row view: counter deltas, latest gauges/histograms since ``before``.
+
+    Counters subtract (a row reports only its own increments); gauges and
+    histograms are last-write state, so ``after``'s values stand, minus
+    any entry that did not change at all since ``before``.
+    """
+    counters = {}
+    for name, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(name, 0.0)
+        if delta:
+            counters[name] = delta
+    gauges = {
+        name: value
+        for name, value in after.get("gauges", {}).items()
+        if before.get("gauges", {}).get(name) != value
+    }
+    histograms = {
+        name: summary
+        for name, summary in after.get("histograms", {}).items()
+        if before.get("histograms", {}).get(name) != summary
+    }
+    return {
+        "format": METRICS_SNAPSHOT_FORMAT,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }

@@ -1,0 +1,261 @@
+"""The telemetry bundle: one handle for spans, metrics, and events.
+
+Solvers take an optional ``telemetry=`` keyword; ``None`` resolves to
+the *ambient* :class:`Telemetry` (module global, like the stdlib
+``logging`` root).  The ambient default is :data:`DISABLED` - a shared
+instance whose ``span`` returns the no-op singleton, whose ``emit`` is
+a single boolean check, and whose instruments are the null instruments,
+so un-instrumented runs pay nothing.
+
+Enable telemetry either by installing an enabled instance::
+
+    tel = Telemetry.enabled_default()
+    with use_telemetry(tel):
+        solve_qbp(problem)
+    tel.tracer.export_jsonl("out.jsonl")
+
+or with the one-stop :func:`telemetry_session` used by the CLIs, which
+opens a root span, wires an eager JSONL sink, and writes every requested
+artifact on exit::
+
+    with telemetry_session(trace_path="out.jsonl",
+                           metrics_path="metrics.json") as tel:
+        solve_qbp(problem)
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, List, Optional, Sequence
+
+from repro.obs.events import EventLog, JsonlEventSink, event_to_dict
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+    empty_snapshot,
+)
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+class Telemetry:
+    """Tracer + metrics registry + event sinks behind one enabled flag."""
+
+    __slots__ = ("enabled", "tracer", "metrics", "sinks")
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        sinks: Sequence[Any] = (),
+    ) -> None:
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else (Tracer() if enabled else None)
+        self.metrics = (
+            metrics if metrics is not None else (MetricsRegistry() if enabled else None)
+        )
+        self.sinks: List[Any] = list(sinks)
+
+    @classmethod
+    def enabled_default(cls) -> "Telemetry":
+        """A fresh enabled bundle with an in-memory :class:`EventLog` sink."""
+        return cls(enabled=True, sinks=[EventLog()])
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """A tracing span, or the shared no-op span when disabled."""
+        if not self.enabled or self.tracer is None:
+            return NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def emit(self, event) -> None:
+        """Deliver ``event`` to every sink (no-op when disabled)."""
+        if not self.enabled:
+            return
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def counter(self, name: str):
+        """A named counter, or the null counter when disabled."""
+        if not self.enabled or self.metrics is None:
+            return NULL_COUNTER
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        """A named gauge, or the null gauge when disabled."""
+        if not self.enabled or self.metrics is None:
+            return NULL_GAUGE
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str):
+        """A named histogram, or the null histogram when disabled."""
+        if not self.enabled or self.metrics is None:
+            return NULL_HISTOGRAM
+        return self.metrics.histogram(name)
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[Any]:
+        """Every event held by in-memory sinks (first :class:`EventLog` wins)."""
+        for sink in self.sinks:
+            if isinstance(sink, EventLog):
+                return list(sink.events)
+        return []
+
+    def metrics_snapshot(self) -> dict:
+        """The registry snapshot (empty-form when disabled)."""
+        if self.metrics is None:
+            return empty_snapshot()
+        return self.metrics.snapshot()
+
+
+DISABLED = Telemetry(enabled=False, tracer=None, metrics=None)
+"""The shared inert bundle; the ambient default."""
+
+_current: Telemetry = DISABLED
+
+
+def current() -> Telemetry:
+    """The ambient telemetry (the :data:`DISABLED` singleton by default)."""
+    return _current
+
+
+def resolve(telemetry: Optional[Telemetry]) -> Telemetry:
+    """``telemetry`` if given, else the ambient instance.
+
+    The one-liner every instrumented function starts with, so explicit
+    injection (tests) and ambient configuration (CLIs) share one code
+    path.
+    """
+    return telemetry if telemetry is not None else _current
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Install ``telemetry`` as the ambient instance for the block."""
+    global _current
+    previous = _current
+    _current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _current = previous
+
+
+@contextmanager
+def telemetry_session(
+    *,
+    trace_path=None,
+    chrome_path=None,
+    metrics_path=None,
+    events_path=None,
+    root_span: str = "session",
+    install: bool = True,
+) -> Iterator[Telemetry]:
+    """A fully wired telemetry scope that writes its artifacts on exit.
+
+    Opens an enabled :class:`Telemetry` (with an in-memory event log and,
+    when ``events_path`` is given, an eager :class:`JsonlEventSink`),
+    wraps the block in one ``root_span`` so traces cover the whole run,
+    installs it as the ambient instance (unless ``install=False``), and
+    on exit writes:
+
+    * ``trace_path`` - the combined JSONL trace: every span *and* every
+      event, the file ``repro.tools.traceview`` reads,
+    * ``chrome_path`` - the Chrome ``chrome://tracing`` JSON,
+    * ``metrics_path`` - the ``metrics-snapshot-v1`` registry dump,
+    * ``events_path`` - events-only JSONL (streamed live, crash-safe).
+    """
+    tel = Telemetry.enabled_default()
+    jsonl_sink = None
+    if events_path is not None:
+        jsonl_sink = JsonlEventSink(events_path)
+        tel.sinks.append(jsonl_sink)
+    try:
+        if install:
+            with use_telemetry(tel):
+                with tel.span(root_span):
+                    yield tel
+        else:
+            with tel.span(root_span):
+                yield tel
+    finally:
+        if jsonl_sink is not None:
+            jsonl_sink.close()
+        if trace_path is not None:
+            write_combined_trace(tel, trace_path)
+        if chrome_path is not None and tel.tracer is not None:
+            tel.tracer.export_chrome(chrome_path)
+        if metrics_path is not None:
+            Path(metrics_path).write_text(
+                json.dumps(tel.metrics_snapshot(), indent=2, sort_keys=True)
+            )
+
+
+def add_telemetry_arguments(parser) -> None:
+    """Attach the standard ``--trace/--trace-chrome/--metrics-out/--events-out``
+    flags to an :mod:`argparse` parser (shared by the CLIs)."""
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a combined spans+events JSONL trace here "
+        "(view with: python -m repro.tools.traceview PATH)",
+    )
+    group.add_argument(
+        "--trace-chrome",
+        default=None,
+        metavar="PATH",
+        help="also write a Chrome chrome://tracing / Perfetto JSON trace",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the final metrics-snapshot-v1 registry dump here",
+    )
+    group.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="stream solver events to this JSONL file as they happen",
+    )
+
+
+def session_from_args(args, *, root_span: str):
+    """A :func:`telemetry_session` configured from parsed CLI flags.
+
+    Telemetry stays :data:`DISABLED` (zero overhead) unless at least one
+    of the flags added by :func:`add_telemetry_arguments` was given.
+    """
+    wants = (args.trace, args.trace_chrome, args.metrics_out, args.events_out)
+    if all(value is None for value in wants):
+        return use_telemetry(DISABLED)
+    return telemetry_session(
+        trace_path=args.trace,
+        chrome_path=args.trace_chrome,
+        metrics_path=args.metrics_out,
+        events_path=args.events_out,
+        root_span=root_span,
+    )
+
+
+def write_combined_trace(telemetry: Telemetry, path) -> int:
+    """Write spans + events as one JSONL file; returns the line count.
+
+    Spans are ordered by start time, events ride behind them in emission
+    order - ``repro.tools.traceview`` and ``scripts/check_trace.py``
+    accept both record types in any order.
+    """
+    lines: List[str] = []
+    if telemetry.tracer is not None:
+        lines.extend(telemetry.tracer.to_jsonl_lines())
+    for event in telemetry.events():
+        lines.append(json.dumps(event_to_dict(event), sort_keys=True))
+    Path(path).write_text("".join(line + "\n" for line in lines))
+    return len(lines)

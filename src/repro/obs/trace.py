@@ -1,0 +1,211 @@
+"""Structured tracing: nested spans with wall/CPU time, JSONL + Chrome export.
+
+A :class:`Tracer` hands out :meth:`~Tracer.span` context managers::
+
+    with tracer.span("gap.solve", criterion="cost"):
+        ...
+
+Spans nest (the enclosing span becomes the parent), carry arbitrary
+JSON-serialisable attributes, and record both wall-clock
+(``time.perf_counter``) and CPU (``time.process_time``) duration.
+Closed spans accumulate in ``tracer.spans`` as :class:`SpanRecord`
+entries and can be exported two ways:
+
+* :meth:`Tracer.export_jsonl` - one JSON object per line (``type:
+  "span"``), the format consumed by ``repro.tools.traceview`` and
+  ``scripts/check_trace.py``,
+* :meth:`Tracer.export_chrome` - a Chrome ``chrome://tracing`` /
+  Perfetto-compatible event array for flamegraph viewing.
+
+When tracing is off the module-level :data:`NULL_SPAN` singleton is used
+instead; entering it is a single attribute lookup and no record is ever
+allocated, so disabled tracing costs nothing on solver hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+TRACE_SCHEMA_VERSION = 1
+"""Version stamped on every exported span line (see docs/OBSERVABILITY.md)."""
+
+
+@dataclass
+class SpanRecord:
+    """One closed span: identity, nesting, timing, and attributes."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    """Seconds since the tracer's epoch (first clock read)."""
+    wall: float
+    cpu: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.wall
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSONL line payload (``type: "span"``)."""
+        return {
+            "type": "span",
+            "schema": TRACE_SCHEMA_VERSION,
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start": self.start,
+            "wall": self.wall,
+            "cpu": self.cpu,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span used whenever tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        """Ignore the attribute (disabled tracing)."""
+        return self
+
+
+NULL_SPAN = _NullSpan()
+"""The singleton no-op span; ``Telemetry.span`` returns it when disabled."""
+
+
+class _Span:
+    """Live span handle; records itself on exit."""
+
+    __slots__ = (
+        "_tracer", "name", "span_id", "parent_id", "attrs", "_t0", "_c0", "_start_rel"
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, parent_id: Optional[int], attrs):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer._next_id()
+        self.parent_id = parent_id
+        self.attrs = dict(attrs) if attrs else {}
+
+    def set(self, key: str, value: Any) -> "_Span":
+        """Attach an attribute to the span (chainable)."""
+        self.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._c0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self, wall, cpu)
+        return False
+
+
+class Tracer:
+    """Collects nested spans; thread-safe, export-on-demand.
+
+    The span stack is thread-local (concurrent solves interleave without
+    corrupting parentage) while the record list is shared, so one export
+    captures every thread's spans.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._ids = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _Span:
+        """A context manager timing one named unit of work."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        return _Span(self, name, parent, attrs)
+
+    def _stack(self) -> List[_Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._ids += 1
+            return self._ids
+
+    def _push(self, span: _Span) -> None:
+        span._start_rel = time.perf_counter() - self._epoch  # type: ignore[attr-defined]
+        self._stack().append(span)
+
+    def _pop(self, span: _Span, wall: float, cpu: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        record = SpanRecord(
+            name=span.name,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            start=getattr(span, "_start_rel", 0.0),
+            wall=wall,
+            cpu=cpu,
+            attrs=span.attrs,
+        )
+        with self._lock:
+            self.spans.append(record)
+
+    # ------------------------------------------------------------------
+    def to_jsonl_lines(self) -> List[str]:
+        """Every closed span as a serialized JSONL line (start-ordered)."""
+        with self._lock:
+            records = sorted(self.spans, key=lambda s: s.start)
+        return [json.dumps(r.to_dict(), sort_keys=True) for r in records]
+
+    def export_jsonl(self, path) -> int:
+        """Append-write all spans to ``path`` as JSONL; returns the count."""
+        lines = self.to_jsonl_lines()
+        Path(path).write_text("".join(line + "\n" for line in lines))
+        return len(lines)
+
+    def to_chrome_trace(self) -> List[Dict[str, Any]]:
+        """Chrome ``chrome://tracing`` complete-event (``ph: "X"``) list."""
+        with self._lock:
+            records = sorted(self.spans, key=lambda s: s.start)
+        return [
+            {
+                "name": r.name,
+                "ph": "X",
+                "ts": r.start * 1e6,
+                "dur": r.wall * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": dict(r.attrs, cpu_seconds=r.cpu),
+            }
+            for r in records
+        ]
+
+    def export_chrome(self, path) -> int:
+        """Write the Chrome trace JSON to ``path``; returns the span count."""
+        events = self.to_chrome_trace()
+        Path(path).write_text(json.dumps(events))
+        return len(events)

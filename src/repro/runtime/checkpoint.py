@@ -33,6 +33,8 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.events import CheckpointEvent
+from repro.obs.telemetry import resolve as resolve_telemetry
 from repro.runtime.faults import maybe_fault
 
 logger = logging.getLogger(__name__)
@@ -48,14 +50,16 @@ class CheckpointError(RuntimeError):
 # ----------------------------------------------------------------------
 # Atomic JSON primitives
 # ----------------------------------------------------------------------
-def atomic_write_json(path, payload: Dict[str, Any]) -> None:
-    """Write ``payload`` to ``path`` atomically (temp file + rename)."""
+def atomic_write_json(path, payload: Dict[str, Any]) -> int:
+    """Write ``payload`` to ``path`` atomically; returns the bytes written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     maybe_fault("checkpoint.write")
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload))
+    encoded = json.dumps(payload)
+    tmp.write_text(encoded)
     os.replace(tmp, path)
+    return len(encoded.encode("utf-8"))
 
 
 def load_json_checkpoint(path, *, expected_format: str) -> Dict[str, Any]:
@@ -179,9 +183,9 @@ class QbpCheckpoint:
         return ckpt
 
 
-def save_qbp_checkpoint(path, checkpoint: QbpCheckpoint) -> None:
-    """Atomically persist ``checkpoint`` as ``qbp-checkpoint-v1`` JSON."""
-    atomic_write_json(path, checkpoint.to_payload())
+def save_qbp_checkpoint(path, checkpoint: QbpCheckpoint) -> int:
+    """Atomically persist ``checkpoint``; returns the bytes written."""
+    return atomic_write_json(path, checkpoint.to_payload())
 
 
 def load_qbp_checkpoint(path) -> QbpCheckpoint:
@@ -211,13 +215,14 @@ class QbpCheckpointer:
     once the run completes, so stale state is never resumed by accident.
     """
 
-    def __init__(self, path, *, every: int = 10, label: str = "") -> None:
+    def __init__(self, path, *, every: int = 10, label: str = "", telemetry=None) -> None:
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
         self.path = Path(path)
         self.every = int(every)
         self.label = label
         self.saves = 0
+        self.telemetry = telemetry
 
     def due(self, iteration: int) -> bool:
         return iteration % self.every == 0
@@ -225,8 +230,20 @@ class QbpCheckpointer:
     def save(self, checkpoint: QbpCheckpoint) -> None:
         if not checkpoint.label:
             checkpoint.label = self.label
-        save_qbp_checkpoint(self.path, checkpoint)
+        written = save_qbp_checkpoint(self.path, checkpoint)
         self.saves += 1
+        tel = resolve_telemetry(self.telemetry)
+        if tel.enabled:
+            tel.counter("checkpoint.saves").inc()
+            tel.counter("checkpoint.bytes").inc(written)
+            tel.emit(
+                CheckpointEvent(
+                    label=checkpoint.label,
+                    iteration=int(checkpoint.iteration),
+                    path=str(self.path),
+                    bytes=written,
+                )
+            )
 
     def load(self) -> Optional[QbpCheckpoint]:
         return try_load_qbp_checkpoint(self.path)

@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
 
+from repro.obs.events import FallbackEvent
+from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
 from repro.runtime.budget import Budget, BudgetExceededError
 
 
@@ -103,6 +105,14 @@ class SolverSupervisor:
         raised - callers keep their incumbent.
     sleep:
         Injectable sleep (tests pass a recorder instead of waiting).
+    name:
+        Ladder label carried by emitted
+        :class:`~repro.obs.events.FallbackEvent` entries (e.g. ``"gap"``).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; ``None`` uses
+        the ambient instance.  Every rung try runs inside a span named
+        after the rung, and every non-ok try emits a ``FallbackEvent``
+        and bumps the ``supervisor.fallbacks`` counter.
     """
 
     def __init__(
@@ -112,6 +122,8 @@ class SolverSupervisor:
         transient: Tuple[Type[BaseException], ...] = (RuntimeError,),
         budget: Optional[Budget] = None,
         sleep: Callable[[float], None] = time.sleep,
+        name: str = "supervisor",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not attempts:
             raise ValueError("supervisor needs at least one attempt")
@@ -119,6 +131,8 @@ class SolverSupervisor:
         self.transient = transient
         self.budget = budget
         self.sleep = sleep
+        self.name = name
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def run(self) -> SupervisorOutcome:
@@ -132,44 +146,68 @@ class SolverSupervisor:
         raise SupervisorExhaustedError(records)
 
     # ------------------------------------------------------------------
+    def _record_failure(
+        self,
+        records: List[AttemptRecord],
+        rung: str,
+        try_index: int,
+        status: str,
+        elapsed: float,
+        error: Optional[str],
+    ) -> None:
+        """Append the audit record and mirror it onto the event stream."""
+        records.append(AttemptRecord(rung, try_index, status, elapsed, error))
+        tel = resolve_telemetry(self.telemetry)
+        if tel.enabled:
+            tel.counter("supervisor.fallbacks").inc()
+            tel.emit(
+                FallbackEvent(
+                    ladder=self.name,
+                    rung=rung,
+                    try_index=try_index,
+                    status=status,
+                    elapsed_seconds=elapsed,
+                    error=error,
+                )
+            )
+
     def _run_attempt(
         self, attempt: Attempt, records: List[AttemptRecord]
     ) -> Optional[Tuple[Any]]:
         """Try one rung (with retries); ``(value,)`` on success."""
+        tel = resolve_telemetry(self.telemetry)
         for try_index in range(attempt.retries + 1):
             if self.budget is not None and self.budget.check() is not None:
-                records.append(
-                    AttemptRecord(attempt.name, try_index, "skipped", 0.0, "budget exhausted")
+                self._record_failure(
+                    records, attempt.name, try_index, "skipped", 0.0, "budget exhausted"
                 )
                 raise BudgetExceededError(self.budget.check() or "deadline")
             scoped = self._scoped_budget(attempt)
             start = time.perf_counter()
             try:
-                value = attempt.run(scoped)
+                with tel.span(attempt.name, ladder=self.name, try_index=try_index):
+                    value = attempt.run(scoped)
             except BudgetExceededError:
                 elapsed = time.perf_counter() - start
                 if self.budget is not None and self.budget.check() is not None:
                     # The *shared* budget ran out mid-attempt: stop the ladder.
-                    records.append(
-                        AttemptRecord(attempt.name, try_index, "skipped", elapsed, "budget exhausted")
+                    self._record_failure(
+                        records, attempt.name, try_index, "skipped", elapsed,
+                        "budget exhausted",
                     )
                     raise
                 # Only the per-attempt allowance expired: treat as a rung
                 # failure and keep descending the ladder.
-                records.append(
-                    AttemptRecord(attempt.name, try_index, "timeout", elapsed, "attempt timeout")
+                self._record_failure(
+                    records, attempt.name, try_index, "timeout", elapsed,
+                    "attempt timeout",
                 )
                 continue
             except self.transient as exc:
                 elapsed = time.perf_counter() - start
-                records.append(
-                    AttemptRecord(
-                        attempt.name,
-                        try_index,
-                        "error",
-                        elapsed,
-                        f"{type(exc).__name__}: {exc}",
-                    )
+                self._record_failure(
+                    records, attempt.name, try_index, "error", elapsed,
+                    f"{type(exc).__name__}: {exc}",
                 )
                 if try_index < attempt.retries and attempt.backoff_seconds > 0:
                     self.sleep(attempt.backoff_seconds * (2.0 ** try_index))

@@ -45,6 +45,8 @@ from repro.core.assignment import Assignment
 from repro.core.constraints import TimingIndex, capacity_violations, timing_move_mask
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
+from repro.obs.events import IterationEvent, RestartEvent
+from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
 from repro.runtime.budget import (
     STOP_COMPLETED,
     STOP_STALLED,
@@ -74,6 +76,36 @@ ANCHOR_MODES = ("trajectory", "incumbent")
 
 class BootstrapStallError(RuntimeError):
     """One zero-``B`` bootstrap attempt failed to reach full feasibility."""
+
+
+class _CallbackGuard:
+    """Wraps a user progress callback so one failure disables it.
+
+    The first exception is logged (``logger.warning(..., exc_info=True)``)
+    exactly once and every later invocation is skipped - including across
+    the restarts of :func:`solve_qbp_multistart`, which shares one guard,
+    so a persistently raising callback cannot flood the log.
+    """
+
+    __slots__ = ("fn", "failed")
+
+    def __init__(self, fn: Callable[[int, Assignment, float], None]) -> None:
+        self.fn = fn
+        self.failed = False
+
+    def __call__(self, k: int, assignment: Assignment, pen: float) -> None:
+        if self.failed:
+            return
+        try:
+            self.fn(k, assignment, pen)
+        except Exception:
+            self.failed = True
+            logger.warning(
+                "solve_qbp: progress callback raised at iteration %d; "
+                "disabling it for the remainder of the run",
+                k,
+                exc_info=True,
+            )
 
 
 @dataclass
@@ -157,6 +189,7 @@ def solve_qbp(
     budget: Optional[Budget] = None,
     checkpointer: Optional[QbpCheckpointer] = None,
     resume: Optional[QbpCheckpoint] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> BurkardResult:
     """Run the generalized Burkard heuristic on ``problem``.
 
@@ -202,8 +235,10 @@ def solve_qbp(
     callback:
         Called as ``callback(k, assignment, penalized_cost)`` after each
         iteration (for progress reporting / live ablation traces).  A
-        raising callback is demoted to a logged warning - it never
-        destroys the run or its incumbent.
+        raising callback is demoted to a single logged warning and then
+        disabled - it never destroys the run or its incumbent.  New code
+        should prefer the typed event stream (``telemetry``), which the
+        callback hook is now an adapter over.
     budget:
         Optional :class:`repro.runtime.budget.Budget`.  Checked at the
         top of every iteration and inside the inner GAP solves; on
@@ -218,6 +253,13 @@ def solve_qbp(
         A :class:`repro.runtime.checkpoint.QbpCheckpoint` to continue
         from (``initial`` is then ignored).  A resumed run reproduces
         the uninterrupted run exactly on the same problem and seed.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry`; ``None`` uses
+        the ambient instance.  When enabled, the solve runs inside a
+        ``qbp.solve`` span, every iteration emits an
+        :class:`~repro.obs.events.IterationEvent` and bumps the
+        ``solver.iterations`` counter, and the inner GAP ladder reports
+        fallbacks.  Telemetry never alters the computation.
     """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
@@ -227,6 +269,10 @@ def solve_qbp(
         raise ValueError(
             f"anchor_mode must be one of {ANCHOR_MODES}, got {anchor_mode!r}"
         )
+
+    tel = resolve_telemetry(telemetry)
+    if callback is not None and not isinstance(callback, _CallbackGuard):
+        callback = _CallbackGuard(callback)
 
     start_time = time.perf_counter()
     rng = ensure_rng(seed)
@@ -310,133 +356,160 @@ def solve_qbp(
     stop_reason = STOP_COMPLETED
     last_completed = start_iteration
 
-    for k in range(start_iteration + 1, effective_iterations + 1):
-        if budget is not None:
-            reason = budget.check()
-            if reason is not None:
-                stop_reason = reason
+    # Explicit enter/exit (rather than indenting the whole loop under a
+    # ``with``) keeps this diff-friendly; the span closes in the
+    # ``finally`` right before the result record is built.
+    solve_span = tel.span(
+        "qbp.solve",
+        iterations=effective_iterations,
+        eta_mode=eta_mode,
+        components=n,
+        partitions=m,
+        resumed=resume is not None,
+    )
+    solve_span.__enter__()
+
+    try:
+        for k in range(start_iteration + 1, effective_iterations + 1):
+            if budget is not None:
+                reason = budget.check()
+                if reason is not None:
+                    stop_reason = reason
+                    break
+            maybe_fault("qbp.iteration")
+            if anchor_mode == "incumbent" and best_feas_part is not None:
+                # Variant: always linearise at the best feasible incumbent
+                # instead of the previous iterate (see docstring).
+                part = best_feas_part.copy()
+            eta = state.eta(part)  # STEP 3 (sparse, Q never materialised)
+            xi = float(state.omega[np.arange(n), part].sum())
+            gap_timing = state.timing_index if problem.has_timing else None
+            trust_mask = None
+            if problem.has_timing and shadow_part is not None:
+                # Trust region: every single move must stay C2-feasible
+                # against the feasible shadow.  Iterates then sit near the
+                # feasible region while clusters migrate over iterations.
+                trust_mask = timing_move_mask(
+                    problem.timing, state.D, shadow_part, m
+                ).T
+                idx = np.arange(n)
+                trust_mask[shadow_part, idx] = True  # anchor always allowed
+            try:
+                step4 = _solve_gap_graceful(
+                    eta.T, sizes, capacities, gap_criteria, gap_timing, trust_mask,
+                    budget, tel,
+                )  # STEP 4
+                if step4 is None:
+                    # S itself is (heuristically) empty for these costs; keep
+                    # the incumbent and stop - more iterations cannot recover.
+                    stop_reason = STOP_STALLED
+                    break
+                z = step4.cost
+                # STEP 5 - computed into a fresh array so a budget abort in
+                # STEP 6 leaves the end-of-previous-iteration state intact
+                # (which is what checkpoints snapshot).
+                h_next = h + eta / max(1.0, abs(z - xi))
+                nxt = _solve_gap_graceful(
+                    h_next.T, sizes, capacities, gap_criteria, gap_timing, trust_mask,
+                    budget, tel,
+                )  # STEP 6
+            except BudgetExceededError as exc:
+                stop_reason = exc.reason
                 break
-        maybe_fault("qbp.iteration")
-        if anchor_mode == "incumbent" and best_feas_part is not None:
-            # Variant: always linearise at the best feasible incumbent
-            # instead of the previous iterate (see docstring).
-            part = best_feas_part.copy()
-        eta = state.eta(part)  # STEP 3 (sparse, Q never materialised)
-        xi = float(state.omega[np.arange(n), part].sum())
-        gap_timing = state.timing_index if problem.has_timing else None
-        trust_mask = None
-        if problem.has_timing and shadow_part is not None:
-            # Trust region: every single move must stay C2-feasible
-            # against the feasible shadow.  Iterates then sit near the
-            # feasible region while clusters migrate over iterations.
-            trust_mask = timing_move_mask(
-                problem.timing, state.D, shadow_part, m
-            ).T
-            idx = np.arange(n)
-            trust_mask[shadow_part, idx] = True  # anchor always allowed
-        try:
-            step4 = _solve_gap_graceful(
-                eta.T, sizes, capacities, gap_criteria, gap_timing, trust_mask, budget
-            )  # STEP 4
-            if step4 is None:
-                # S itself is (heuristically) empty for these costs; keep
-                # the incumbent and stop - more iterations cannot recover.
+            h = h_next
+            if nxt is None:
                 stop_reason = STOP_STALLED
                 break
-            z = step4.cost
-            # STEP 5 - computed into a fresh array so a budget abort in
-            # STEP 6 leaves the end-of-previous-iteration state intact
-            # (which is what checkpoints snapshot).
-            h_next = h + eta / max(1.0, abs(z - xi))
-            nxt = _solve_gap_graceful(
-                h_next.T, sizes, capacities, gap_criteria, gap_timing, trust_mask, budget
-            )  # STEP 6
-        except BudgetExceededError as exc:
-            stop_reason = exc.reason
-            break
-        h = h_next
-        if nxt is None:
-            stop_reason = STOP_STALLED
-            break
-        part = nxt.assignment
-        candidates = [part, step4.assignment]
-        if (
-            repair_iterates
-            and problem.has_timing
-            and evaluator.cost(part) < best_feas_cost
-            and evaluator.timing_violation_count(part) > 0
-        ):
-            # A raw iterate cheaper than the feasible incumbent is worth
-            # a real (bounded) min-conflicts repair attempt - these are
-            # rare after warmup, so the cost stays negligible.
-            from repro.solvers.repair import repair_feasibility
+            part = nxt.assignment
+            candidates = [part, step4.assignment]
+            if (
+                repair_iterates
+                and problem.has_timing
+                and evaluator.cost(part) < best_feas_cost
+                and evaluator.timing_violation_count(part) > 0
+            ):
+                # A raw iterate cheaper than the feasible incumbent is worth
+                # a real (bounded) min-conflicts repair attempt - these are
+                # rare after warmup, so the cost stays negligible.
+                from repro.solvers.repair import repair_feasibility
 
-            strong = repair_feasibility(
-                problem,
-                Assignment(part, m),
-                max_moves=repair_moves,
-                seed=rng,
-                evaluator=evaluator,
-            )
-            if strong is not None:
-                candidates.append(strong.part)
-        if repair_iterates and problem.has_timing and shadow_part is not None:
-            # Project the iterate onto the feasible region by walking a
-            # feasible "shadow" of the trajectory toward it, keeping only
-            # violation-free moves (see repair.feasible_merge).  The
-            # shadow drifts with the iterates rather than sticking to the
-            # incumbent, so the projection explores.
-            merged = feasible_merge(
-                problem,
-                Assignment(shadow_part, m),
-                Assignment(part, m),
-                evaluator=evaluator,
-                index=state.timing_index,
-            )
-            shadow_part = merged.part
-            candidates.append(shadow_part)
-            if project_trajectory:
-                # Fully projected iteration: the trajectory itself stays
-                # feasible, so eta is always anchored at a real
-                # configuration.
-                part = shadow_part.copy()
-        pen = evaluator.penalized_cost(part, pen_value)  # STEP 7
-        history.append(pen)
-
-        # Enhancement: Burkard's STEP 4 keeps only the bound z and throws
-        # the argmin away; evaluating it as a second candidate per
-        # iteration is free and can only improve the incumbent.
-        for candidate in candidates:
-            cand_pen = pen if candidate is part else evaluator.penalized_cost(
-                candidate, pen_value
-            )
-            if cand_pen < best_pen - 1e-12:
-                best_pen = cand_pen
-                best_part = candidate.copy()
-                improvements.append(k)
-            if _is_fully_feasible(problem, evaluator, candidate):
-                true_cost = evaluator.cost(candidate)
-                if true_cost < best_feas_cost - 1e-12:
-                    best_feas_cost = true_cost
-                    best_feas_part = candidate.copy()
-        if shadow_part is None and best_feas_part is not None:
-            # First feasible iterate found mid-run: seed the shadow.
-            shadow_part = best_feas_part.copy()
-        last_completed = k
-        if callback is not None:
-            try:
-                callback(k, Assignment(part, m), pen)
-            except Exception:
-                logger.warning(
-                    "solve_qbp: progress callback raised at iteration %d; "
-                    "continuing without interrupting the run",
-                    k,
-                    exc_info=True,
+                strong = repair_feasibility(
+                    problem,
+                    Assignment(part, m),
+                    max_moves=repair_moves,
+                    seed=rng,
+                    evaluator=evaluator,
                 )
-        if checkpointer is not None and (
-            checkpointer.due(k) or k == effective_iterations
-        ):
-            safe_checkpoint(k)
+                if strong is not None:
+                    candidates.append(strong.part)
+            if repair_iterates and problem.has_timing and shadow_part is not None:
+                # Project the iterate onto the feasible region by walking a
+                # feasible "shadow" of the trajectory toward it, keeping only
+                # violation-free moves (see repair.feasible_merge).  The
+                # shadow drifts with the iterates rather than sticking to the
+                # incumbent, so the projection explores.
+                merged = feasible_merge(
+                    problem,
+                    Assignment(shadow_part, m),
+                    Assignment(part, m),
+                    evaluator=evaluator,
+                    index=state.timing_index,
+                )
+                shadow_part = merged.part
+                candidates.append(shadow_part)
+                if project_trajectory:
+                    # Fully projected iteration: the trajectory itself stays
+                    # feasible, so eta is always anchored at a real
+                    # configuration.
+                    part = shadow_part.copy()
+            pen = evaluator.penalized_cost(part, pen_value)  # STEP 7
+            history.append(pen)
+
+            # Enhancement: Burkard's STEP 4 keeps only the bound z and throws
+            # the argmin away; evaluating it as a second candidate per
+            # iteration is free and can only improve the incumbent.
+            for candidate in candidates:
+                cand_pen = pen if candidate is part else evaluator.penalized_cost(
+                    candidate, pen_value
+                )
+                if cand_pen < best_pen - 1e-12:
+                    best_pen = cand_pen
+                    best_part = candidate.copy()
+                    improvements.append(k)
+                if _is_fully_feasible(problem, evaluator, candidate):
+                    true_cost = evaluator.cost(candidate)
+                    if true_cost < best_feas_cost - 1e-12:
+                        best_feas_cost = true_cost
+                        best_feas_part = candidate.copy()
+            if shadow_part is None and best_feas_part is not None:
+                # First feasible iterate found mid-run: seed the shadow.
+                shadow_part = best_feas_part.copy()
+            last_completed = k
+            if tel.enabled:
+                tel.counter("solver.iterations").inc()
+                tel.emit(
+                    IterationEvent(
+                        solver="qbp",
+                        iteration=k,
+                        cost=float(pen),
+                        best_cost=float(best_pen),
+                        best_feasible_cost=(
+                            float(best_feas_cost)
+                            if np.isfinite(best_feas_cost)
+                            else None
+                        ),
+                        improved=bool(improvements and improvements[-1] == k),
+                    )
+                )
+            if callback is not None:
+                callback(k, Assignment(part, m), pen)
+            if checkpointer is not None and (
+                checkpointer.due(k) or k == effective_iterations
+            ):
+                safe_checkpoint(k)
+    finally:
+        solve_span.set("stop_reason", stop_reason)
+        solve_span.__exit__(None, None, None)
 
     if (
         checkpointer is not None
@@ -478,6 +551,7 @@ def solve_qbp_multistart(
     iterations: int = 100,
     seed: RandomSource = None,
     budget: Optional[Budget] = None,
+    telemetry: Optional[Telemetry] = None,
     **kwargs,
 ) -> BurkardResult:
     """Run :func:`solve_qbp` from several independent starts; keep the best.
@@ -497,22 +571,47 @@ def solve_qbp_multistart(
     """
     if restarts < 1:
         raise ValueError(f"restarts must be >= 1, got {restarts}")
+    tel = resolve_telemetry(telemetry)
+    if kwargs.get("callback") is not None and not isinstance(
+        kwargs["callback"], _CallbackGuard
+    ):
+        # One guard shared by every restart: a callback that raises is
+        # warned about (and disabled) exactly once for the whole run.
+        kwargs["callback"] = _CallbackGuard(kwargs["callback"])
     rng = ensure_rng(seed)
     best: Optional[BurkardResult] = None
     truncated: Optional[str] = None
-    for index in range(restarts):
-        if index > 0 and budget is not None:
-            truncated = budget.check()
-            if truncated is not None:
-                break
-        result = solve_qbp(
-            problem, iterations=iterations, seed=rng, budget=budget, **kwargs
-        )
-        if best is None or (result.best_feasible_cost, result.penalized_cost) < (
-            best.best_feasible_cost,
-            best.penalized_cost,
-        ):
-            best = result
+    with tel.span("qbp.multistart", restarts=restarts, iterations=iterations):
+        for index in range(restarts):
+            if index > 0 and budget is not None:
+                truncated = budget.check()
+                if truncated is not None:
+                    break
+            result = solve_qbp(
+                problem, iterations=iterations, seed=rng, budget=budget,
+                telemetry=telemetry, **kwargs
+            )
+            if best is None or (result.best_feasible_cost, result.penalized_cost) < (
+                best.best_feasible_cost,
+                best.penalized_cost,
+            ):
+                best = result
+            if tel.enabled:
+                tel.counter("solver.restarts").inc()
+                tel.emit(
+                    RestartEvent(
+                        solver="qbp",
+                        index=index,
+                        restarts=restarts,
+                        best_cost=float(best.penalized_cost),
+                        best_feasible_cost=(
+                            float(best.best_feasible_cost)
+                            if np.isfinite(best.best_feasible_cost)
+                            else None
+                        ),
+                        stop_reason=result.stop_reason,
+                    )
+                )
     assert best is not None
     if truncated is not None:
         best.stop_reason = truncated
@@ -526,6 +625,7 @@ def bootstrap_initial_solution(
     attempts: int = 3,
     seed: RandomSource = None,
     budget: Optional[Budget] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Assignment:
     """The paper's initial-solution recipe: QBP with ``B`` set to zero.
 
@@ -551,6 +651,7 @@ def bootstrap_initial_solution(
         :class:`~repro.runtime.budget.BudgetExceededError` subclass -
         when the budget runs out first.
     """
+    tel = resolve_telemetry(telemetry)
     zeroed = problem.with_zero_interconnect()
     if not zeroed.has_timing:
         return greedy_feasible_assignment(zeroed, seed)
@@ -559,7 +660,10 @@ def bootstrap_initial_solution(
 
     def one_attempt(attempt_budget: Optional[Budget]) -> Assignment:
         maybe_fault("bootstrap.attempt")
-        result = solve_qbp(zeroed, iterations=iterations, seed=rng, budget=attempt_budget)
+        result = solve_qbp(
+            zeroed, iterations=iterations, seed=rng, budget=attempt_budget,
+            telemetry=telemetry,
+        )
         if result.best_feasible_assignment is not None:
             return result.best_feasible_assignment
         repaired = repair_feasibility(zeroed, result.assignment, seed=rng)
@@ -574,14 +678,17 @@ def bootstrap_initial_solution(
         [Attempt("qbp-bootstrap", one_attempt, retries=max(1, attempts) - 1)],
         transient=(BootstrapStallError,),
         budget=budget,
+        name="bootstrap",
+        telemetry=telemetry,
     )
-    try:
-        return supervisor.run().value
-    except SupervisorExhaustedError as exc:
-        raise RuntimeError(
-            "bootstrap failed: no timing+capacity feasible assignment found in "
-            f"{attempts} attempt(s) of {iterations} iterations plus repair"
-        ) from exc
+    with tel.span("qbp.bootstrap", attempts=attempts, iterations=iterations):
+        try:
+            return supervisor.run().value
+        except SupervisorExhaustedError as exc:
+            raise RuntimeError(
+                "bootstrap failed: no timing+capacity feasible assignment found in "
+                f"{attempts} attempt(s) of {iterations} iterations plus repair"
+            ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -705,7 +812,8 @@ class _IterationState:
 
 
 def _solve_gap_graceful(
-    cost, sizes, capacities, criteria, timing, trust_mask=None, budget=None
+    cost, sizes, capacities, criteria, timing, trust_mask=None, budget=None,
+    telemetry=None,
 ):
     """One inner GAP solve under a supervised fallback ladder.
 
@@ -738,7 +846,8 @@ def _solve_gap_graceful(
         attempts.append(rung("gap.timing", timing=timing))
     attempts.append(rung("gap.plain"))
     supervisor = SolverSupervisor(
-        attempts, transient=(GapInfeasibleError,), budget=budget
+        attempts, transient=(GapInfeasibleError,), budget=budget,
+        name="gap", telemetry=telemetry,
     )
     try:
         return supervisor.run().value

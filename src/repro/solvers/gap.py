@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.telemetry import resolve as resolve_telemetry
 from repro.runtime.budget import Budget
 
 DEFAULT_CRITERIA = ("cost", "cost_per_size", "size", "cost_times_size")
@@ -125,45 +126,50 @@ def solve_gap(
             )
         static = static.T.copy()  # item-major internally
 
-    best: Optional[np.ndarray] = None
-    best_cost = np.inf
-    best_criterion = "none"
-    construction_timing = timing if timing_in_construction else None
-    for criterion in criteria:
-        if budget is not None:
-            budget.raise_if_exceeded()
-        assignment = _construct(
-            cost, sizes, capacities, criterion, construction_timing, static, budget
-        )
-        if assignment is None:
-            continue
-        value = float(cost[assignment, np.arange(n)].sum())
-        if value < best_cost:
-            best, best_cost, best_criterion = assignment, value, criterion
-
-    if best is None:
-        if budget is not None:
-            budget.raise_if_exceeded()
-        assignment = _best_fit_decreasing(
-            cost, sizes, capacities, construction_timing, static
-        )
-        if assignment is None:
-            raise GapInfeasibleError(
-                "no feasible GAP assignment found (constraints too tight)"
+    tel = resolve_telemetry(None)
+    with tel.span("gap.mthg", items=n, partitions=m) as gap_span:
+        best: Optional[np.ndarray] = None
+        best_cost = np.inf
+        best_criterion = "none"
+        construction_timing = timing if timing_in_construction else None
+        for criterion in criteria:
+            if budget is not None:
+                budget.raise_if_exceeded()
+            assignment = _construct(
+                cost, sizes, capacities, criterion, construction_timing, static, budget
             )
-        best = assignment
-        best_cost = float(cost[best, np.arange(n)].sum())
-        best_criterion = "best_fit_fallback"
+            if assignment is None:
+                continue
+            value = float(cost[assignment, np.arange(n)].sum())
+            if value < best_cost:
+                best, best_cost, best_criterion = assignment, value, criterion
 
-    improved = False
-    if improve:
-        improved = _improve(
-            best, cost, sizes, capacities, max_improvement_passes, timing, static, budget
-        )
-        improved |= _exchange_improve(
-            best, cost, sizes, capacities, max_improvement_passes, timing, static, budget
-        )
-        best_cost = float(cost[best, np.arange(n)].sum())
+        if best is None:
+            if budget is not None:
+                budget.raise_if_exceeded()
+            assignment = _best_fit_decreasing(
+                cost, sizes, capacities, construction_timing, static
+            )
+            if assignment is None:
+                raise GapInfeasibleError(
+                    "no feasible GAP assignment found (constraints too tight)"
+                )
+            best = assignment
+            best_cost = float(cost[best, np.arange(n)].sum())
+            best_criterion = "best_fit_fallback"
+
+        improved = False
+        if improve:
+            improved = _improve(
+                best, cost, sizes, capacities, max_improvement_passes, timing, static,
+                budget,
+            )
+            improved |= _exchange_improve(
+                best, cost, sizes, capacities, max_improvement_passes, timing, static,
+                budget,
+            )
+            best_cost = float(cost[best, np.arange(n)].sum())
+        gap_span.set("criterion", best_criterion)
     return GapResult(
         assignment=best, cost=best_cost, criterion=best_criterion, improved=improved
     )

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.assignment import Assignment
 from repro.core.constraints import TimingIndex, partition_loads
 from repro.core.problem import PartitioningProblem
+from repro.obs.telemetry import resolve as resolve_telemetry
 from repro.utils.rng import RandomSource, ensure_rng
 
 
@@ -102,6 +103,9 @@ def repair_feasibility(
         hot = np.union1d(t_src[violated], t_dst[violated])
         return hot.tolist()
 
+    initial_violated = (
+        int((delay[part[t_src], part[t_dst]] > t_budget).sum()) if t_src.size else 0
+    )
     hot = violating_components()
     moves = 0
     stall = 0
@@ -157,6 +161,9 @@ def repair_feasibility(
 
     if violating_components():
         return None
+    tel = resolve_telemetry(None)
+    if tel.enabled and initial_violated:
+        tel.counter("timing.violations_repaired").inc(initial_violated)
     return Assignment(part, m)
 
 

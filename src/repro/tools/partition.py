@@ -12,6 +12,11 @@ With timing constraints from a file, printing the designer report::
 
     python -m repro.tools.partition circuit.wires --grid 2x2 \\
         --timing budgets.json --solver gkl --report
+
+Capture a full telemetry trace of the run, then inspect it::
+
+    python -m repro.tools.partition circuit.json --trace out.jsonl
+    python -m repro.tools.traceview out.jsonl
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
+from repro.obs.telemetry import add_telemetry_arguments, session_from_args
 from repro.runtime.budget import (
     STOP_COMPLETED,
     Budget,
@@ -84,6 +90,7 @@ def supervised_initial_solution(
         ],
         transient=(RuntimeError,),
         budget=budget,
+        name="partition.initial",
     )
     try:
         outcome = supervisor.run()
@@ -146,12 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--report", action="store_true", help="print the full solution report"
     )
+    add_telemetry_arguments(parser)
     return parser
 
 
 def main(argv: List[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    with session_from_args(args, root_span="partition"):
+        return _run(args)
 
+
+def _run(args) -> int:
+    """The partitioner body, running inside the telemetry session."""
     circuit = load_any_circuit(args.circuit)
     rows, cols = args.grid
     if args.capacity is not None:

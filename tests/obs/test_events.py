@@ -1,0 +1,127 @@
+"""Tests for repro.obs.events (schema, validation, sinks)."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    CheckpointEvent,
+    EventLog,
+    FallbackEvent,
+    IterationEvent,
+    JsonlEventSink,
+    RestartEvent,
+    event_to_dict,
+    validate_trace_line,
+)
+
+
+class TestEventSerialisation:
+    def test_iteration_event_round_trip(self):
+        event = IterationEvent(solver="qbp", iteration=3, cost=10.0, best_cost=9.0)
+        payload = event_to_dict(event)
+        assert payload["type"] == "event"
+        assert payload["event"] == "iteration"
+        assert payload["schema"] == EVENT_SCHEMA_VERSION
+        assert payload["best_feasible_cost"] is None
+        assert validate_trace_line(payload) is payload
+
+    def test_every_kind_validates(self):
+        events = [
+            IterationEvent(solver="qbp", iteration=1, cost=1.0, best_cost=1.0),
+            RestartEvent(solver="qbp", index=0, restarts=3, best_cost=1.0),
+            FallbackEvent(ladder="gap", rung="gap.trust", try_index=0,
+                          status="error", elapsed_seconds=0.1, error="boom"),
+            CheckpointEvent(label="ckt", iteration=10, path="x.json", bytes=512),
+        ]
+        for event in events:
+            validate_trace_line(event_to_dict(event))
+
+    def test_schema_lists_all_fields(self):
+        assert set(EVENT_SCHEMA) == {"iteration", "restart", "fallback", "checkpoint"}
+        assert "best_feasible_cost" in EVENT_SCHEMA["iteration"]
+
+
+class TestValidateTraceLine:
+    def test_accepts_raw_json_string(self):
+        payload = event_to_dict(
+            IterationEvent(solver="qbp", iteration=1, cost=1.0, best_cost=1.0)
+        )
+        record = validate_trace_line(json.dumps(payload))
+        assert record["solver"] == "qbp"
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            validate_trace_line("{nope")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_trace_line('"just a string"')
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            validate_trace_line({"type": "mystery"})
+
+    def test_rejects_unknown_event_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            validate_trace_line({"type": "event", "event": "nope", "schema": 1})
+
+    def test_rejects_missing_required_field(self):
+        payload = event_to_dict(
+            IterationEvent(solver="qbp", iteration=1, cost=1.0, best_cost=1.0)
+        )
+        del payload["cost"]
+        with pytest.raises(ValueError, match="missing fields"):
+            validate_trace_line(payload)
+
+    def test_rejects_newer_schema(self):
+        payload = event_to_dict(
+            IterationEvent(solver="qbp", iteration=1, cost=1.0, best_cost=1.0)
+        )
+        payload["schema"] = EVENT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer than supported"):
+            validate_trace_line(payload)
+
+    def test_tolerates_extra_event_fields(self):
+        payload = event_to_dict(
+            IterationEvent(solver="qbp", iteration=1, cost=1.0, best_cost=1.0)
+        )
+        payload["future_field"] = "ok"
+        validate_trace_line(payload)
+
+    def test_rejects_span_missing_timing(self):
+        with pytest.raises(ValueError, match="missing 'wall'"):
+            validate_trace_line(
+                {"type": "span", "name": "x", "id": 1, "start": 0.0, "cpu": 0.0}
+            )
+
+    def test_rejects_negative_span_timing(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_trace_line(
+                {"type": "span", "name": "x", "id": 1,
+                 "start": 0.0, "wall": -1.0, "cpu": 0.0}
+            )
+
+
+class TestSinks:
+    def test_event_log_filters_by_kind(self):
+        log = EventLog()
+        log.emit(IterationEvent(solver="qbp", iteration=1, cost=1.0, best_cost=1.0))
+        log.emit(CheckpointEvent(label="c", iteration=1, path="p", bytes=1))
+        assert len(log) == 2
+        assert [e.kind for e in log] == ["iteration", "checkpoint"]
+        assert len(log.of_kind("iteration")) == 1
+
+    def test_jsonl_sink_streams_valid_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlEventSink(path) as sink:
+            sink.emit(
+                IterationEvent(solver="qbp", iteration=1, cost=1.0, best_cost=1.0)
+            )
+            # Eager flush: the line is on disk before close.
+            assert path.read_text().count("\n") == 1
+        assert sink.count == 1
+        for line in path.read_text().splitlines():
+            validate_trace_line(line)

@@ -1,0 +1,113 @@
+"""Tests for repro.obs.metrics (instruments, snapshots, diffs)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    METRICS_SNAPSHOT_FORMAT,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    empty_snapshot,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        g = Gauge()
+        g.set(4.0)
+        g.inc(-1.5)
+        assert g.value == 2.5
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.summary() == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+        assert h.last == 2.0
+
+    def test_histogram_empty_summary(self):
+        assert Histogram().summary()["count"] == 0
+
+    def test_null_instruments_are_inert(self):
+        NULL_COUNTER.inc(5)
+        NULL_GAUGE.set(9.0)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0.0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+
+
+class TestRegistry:
+    def test_create_on_first_use_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("solver.iterations").inc(3)
+        registry.gauge("harness.qbp_seconds").set(1.5)
+        registry.histogram("h").observe(2.0)
+        snap = registry.snapshot()
+        assert snap["format"] == METRICS_SNAPSHOT_FORMAT
+        assert snap["counters"] == {"solver.iterations": 3.0}
+        assert snap["gauges"] == {"harness.qbp_seconds": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_is_json_serialisable(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        path = tmp_path / "metrics.json"
+        registry.export_json(path)
+        assert json.loads(path.read_text())["counters"] == {"c": 1.0}
+
+    def test_empty_snapshot_matches_fresh_registry(self):
+        assert MetricsRegistry().snapshot() == empty_snapshot()
+
+
+class TestDiffSnapshots:
+    def test_counter_deltas(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        before = registry.snapshot()
+        registry.counter("c").inc(3)
+        registry.counter("d").inc(1)
+        diff = diff_snapshots(before, registry.snapshot())
+        assert diff["counters"] == {"c": 3.0, "d": 1.0}
+
+    def test_unchanged_entries_dropped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.0)
+        before = registry.snapshot()
+        diff = diff_snapshots(before, registry.snapshot())
+        assert diff["counters"] == {}
+        assert diff["gauges"] == {}
+        assert diff["histograms"] == {}
+
+    def test_changed_gauge_reported(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        before = registry.snapshot()
+        registry.gauge("g").set(2.0)
+        diff = diff_snapshots(before, registry.snapshot())
+        assert diff["gauges"] == {"g": 2.0}

@@ -1,0 +1,116 @@
+"""Tests for repro.obs.telemetry (bundle, ambient resolution, sessions)."""
+
+import json
+
+from repro.obs.events import IterationEvent, validate_trace_line
+from repro.obs.metrics import NULL_COUNTER, empty_snapshot
+from repro.obs.telemetry import (
+    DISABLED,
+    Telemetry,
+    current,
+    resolve,
+    telemetry_session,
+    use_telemetry,
+    write_combined_trace,
+)
+from repro.obs.trace import NULL_SPAN
+
+
+def _iteration(i=1):
+    return IterationEvent(solver="qbp", iteration=i, cost=1.0, best_cost=1.0)
+
+
+class TestDisabled:
+    def test_ambient_default_is_disabled(self):
+        assert current() is DISABLED
+        assert resolve(None) is DISABLED
+
+    def test_disabled_span_is_null_singleton(self):
+        assert DISABLED.span("anything", attr=1) is NULL_SPAN
+
+    def test_disabled_instruments_are_null(self):
+        assert DISABLED.counter("c") is NULL_COUNTER
+
+    def test_disabled_emit_and_snapshot(self):
+        DISABLED.emit(_iteration())  # swallowed
+        assert DISABLED.events() == []
+        assert DISABLED.metrics_snapshot() == empty_snapshot()
+
+
+class TestResolution:
+    def test_explicit_wins_over_ambient(self):
+        tel = Telemetry.enabled_default()
+        assert resolve(tel) is tel
+
+    def test_use_telemetry_installs_and_restores(self):
+        tel = Telemetry.enabled_default()
+        with use_telemetry(tel):
+            assert current() is tel
+            assert resolve(None) is tel
+        assert current() is DISABLED
+
+    def test_enabled_bundle_records(self):
+        tel = Telemetry.enabled_default()
+        with tel.span("work"):
+            tel.counter("c").inc()
+            tel.emit(_iteration())
+        assert [s.name for s in tel.tracer.spans] == ["work"]
+        assert tel.metrics_snapshot()["counters"] == {"c": 1.0}
+        assert [e.kind for e in tel.events()] == ["iteration"]
+
+
+class TestSession:
+    def test_writes_all_artifacts(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "chrome.json"
+        metrics = tmp_path / "metrics.json"
+        events = tmp_path / "events.jsonl"
+        with telemetry_session(
+            trace_path=trace, chrome_path=chrome,
+            metrics_path=metrics, events_path=events, root_span="test-root",
+        ) as tel:
+            assert current() is tel
+            with tel.span("inner"):
+                tel.counter("c").inc()
+                tel.emit(_iteration())
+        assert current() is DISABLED
+
+        lines = trace.read_text().splitlines()
+        records = [validate_trace_line(line) for line in lines]
+        span_names = [r["name"] for r in records if r["type"] == "span"]
+        assert span_names == ["test-root", "inner"]
+        assert sum(1 for r in records if r["type"] == "event") == 1
+
+        assert isinstance(json.loads(chrome.read_text()), list)
+        assert json.loads(metrics.read_text())["counters"] == {"c": 1.0}
+        (event_line,) = events.read_text().splitlines()
+        assert validate_trace_line(event_line)["event"] == "iteration"
+
+    def test_root_span_covers_inner_work(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with telemetry_session(trace_path=trace, root_span="root") as tel:
+            with tel.span("a"):
+                pass
+        records = [validate_trace_line(line) for line in trace.read_text().splitlines()]
+        spans = {r["name"]: r for r in records if r["type"] == "span"}
+        root, inner = spans["root"], spans["a"]
+        assert inner["parent"] == root["id"]
+        assert root["wall"] >= inner["wall"]
+
+    def test_artifacts_written_even_on_exception(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        try:
+            with telemetry_session(trace_path=trace, root_span="root"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        (line,) = trace.read_text().splitlines()
+        assert validate_trace_line(line)["attrs"]["error"] == "RuntimeError"
+
+    def test_write_combined_trace_counts_lines(self, tmp_path):
+        tel = Telemetry.enabled_default()
+        with tel.span("s"):
+            pass
+        tel.emit(_iteration())
+        path = tmp_path / "combined.jsonl"
+        assert write_combined_trace(tel, path) == 2

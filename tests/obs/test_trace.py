@@ -1,0 +1,139 @@
+"""Tests for repro.obs.trace (spans, nesting, exports)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, SpanRecord, Tracer
+from repro.obs.events import validate_trace_line
+
+
+class TestSpans:
+    def test_records_wall_and_cpu(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        (record,) = tracer.spans
+        assert record.name == "work"
+        assert record.wall >= 0.0
+        assert record.cpu >= 0.0
+        assert record.parent_id is None
+
+    def test_nesting_sets_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans  # closed innermost-first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r.name: r for r in tracer.spans}
+        assert by_name["a"].parent_id == by_name["root"].span_id
+        assert by_name["b"].parent_id == by_name["root"].span_id
+
+    def test_attrs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("gap.solve", criterion="cost") as span:
+            span.set("items", 12)
+        (record,) = tracer.spans
+        assert record.attrs == {"criterion": "cost", "items": 12}
+
+    def test_exception_marks_error_and_still_records(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (record,) = tracer.spans
+        assert record.attrs["error"] == "RuntimeError"
+
+    def test_child_wall_within_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert inner.wall <= outer.wall
+        assert inner.start >= outer.start
+
+    def test_thread_local_stacks_do_not_cross(self):
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("thread-root"):
+                pass
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        by_name = {r.name: r for r in tracer.spans}
+        # The thread's span must not claim the main thread's span as parent.
+        assert by_name["thread-root"].parent_id is None
+        assert by_name["main-root"].parent_id is None
+
+
+class TestNullSpan:
+    def test_noop_protocol(self):
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+            assert span.set("k", 1) is NULL_SPAN
+
+
+class TestExports:
+    def test_jsonl_lines_validate(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test"):
+            with tracer.span("inner"):
+                pass
+        lines = tracer.to_jsonl_lines()
+        assert len(lines) == 2
+        for line in lines:
+            record = validate_trace_line(line)
+            assert record["type"] == "span"
+            assert record["schema"] == 1
+
+    def test_jsonl_lines_start_ordered(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        names = [json.loads(line)["name"] for line in tracer.to_jsonl_lines()]
+        assert names == ["first", "second"]
+
+    def test_export_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 1
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["name"] == "a"
+
+    def test_chrome_trace_complete_events(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        events = tracer.to_chrome_trace()
+        assert [e["ph"] for e in events] == ["X", "X"]
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+        assert all("cpu_seconds" in e["args"] for e in events)
+        path = tmp_path / "chrome.json"
+        assert tracer.export_chrome(path) == 2
+        assert isinstance(json.loads(path.read_text()), list)
+
+    def test_span_record_end(self):
+        record = SpanRecord(name="x", span_id=1, parent_id=None,
+                            start=1.0, wall=2.0, cpu=0.5)
+        assert record.end == 3.0

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.core",
     "repro.eval",
     "repro.netlist",
+    "repro.obs",
     "repro.runtime",
     "repro.solvers",
     "repro.timing",

@@ -1,0 +1,171 @@
+"""Tests for repro.tools.traceview and scripts/check_trace.py."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.events import (
+    CheckpointEvent,
+    FallbackEvent,
+    IterationEvent,
+    RestartEvent,
+    event_to_dict,
+)
+from repro.tools.traceview import (
+    aggregate_spans,
+    load_trace,
+    main as traceview_main,
+    render_checkpoints,
+    render_convergence,
+    render_fallbacks,
+    render_restarts,
+    render_span_summary,
+    self_times,
+    span_coverage,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_check_trace():
+    spec = importlib.util.spec_from_file_location(
+        "check_trace", REPO_ROOT / "scripts" / "check_trace.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_trace_mod = _load_check_trace()
+
+
+def _span(name, span_id, parent=None, start=0.0, wall=1.0, cpu=0.5):
+    return {
+        "type": "span", "schema": 1, "name": name, "id": span_id,
+        "parent": parent, "start": start, "wall": wall, "cpu": cpu, "attrs": {},
+    }
+
+
+def _write_trace(path, records):
+    path.write_text("".join(json.dumps(r, sort_keys=True) + "\n" for r in records))
+
+
+@pytest.fixture
+def sample_records():
+    return [
+        _span("partition", 1, None, start=0.0, wall=4.0),
+        _span("qbp.solve", 2, 1, start=0.5, wall=3.0),
+        _span("gap.mthg", 3, 2, start=1.0, wall=1.0),
+        _span("gap.mthg", 4, 2, start=2.0, wall=1.0),
+        event_to_dict(IterationEvent(solver="qbp", iteration=1, cost=10.0,
+                                     best_cost=10.0, improved=True)),
+        event_to_dict(IterationEvent(solver="qbp", iteration=2, cost=8.0,
+                                     best_cost=8.0, improved=True)),
+        event_to_dict(RestartEvent(solver="qbp", index=0, restarts=2, best_cost=8.0)),
+        event_to_dict(FallbackEvent(ladder="gap", rung="gap.trust", try_index=0,
+                                    status="error", elapsed_seconds=0.01,
+                                    error="boom")),
+        event_to_dict(CheckpointEvent(label="c", iteration=2, path="x.json",
+                                      bytes=256)),
+    ]
+
+
+class TestAnalysis:
+    def test_self_time_subtracts_direct_children(self, sample_records, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace, sample_records)
+        spans, events = load_trace(trace)
+        assert len(spans) == 4 and len(events) == 5
+        selfs = self_times(spans)
+        assert selfs[1] == pytest.approx(1.0)  # 4.0 - 3.0 (qbp.solve)
+        assert selfs[2] == pytest.approx(1.0)  # 3.0 - 2 * 1.0 (gap.mthg)
+        assert selfs[3] == pytest.approx(1.0)
+
+    def test_aggregate_groups_by_name(self, sample_records):
+        spans = [r for r in sample_records if r["type"] == "span"]
+        groups = {g["name"]: g for g in aggregate_spans(spans)}
+        assert groups["gap.mthg"]["calls"] == 2
+        assert groups["gap.mthg"]["wall"] == pytest.approx(2.0)
+
+    def test_coverage_from_root_spans(self, sample_records):
+        spans = [r for r in sample_records if r["type"] == "span"]
+        # One root span of wall 4.0 over a [0.0, 4.0] extent: full cover.
+        assert span_coverage(spans) == pytest.approx(1.0)
+
+    def test_coverage_none_without_spans(self):
+        assert span_coverage([]) is None
+
+
+class TestRendering:
+    def test_span_summary_mentions_coverage(self, sample_records):
+        spans = [r for r in sample_records if r["type"] == "span"]
+        text = render_span_summary(spans, top=10)
+        assert "span coverage: 100.0%" in text
+        assert "gap.mthg" in text
+
+    def test_convergence_table(self, sample_records):
+        events = [r for r in sample_records if r["type"] == "event"]
+        text = render_convergence(events)
+        assert "qbp" in text
+        assert "2" in text  # two iterations
+
+    def test_fallback_audit_lists_error(self, sample_records):
+        events = [r for r in sample_records if r["type"] == "event"]
+        text = render_fallbacks(events)
+        assert "gap.trust" in text and "boom" in text
+
+    def test_checkpoint_and_restart_summaries(self, sample_records):
+        events = [r for r in sample_records if r["type"] == "event"]
+        assert "256 bytes" in render_checkpoints(events)
+        assert "1/2" in render_restarts(events)
+
+
+class TestCli:
+    def test_renders_all_sections(self, sample_records, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace, sample_records)
+        assert traceview_main([str(trace)]) == 0
+        out = capsys.readouterr().out
+        for needle in ("span coverage", "convergence", "fallbacks", "checkpoint"):
+            assert needle in out
+
+    def test_json_mode(self, sample_records, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace, sample_records)
+        assert traceview_main([str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["coverage"] == pytest.approx(1.0)
+        assert payload["events"]["iterations"] == 2
+
+    def test_malformed_trace_exits_2(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"type": "mystery"}\n')
+        assert traceview_main([str(trace)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckTrace:
+    def test_valid_trace_passes(self, sample_records, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace, sample_records)
+        assert check_trace_mod.check_trace(trace, min_spans=4, min_events=5) == []
+        assert check_trace_mod.main([str(trace), "--require-span", "partition"]) == 0
+
+    def test_missing_required_span_fails(self, sample_records, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace, sample_records)
+        problems = check_trace_mod.check_trace(trace, require_spans=["nope"])
+        assert problems == ["required span 'nope' not present"]
+        assert check_trace_mod.main([str(trace), "--require-span", "nope"]) == 1
+
+    def test_schema_violation_reported_with_line_number(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text('{"not": "a span"}\n')
+        problems = check_trace_mod.check_trace(trace)
+        assert any(p.startswith("line 1:") for p in problems)
+
+    def test_unreadable_input_exits_2(self, tmp_path):
+        assert check_trace_mod.main([str(tmp_path / "missing.jsonl")]) == 2
