@@ -31,6 +31,7 @@ from repro.eval.paper_data import GKL_OUTER_LOOPS, QBP_ITERATIONS
 from repro.eval.workloads import Workload, build_workload, workload_names
 from repro.obs.metrics import METRICS_SNAPSHOT_FORMAT, diff_snapshots
 from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
+from repro.parallel.pool import WorkerPool
 from repro.runtime.budget import (
     STOP_COMPLETED,
     STOP_STALLED,
@@ -95,6 +96,27 @@ class SolverTimings:
             gfm=float(gauges.get("timing.gfm_seconds", 0.0)),
             gkl=float(gauges.get("timing.gkl_seconds", 0.0)),
         )
+
+    @classmethod
+    def merge(cls, timings: Iterable) -> "SolverTimings":
+        """Sum per-solver seconds across runs (e.g. one per pool worker).
+
+        Accepts a mix of :class:`SolverTimings` instances, :meth:`to_dict`
+        payloads, and ``None`` entries (rows restored from old
+        checkpoints carry no timings); ``None`` entries are skipped, so
+        ``SolverTimings.merge(row.timings for row in rows)`` aggregates a
+        whole table directly.
+        """
+        qbp = gfm = gkl = 0.0
+        for item in timings:
+            if item is None:
+                continue
+            if isinstance(item, dict):
+                item = cls.from_dict(item)
+            qbp += item.qbp
+            gfm += item.gfm
+            gkl += item.gkl
+        return cls(qbp=qbp, gfm=gfm, gkl=gkl)
 
 
 @dataclass(frozen=True)
@@ -377,6 +399,32 @@ class TableCheckpoint:
                 pass
 
 
+def _table_circuit_task(payload, ctx):
+    """Run one circuit of a table sweep (module-level: crosses fork).
+
+    The payload ships the circuit *name* plus run parameters; the
+    workload itself is rebuilt in the worker unless a pre-built one was
+    provided (construction is deterministic, and rebuilding beats
+    pickling a full workload per task).  ``ctx.budget`` is this
+    circuit's lease under the sweep budget and ``ctx.telemetry`` the
+    worker's own bundle, merged back by the pool.
+    """
+    (name, table, scale, qbp_iterations, seed, workload, initial, ckpt_path) = payload
+    if workload is None:
+        workload = build_workload(name, scale=scale)
+    with ctx.telemetry.span("harness.circuit", circuit=name, table=table):
+        return run_circuit_experiment(
+            workload,
+            with_timing=(table == 3),
+            qbp_iterations=qbp_iterations,
+            seed=seed,
+            initial=initial.copy() if initial is not None else None,
+            budget=ctx.budget,
+            qbp_checkpoint_path=ckpt_path,
+            telemetry=ctx.telemetry,
+        )
+
+
 def run_table(
     table: int,
     *,
@@ -389,6 +437,7 @@ def run_table(
     budget: Optional[Budget] = None,
     checkpoint_dir=None,
     telemetry: Optional[Telemetry] = None,
+    workers: Optional[int] = None,
 ) -> List[ExperimentRow]:
     """Reproduce Table II (``table=2``) or Table III (``table=3``).
 
@@ -407,17 +456,29 @@ def run_table(
     budget:
         Shared :class:`~repro.runtime.budget.Budget` for the whole
         sweep.  On expiry the in-flight circuit's row (best incumbents,
-        ``stop_reason`` set) is still emitted, then the sweep stops.
+        ``stop_reason`` set) is still emitted, then the sweep stops
+        (serial) or the remaining circuits' leases are revoked
+        cooperatively (parallel).
     checkpoint_dir:
         Directory for a :class:`TableCheckpoint`.  Completed circuits
         are skipped on re-run and the interrupted one resumes from its
         QBP snapshot, so the resumed sweep reproduces an uninterrupted
-        run's rows (same seed).
+        run's rows (same seed).  Safe under ``workers > 1``: rows are
+        recorded as circuits finish (any completion order) into a
+        name-keyed record rewritten atomically as a whole.
     telemetry:
         Optional :class:`~repro.obs.telemetry.Telemetry`; ``None`` uses
         the ambient instance.  Each circuit runs inside a
         ``harness.circuit`` span and its row carries per-phase timings
         and metric deltas.
+    workers:
+        Process count for fanning circuits out over a
+        :class:`~repro.parallel.pool.WorkerPool` (``None`` reads
+        ``REPRO_WORKERS``, default 1).  Every circuit receives the same
+        ``seed`` in both modes, so parallel rows are bit-identical to
+        serial ones; rows always come back in canonical circuit order.
+        A circuit whose worker fails is retried serially in-process, so
+        real errors surface with their original exception type.
     """
     if table not in (2, 3):
         raise ValueError(f"table must be 2 or 3, got {table}")
@@ -434,15 +495,8 @@ def run_table(
             },
         )
     tel = resolve_telemetry(telemetry)
-    rows = []
-    for name in names:
-        if checkpoint is not None:
-            done = checkpoint.completed(name)
-            if done is not None:
-                rows.append(done)
-                continue
-        if budget is not None and budget.check() is not None:
-            break  # nothing started for this circuit: resume later
+
+    def run_one(name: str) -> ExperimentRow:
         workload = (
             workloads[name]
             if workloads and name in workloads
@@ -450,7 +504,7 @@ def run_table(
         )
         initial = initials.get(name) if initials else None
         with tel.span("harness.circuit", circuit=name, table=table):
-            row = run_circuit_experiment(
+            return run_circuit_experiment(
                 workload,
                 with_timing=(table == 3),
                 qbp_iterations=qbp_iterations,
@@ -462,10 +516,70 @@ def run_table(
                 ),
                 telemetry=telemetry,
             )
+
+    pending = [
+        name
+        for name in names
+        if checkpoint is None or checkpoint.completed(name) is None
+    ]
+    pool = WorkerPool(workers=workers, name="eval.table", budget=budget, telemetry=tel)
+    parallel = (
+        len(pending) > 1
+        and pool.uses_processes
+        and (budget is None or budget.check() is None)
+    )
+
+    finished: Dict[str, ExperimentRow] = {}
+    if parallel:
+        payloads = [
+            (
+                name,
+                table,
+                scale,
+                qbp_iterations,
+                seed,
+                workloads.get(name) if workloads else None,
+                initials.get(name) if initials else None,
+                checkpoint.qbp_checkpoint_path(name) if checkpoint else None,
+            )
+            for name in pending
+        ]
+
+        def record(outcome) -> None:
+            # Completion order, not circuit order: TableCheckpoint keys
+            # rows by name and rewrites the whole file, so this is safe.
+            if checkpoint is not None:
+                checkpoint.record(outcome.value)
+
+        with tel.span(
+            "harness.table", table=table, workers=pool.workers, circuits=len(pending)
+        ):
+            outcomes = pool.map(_table_circuit_task, payloads, on_result=record)
+        for name, outcome in zip(pending, outcomes):
+            if outcome.ok:
+                finished[name] = outcome.value
+
+    rows: List[ExperimentRow] = []
+    for name in names:
+        if checkpoint is not None:
+            done = checkpoint.completed(name)
+            if done is not None and name not in finished:
+                rows.append(done)
+                continue
+        if name in finished:
+            rows.append(finished[name])
+            continue
+        # Serial path; under ``parallel`` this is the in-process retry
+        # for circuits whose worker failed.
+        if budget is not None and budget.check() is not None:
+            if parallel:
+                continue  # other circuits may have finished: no resume gap
+            break  # nothing started for this circuit: resume later
+        row = run_one(name)
         rows.append(row)
         if checkpoint is not None:
             checkpoint.record(row)
-        if row.stop_reason != STOP_COMPLETED:
+        if row.stop_reason != STOP_COMPLETED and not parallel:
             break  # budget expired mid-circuit; the row holds the incumbents
     return rows
 

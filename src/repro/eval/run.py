@@ -90,6 +90,15 @@ def main(argv: List[str] | None = None) -> int:
         "interrupted one mid-solve",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for fanning circuits out in parallel "
+        "(default: the REPRO_WORKERS environment variable, else 1); "
+        "rows are bit-identical to a serial run with the same seed",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH", help="also dump rows as JSON"
     )
     parser.add_argument(
@@ -110,6 +119,8 @@ def main(argv: List[str] | None = None) -> int:
         if args.budget <= 0:
             parser.error("--budget must be positive")
         budget = Budget(wall_seconds=args.budget)
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
 
     with session_from_args(args, root_span="eval.run"):
         workloads = {name: build_workload(name, scale=args.scale) for name in names}
@@ -142,6 +153,7 @@ def main(argv: List[str] | None = None) -> int:
                 initials=initials,
                 budget=budget,
                 checkpoint_dir=args.checkpoint_dir,
+                workers=args.workers,
             )
             collected[table_num] = rows
             print(

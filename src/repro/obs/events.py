@@ -51,6 +51,8 @@ class IterationEvent:
     best_cost: float
     best_feasible_cost: Optional[float] = None
     improved: bool = False
+    worker: Optional[int] = None
+    """Pool worker-task id on events merged from a parallel run."""
 
     kind = "iteration"
 
@@ -65,6 +67,7 @@ class RestartEvent:
     best_cost: float
     best_feasible_cost: Optional[float] = None
     stop_reason: str = "completed"
+    worker: Optional[int] = None
 
     kind = "restart"
 
@@ -80,6 +83,7 @@ class FallbackEvent:
     """``error | timeout | skipped`` (ok tries emit no event)."""
     elapsed_seconds: float
     error: Optional[str] = None
+    worker: Optional[int] = None
 
     kind = "fallback"
 
@@ -92,6 +96,7 @@ class CheckpointEvent:
     iteration: int
     path: str
     bytes: int
+    worker: Optional[int] = None
 
     kind = "checkpoint"
 
@@ -110,11 +115,35 @@ _REQUIRED: Dict[str, Tuple[str, ...]] = {
 """Fields with no default: every serialized event must carry them."""
 
 
+_EVENT_BY_KIND = {cls.kind: cls for cls in EVENT_TYPES}
+
+
 def event_to_dict(event) -> Dict[str, Any]:
     """Serialise ``event`` to its JSONL line payload."""
     payload = {"type": "event", "schema": EVENT_SCHEMA_VERSION, "event": event.kind}
     payload.update(asdict(event))
     return payload
+
+
+def event_from_dict(payload: Dict[str, Any]):
+    """Rebuild the typed event a :func:`event_to_dict` payload came from.
+
+    Unknown keys are dropped (the schema tolerates additions), missing
+    optional fields take their defaults; a missing required field or an
+    unknown kind raises ``ValueError``.  Used by the parallel merge
+    layer to re-emit events captured in worker processes.
+    """
+    cls = _EVENT_BY_KIND.get(payload.get("event"))
+    if cls is None:
+        raise ValueError(
+            f"unknown event kind {payload.get('event')!r}; "
+            f"expected one of {sorted(_EVENT_BY_KIND)}"
+        )
+    kwargs = {f.name: payload[f.name] for f in fields(cls) if f.name in payload}
+    missing = [f for f in _REQUIRED[cls.kind] if f not in kwargs]
+    if missing:
+        raise ValueError(f"{cls.kind} event payload missing fields {missing}")
+    return cls(**kwargs)
 
 
 def validate_trace_line(line) -> Dict[str, Any]:

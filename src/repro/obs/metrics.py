@@ -87,6 +87,23 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_summary(self, summary: Dict[str, float]) -> None:
+        """Fold another histogram's :meth:`summary` into this one.
+
+        Used when per-worker registries are merged after a parallel run:
+        the raw observations are gone, but count/sum/min/max compose
+        exactly.  ``last`` takes the merged summary's max as a stand-in
+        (merge order across workers carries no meaning).
+        """
+        count = int(summary.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(summary.get("sum", 0.0))
+        self.min = min(self.min, float(summary.get("min", self.min)))
+        self.max = max(self.max, float(summary.get("max", self.max)))
+        self.last = float(summary.get("max", self.last))
+
     def summary(self) -> Dict[str, float]:
         """The snapshot payload for this histogram."""
         if not self.count:

@@ -37,11 +37,18 @@ TRACE_SCHEMA_VERSION = 1
 
 @dataclass
 class SpanRecord:
-    """One closed span: identity, nesting, timing, and attributes."""
+    """One closed span: identity, nesting, timing, and attributes.
+
+    Ids are plain ints for spans recorded in-process; spans merged from
+    a worker process carry string ids of the form ``"w<worker>:<id>"``
+    (see :mod:`repro.parallel.merge`), which keeps them unique across
+    the whole merged trace while staying valid JSONL for ``traceview``
+    and ``scripts/check_trace.py``.
+    """
 
     name: str
-    span_id: int
-    parent_id: Optional[int]
+    span_id: "int | str"
+    parent_id: "Optional[int | str]"
     start: float
     """Seconds since the tracer's epoch (first clock read)."""
     wall: float
@@ -142,6 +149,37 @@ class Tracer:
         stack = self._stack()
         parent = stack[-1].span_id if stack else None
         return _Span(self, name, parent, attrs)
+
+    @property
+    def epoch(self) -> float:
+        """The ``perf_counter`` instant span ``start`` values are relative to.
+
+        On platforms with a process-wide monotonic clock (Linux), the
+        parallel merge layer uses the difference between two tracers'
+        epochs to rebase worker-process span times onto the parent's
+        timeline.
+        """
+        return self._epoch
+
+    def current_span_id(self) -> Optional[int]:
+        """The innermost open span's id on this thread (``None`` at root).
+
+        The merge layer re-parents worker-process root spans under this,
+        so a merged trace keeps its nesting (e.g. a worker's
+        ``qbp.solve`` appears inside the parent's ``qbp.multistart``).
+        """
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def add_record(self, record: SpanRecord) -> None:
+        """Append an externally built (already closed) span record.
+
+        Entry point for the parallel merge layer: worker-process spans
+        arrive as finished :class:`SpanRecord` values (with remapped ids
+        and rebased starts) rather than through ``span()``.
+        """
+        with self._lock:
+            self.spans.append(record)
 
     def _stack(self) -> List[_Span]:
         stack = getattr(self._local, "stack", None)

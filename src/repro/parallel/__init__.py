@@ -1,0 +1,56 @@
+"""Parallel execution subsystem: process pools, seed streams, telemetry merge.
+
+Three cooperating pieces (see ``docs/PARALLEL.md``):
+
+* :mod:`repro.parallel.seeds` - deterministic per-task seed streams, so
+  a fanned-out run selects the bit-identical best result as the serial
+  run for the same master seed,
+* :mod:`repro.parallel.pool` - the :class:`WorkerPool` abstraction: a
+  fork-based process pool with a serial in-process fallback (always used
+  for ``workers=1``, for platforms without ``fork``, and whenever a task
+  carries process-local state such as an active fault plan),
+* :mod:`repro.parallel.merge` - folds per-worker telemetry (span lists,
+  event streams, metric snapshots) back into the parent
+  :class:`~repro.obs.telemetry.Telemetry` with worker-prefixed ids, so
+  ``repro.tools.traceview`` and ``scripts/check_trace.py`` consume a
+  merged multi-process trace unchanged in shape.
+
+Consumers: ``repro.solvers.burkard.solve_qbp_multistart`` fans restarts
+out, ``repro.eval.harness.run_table`` fans circuit rows out, and both
+CLIs expose ``--workers``.
+"""
+
+from repro.parallel.merge import (
+    capture_worker_dump,
+    merge_metric_snapshots,
+    merge_snapshot_into,
+    merge_worker_dump,
+)
+from repro.parallel.pool import (
+    DEFAULT_WORKERS_ENV,
+    TaskFailure,
+    TaskOutcome,
+    WorkerContext,
+    WorkerCrashError,
+    WorkerPool,
+    resolve_workers,
+    supports_process_pool,
+)
+from repro.parallel.seeds import multistart_seeds, seed_stream
+
+__all__ = [
+    "DEFAULT_WORKERS_ENV",
+    "TaskFailure",
+    "TaskOutcome",
+    "WorkerContext",
+    "WorkerCrashError",
+    "WorkerPool",
+    "capture_worker_dump",
+    "merge_metric_snapshots",
+    "merge_snapshot_into",
+    "merge_worker_dump",
+    "multistart_seeds",
+    "resolve_workers",
+    "seed_stream",
+    "supports_process_pool",
+]

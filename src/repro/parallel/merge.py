@@ -1,0 +1,148 @@
+"""Fold per-worker telemetry back into one parent :class:`Telemetry`.
+
+Each pool worker runs with its own fresh
+:class:`~repro.obs.telemetry.Telemetry` (worker processes must not
+share the parent's tracer, sinks, or - worst of all - an inherited open
+JSONL file descriptor).  When a task finishes, the worker serialises its
+whole bundle with :func:`capture_worker_dump` (plain dicts, picklable)
+and the parent folds it in with :func:`merge_worker_dump`:
+
+* **spans** - ids are prefixed with the worker-task id
+  (``7`` in worker 2 becomes ``"w2:7"``), keeping them unique across the
+  merged trace; worker root spans are re-parented under the parent's
+  innermost open span so nesting survives (a worker's ``qbp.solve``
+  renders inside the parent's ``qbp.multistart``); ``start`` values are
+  rebased from the worker tracer's epoch onto the parent tracer's.
+* **events** - rebuilt as their typed dataclasses, stamped with the
+  ``worker`` id, and re-emitted to the parent sinks, so the combined
+  event stream is one file with per-worker provenance.
+* **metrics** - counters add, gauges last-write-wins (merge order = task
+  order, deterministic), histogram summaries fold exactly
+  (:meth:`~repro.obs.metrics.Histogram.merge_summary`).
+
+The merged trace is shape-identical to a serial one: every line still
+validates against ``repro.obs.events.validate_trace_line``, so
+``repro.tools.traceview`` and ``scripts/check_trace.py`` need no
+changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from repro.obs.events import event_from_dict, event_to_dict
+from repro.obs.metrics import MetricsRegistry, empty_snapshot
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import SpanRecord
+
+WORKER_DUMP_FORMAT = "worker-telemetry-v1"
+
+
+def capture_worker_dump(telemetry: Telemetry, worker: int) -> Dict[str, Any]:
+    """Serialise a worker's telemetry bundle for transport to the parent.
+
+    Everything in the dump is a plain JSON-compatible value, so it
+    crosses the process boundary with no custom pickling.
+    """
+    spans: List[Dict[str, Any]] = []
+    epoch: Optional[float] = None
+    if telemetry.tracer is not None:
+        epoch = telemetry.tracer.epoch
+        spans = [record.to_dict() for record in telemetry.tracer.spans]
+    return {
+        "format": WORKER_DUMP_FORMAT,
+        "worker": int(worker),
+        "epoch": epoch,
+        "spans": spans,
+        "events": [event_to_dict(event) for event in telemetry.events()],
+        "metrics": telemetry.metrics_snapshot(),
+    }
+
+
+def worker_span_id(worker: int, span_id) -> str:
+    """The merged-trace id of worker ``worker``'s span ``span_id``."""
+    return f"w{worker}:{span_id}"
+
+
+def merge_worker_dump(
+    telemetry: Telemetry,
+    dump: Dict[str, Any],
+    *,
+    parent_span_id=None,
+) -> None:
+    """Fold one :func:`capture_worker_dump` payload into ``telemetry``.
+
+    ``parent_span_id`` overrides the re-parenting target for worker root
+    spans; by default they attach to the parent tracer's innermost open
+    span (or stay roots when merging outside any span).  No-op on a
+    disabled parent bundle.
+    """
+    if not telemetry.enabled:
+        return
+    worker = int(dump.get("worker", 0))
+
+    tracer = telemetry.tracer
+    if tracer is not None and dump.get("spans"):
+        if parent_span_id is None:
+            parent_span_id = tracer.current_span_id()
+        offset = 0.0
+        if dump.get("epoch") is not None:
+            offset = float(dump["epoch"]) - tracer.epoch
+        for payload in dump["spans"]:
+            parent = payload.get("parent")
+            tracer.add_record(
+                SpanRecord(
+                    name=payload["name"],
+                    span_id=worker_span_id(worker, payload["id"]),
+                    parent_id=(
+                        worker_span_id(worker, parent)
+                        if parent is not None
+                        else parent_span_id
+                    ),
+                    start=max(0.0, float(payload["start"]) + offset),
+                    wall=float(payload["wall"]),
+                    cpu=float(payload["cpu"]),
+                    attrs=dict(payload.get("attrs") or {}, worker=worker),
+                )
+            )
+
+    for payload in dump.get("events", ()):
+        event = event_from_dict(payload)
+        if getattr(event, "worker", None) is None:
+            event = dataclasses.replace(event, worker=worker)
+        telemetry.emit(event)
+
+    merge_snapshot_into(telemetry, dump.get("metrics") or empty_snapshot())
+
+
+def merge_snapshot_into(telemetry: Telemetry, snapshot: Dict[str, Any]) -> None:
+    """Fold a ``metrics-snapshot-v1`` dict into ``telemetry``'s registry.
+
+    Counters accumulate, gauges take the snapshot's value (so merging in
+    task order gives the last task the final word, deterministically),
+    histograms fold their summaries.  No-op when ``telemetry`` is
+    disabled.
+    """
+    if not telemetry.enabled or telemetry.metrics is None:
+        return
+    for name, value in snapshot.get("counters", {}).items():
+        telemetry.metrics.counter(name).inc(float(value))
+    for name, value in snapshot.get("gauges", {}).items():
+        telemetry.metrics.gauge(name).set(float(value))
+    for name, summary in snapshot.get("histograms", {}).items():
+        telemetry.metrics.histogram(name).merge_summary(summary)
+
+
+def merge_metric_snapshots(snapshots) -> Dict[str, Any]:
+    """Merge ``metrics-snapshot-v1`` dicts into one combined snapshot.
+
+    Pure-dict counterpart of :func:`merge_snapshot_into` for callers
+    that hold dumped snapshots rather than a live registry (e.g.
+    ``scripts/check_bench.py`` fixtures, offline analysis).
+    """
+    registry = MetricsRegistry()
+    carrier = Telemetry(enabled=True, metrics=registry)
+    for snapshot in snapshots:
+        merge_snapshot_into(carrier, snapshot)
+    return registry.snapshot()

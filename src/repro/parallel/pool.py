@@ -1,0 +1,420 @@
+"""The :class:`WorkerPool`: fork-based process fan-out with serial fallback.
+
+Execution model
+---------------
+A pool maps one picklable *task function* over a list of picklable
+payloads.  The task function must be module-level and takes
+``(payload, ctx)`` where ``ctx`` is a :class:`WorkerContext` carrying
+
+* ``worker_id`` - the task index (also the id telemetry is merged
+  under),
+* ``telemetry`` - a per-worker :class:`~repro.obs.telemetry.Telemetry`
+  (fresh and process-local in a worker; the parent's own bundle on the
+  serial path),
+* ``budget`` - this task's budget **lease**: a fresh
+  :class:`~repro.runtime.budget.Budget` bounded by the parent budget's
+  remaining wall clock at dispatch and wired to a shared cancel event,
+  so one signal stops every worker cooperatively.
+
+Results come back as :class:`TaskOutcome` records in payload order.  A
+task that raises becomes a :class:`TaskFailure` (with the worker-side
+traceback) instead of poisoning its siblings, and is mirrored onto the
+event stream as a :class:`~repro.obs.events.FallbackEvent` - the same
+audit shape :class:`~repro.runtime.supervisor.SolverSupervisor` emits -
+so a crashed worker is visible, attributable, and non-fatal.  An
+abruptly killed worker process (``BrokenProcessPool``) is downgraded the
+same way.
+
+Cancellation
+------------
+The parent polls its shared budget between completions; on expiry or
+:meth:`~repro.runtime.budget.Budget.cancel` it sets the pool-wide cancel
+event and every in-flight task's lease reports ``cancelled`` at its next
+cooperative check - solvers then return their incumbents, exactly as
+they do under a serial budget stop.  ``first_success=True`` triggers the
+same signal as soon as one task succeeds (hedged-request mode).
+
+When processes are not used
+---------------------------
+``workers=1``, platforms without ``fork``, an active fault-injection
+plan (its audit log is process-local), or a budget with an injected test
+clock (meaningless across processes) all select the serial in-process
+path, which runs the same task functions with the parent's own
+telemetry and budget.  ``resolve_workers(None)`` reads the
+``REPRO_WORKERS`` environment variable (default 1), which is how CI
+exercises the parallel path suite-wide; workers force ``REPRO_WORKERS=1``
+in their own environment so pools never nest.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.obs.events import FallbackEvent
+from repro.obs.telemetry import (
+    DISABLED,
+    Telemetry,
+    resolve as resolve_telemetry,
+    use_telemetry,
+)
+from repro.parallel.merge import capture_worker_dump, merge_worker_dump
+from repro.runtime.budget import Budget
+from repro.runtime.faults import active_plan
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
+"""Environment variable consulted when ``workers`` is not given."""
+
+_POLL_SECONDS = 0.05
+"""How often the parent re-checks its budget while tasks are in flight."""
+
+
+class WorkerCrashError(RuntimeError):
+    """Raised by ``map(..., strict=True)`` when any task failed."""
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Why one task did not produce a value."""
+
+    index: int
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def describe(self) -> str:
+        return f"task {self.index}: {self.error_type}: {self.message}"
+
+
+@dataclass
+class TaskOutcome:
+    """One task's result slot (in payload order)."""
+
+    index: int
+    value: Any = None
+    failure: Optional[TaskFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@dataclass
+class WorkerContext:
+    """What a task function gets to work with (see module docstring)."""
+
+    worker_id: int
+    telemetry: Telemetry = field(default_factory=lambda: DISABLED)
+    budget: Optional[Budget] = None
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Normalise a worker count: explicit arg > ``REPRO_WORKERS`` env > 1."""
+    if workers is None:
+        raw = os.environ.get(DEFAULT_WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            logger.warning(
+                "ignoring non-integer %s=%r", DEFAULT_WORKERS_ENV, raw
+            )
+            return 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def supports_process_pool() -> bool:
+    """Whether this platform can fork worker processes.
+
+    The pool relies on ``fork`` (cancel events and task payloads are
+    inherited, numpy state is copy-on-write); platforms without it
+    (Windows, some macOS configurations) use the serial fallback.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _budget_clock_is_real(budget: Optional[Budget]) -> bool:
+    return budget is None or getattr(budget, "_clock", time.monotonic) is time.monotonic
+
+
+@dataclass
+class WorkerPool:
+    """Fan picklable tasks out to forked workers; fall back to serial.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` resolves via :func:`resolve_workers`.
+    name:
+        Label carried by emitted :class:`FallbackEvent` records
+        (``ladder=name``) and pool spans.
+    budget:
+        Optional shared :class:`Budget`.  Each task receives a lease
+        bounded by its remaining wall clock; expiry or cancellation
+        fans out to every worker through one shared event.
+    telemetry:
+        Optional parent :class:`Telemetry`; ``None`` resolves the
+        ambient instance.  When enabled, workers capture their own
+        bundles and the pool merges them back in task order.
+    """
+
+    workers: Optional[int] = None
+    name: str = "pool"
+    budget: Optional[Budget] = None
+    telemetry: Optional[Telemetry] = None
+
+    def __post_init__(self) -> None:
+        self.workers = resolve_workers(self.workers)
+
+    # ------------------------------------------------------------------
+    @property
+    def uses_processes(self) -> bool:
+        """True when ``map`` will actually fork (see module docstring)."""
+        return (
+            self.workers > 1
+            and supports_process_pool()
+            and active_plan() is None
+            and _budget_clock_is_real(self.budget)
+        )
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any, WorkerContext], Any],
+        payloads: Sequence[Any],
+        *,
+        first_success: bool = False,
+        strict: bool = False,
+        on_result: Optional[Callable[[TaskOutcome], None]] = None,
+    ) -> List[TaskOutcome]:
+        """Run ``fn(payload, ctx)`` for every payload; outcomes in order.
+
+        ``on_result`` is called in the parent, in *completion* order, for
+        each successful outcome (e.g. to checkpoint rows as they land).
+        ``first_success=True`` cancels the stragglers once any task
+        succeeds.  ``strict=True`` raises :class:`WorkerCrashError` on
+        the first (by index) failure after all tasks settle.
+        """
+        payloads = list(payloads)
+        if self.uses_processes and len(payloads) > 1:
+            outcomes = self._map_processes(fn, payloads, first_success, on_result)
+        else:
+            outcomes = self._map_serial(fn, payloads, first_success, on_result)
+        if strict:
+            for outcome in outcomes:
+                if outcome.failure is not None:
+                    raise WorkerCrashError(
+                        f"{self.name}: {outcome.failure.describe()}"
+                        + (
+                            f"\n{outcome.failure.traceback}"
+                            if outcome.failure.traceback
+                            else ""
+                        )
+                    )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _map_serial(self, fn, payloads, first_success, on_result):
+        tel = resolve_telemetry(self.telemetry)
+        outcomes: List[TaskOutcome] = []
+        done = False
+        for index, payload in enumerate(payloads):
+            if done:
+                outcome = TaskOutcome(
+                    index,
+                    failure=TaskFailure(
+                        index, "Skipped", "cancelled after first success"
+                    ),
+                )
+                outcomes.append(outcome)
+                continue
+            reason = self.budget.check() if self.budget is not None else None
+            if reason is not None and index > 0:
+                outcomes.append(
+                    TaskOutcome(
+                        index,
+                        failure=TaskFailure(
+                            index, "BudgetExceeded", f"budget {reason} before start"
+                        ),
+                    )
+                )
+                continue
+            ctx = WorkerContext(index, telemetry=tel, budget=self.budget)
+            try:
+                value = fn(payload, ctx)
+            except Exception as exc:
+                outcome = TaskOutcome(
+                    index,
+                    failure=TaskFailure(
+                        index,
+                        type(exc).__name__,
+                        str(exc),
+                        traceback.format_exc(),
+                    ),
+                )
+                self._emit_failure(tel, outcome.failure)
+                outcomes.append(outcome)
+                continue
+            outcome = TaskOutcome(index, value=value)
+            outcomes.append(outcome)
+            if on_result is not None:
+                on_result(outcome)
+            if first_success:
+                done = True
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _map_processes(self, fn, payloads, first_success, on_result):
+        tel = resolve_telemetry(self.telemetry)
+        capture = tel.enabled
+        ctx = multiprocessing.get_context("fork")
+        cancel = ctx.Event()
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(payloads)
+        dumps: List[Optional[dict]] = [None] * len(payloads)
+        max_workers = min(self.workers, len(payloads))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=ctx,
+            initializer=_pool_worker_init,
+            initargs=(cancel,),
+        ) as executor:
+            futures = {}
+            for index, payload in enumerate(payloads):
+                lease = self._lease_seconds()
+                futures[
+                    executor.submit(_pool_entry, fn, index, payload, lease, capture)
+                ] = index
+            pending = set(futures)
+            while pending:
+                settled, pending = wait(
+                    pending, timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
+                )
+                for future in settled:
+                    index = futures[future]
+                    outcome, dump = self._collect(index, future)
+                    outcomes[index] = outcome
+                    dumps[index] = dump
+                    if outcome.ok:
+                        if on_result is not None:
+                            on_result(outcome)
+                        if first_success:
+                            cancel.set()
+                if self.budget is not None and self.budget.check() is not None:
+                    cancel.set()
+        # Merge telemetry and mirror failures in task order, so the
+        # combined stream is deterministic regardless of completion order.
+        for index, outcome in enumerate(outcomes):
+            if dumps[index] is not None:
+                merge_worker_dump(tel, dumps[index])
+            if outcome is not None and outcome.failure is not None:
+                self._emit_failure(tel, outcome.failure)
+        return [o if o is not None else TaskOutcome(i) for i, o in enumerate(outcomes)]
+
+    def _lease_seconds(self) -> Optional[float]:
+        """This dispatch's wall allowance under the shared budget."""
+        if self.budget is None:
+            return None
+        remaining = self.budget.remaining_seconds()
+        if math.isinf(remaining):
+            return None
+        return max(remaining, 1e-9)
+
+    def _collect(self, index: int, future):
+        try:
+            result = future.result()
+        except BrokenProcessPool as exc:
+            return (
+                TaskOutcome(
+                    index,
+                    failure=TaskFailure(
+                        index,
+                        "WorkerCrash",
+                        f"worker process died abruptly: {exc}",
+                    ),
+                ),
+                None,
+            )
+        except Exception as exc:  # submission/pickling errors
+            return (
+                TaskOutcome(
+                    index,
+                    failure=TaskFailure(
+                        index, type(exc).__name__, str(exc), traceback.format_exc()
+                    ),
+                ),
+                None,
+            )
+        _, value, failure, dump = result
+        return TaskOutcome(index, value=value, failure=failure), dump
+
+    def _emit_failure(self, tel: Telemetry, failure: TaskFailure) -> None:
+        """SolverSupervisor-shaped audit record for one failed task."""
+        if not tel.enabled:
+            return
+        tel.counter("pool.task_failures").inc()
+        tel.emit(
+            FallbackEvent(
+                ladder=self.name,
+                rung=f"worker-{failure.index}",
+                try_index=0,
+                status="error",
+                elapsed_seconds=0.0,
+                error=f"{failure.error_type}: {failure.message}",
+                worker=failure.index,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+_WORKER_CANCEL = None
+
+
+def _pool_worker_init(cancel_event) -> None:
+    """Runs once per worker process (fork-inherited ``cancel_event``)."""
+    global _WORKER_CANCEL
+    _WORKER_CANCEL = cancel_event
+    # A worker never fans out again: nested pools on the same cores would
+    # only add fork overhead, and REPRO_WORKERS is re-read per pool.
+    os.environ[DEFAULT_WORKERS_ENV] = "1"
+
+
+def _pool_entry(fn, index, payload, lease_seconds, capture):
+    """Run one task inside a worker: lease budget, fresh telemetry, dump.
+
+    Installs the worker telemetry as ambient for the task's duration so
+    code resolving the ambient bundle cannot accidentally write to the
+    parent's inherited sinks (e.g. an open ``--events-out`` file
+    descriptor).
+    """
+    budget = None
+    if lease_seconds is not None or _WORKER_CANCEL is not None:
+        budget = Budget(wall_seconds=lease_seconds, _cancel=_WORKER_CANCEL)
+    tel = Telemetry.enabled_default() if capture else DISABLED
+    ctx = WorkerContext(index, telemetry=tel, budget=budget)
+    try:
+        with use_telemetry(tel):
+            value = fn(payload, ctx)
+    except Exception as exc:
+        dump = capture_worker_dump(tel, index) if capture else None
+        failure = TaskFailure(
+            index, type(exc).__name__, str(exc), traceback.format_exc()
+        )
+        return index, None, failure, dump
+    dump = capture_worker_dump(tel, index) if capture else None
+    return index, value, None, dump

@@ -1,0 +1,53 @@
+"""Deterministic per-task seed streams for fanned-out work.
+
+The contract that makes parallel multistart bit-identical to serial
+multistart: the randomness of task ``k`` must depend only on the master
+seed and ``k`` - never on which worker ran it, in what order, or how
+much entropy the other tasks consumed.  The serial path used to thread
+one generator through every restart (restart ``k``'s stream depended on
+how much restart ``k-1`` drew), which no parallel schedule can
+reproduce.
+
+:func:`seed_stream` replaces that with spawned
+:class:`numpy.random.SeedSequence` children: one 63-bit base is drawn
+from the master source, then child ``k`` is
+``SeedSequence(base, spawn_key=(k,))``.  Both the serial and the
+process-pool paths build each task's generator the same way, so the two
+schedules visit identical random streams.  ``SeedSequence`` objects are
+small and picklable, which is what lets them ride inside pool task
+payloads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+def seed_stream(seed: RandomSource, count: int) -> List[np.random.SeedSequence]:
+    """``count`` independent, order-insensitive seed sequences from ``seed``.
+
+    ``seed`` may be ``None`` (fresh entropy - still internally consistent
+    within the run), an ``int`` (fully reproducible across runs and
+    processes), or an existing :class:`numpy.random.Generator` (exactly
+    one 63-bit draw is consumed from it, so callers that share a
+    generator advance it identically no matter how many workers run the
+    tasks).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = ensure_rng(seed)
+    base = int(rng.integers(0, 2**63 - 1))
+    return [np.random.SeedSequence(base, spawn_key=(k,)) for k in range(count)]
+
+
+def multistart_seeds(seed: RandomSource, restarts: int) -> List[np.random.SeedSequence]:
+    """The per-restart seed sequences of :func:`solve_qbp_multistart`.
+
+    A named alias of :func:`seed_stream` so the solver and its tests
+    share one definition of the restart seeding scheme.
+    """
+    return seed_stream(seed, restarts)

@@ -161,6 +161,17 @@ def maybe_fault(site: str) -> None:
         _active.hit(site)
 
 
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, if any.
+
+    A plan's call counters and audit log are process-local state, so the
+    parallel :class:`~repro.parallel.pool.WorkerPool` refuses to fan out
+    while one is active - faults injected in a forked worker would be
+    invisible to the test that planned them.
+    """
+    return _active
+
+
 def corrupt_json_file(path, seed: int = 0) -> None:
     """Deterministically corrupt a JSON file in place (checkpoint tests).
 

@@ -46,7 +46,11 @@ from repro.runtime.supervisor import (
     SolverSupervisor,
     SupervisorExhaustedError,
 )
-from repro.solvers.burkard import bootstrap_initial_solution, solve_qbp
+from repro.solvers.burkard import (
+    bootstrap_initial_solution,
+    solve_qbp,
+    solve_qbp_multistart,
+)
 from repro.solvers.greedy import greedy_feasible_assignment
 from repro.solvers.repair import repair_feasibility
 from repro.tools.files import assignment_to_dict, load_any_circuit, timing_from_dict
@@ -136,6 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--solver", choices=SOLVERS, default="qbp")
     parser.add_argument("--iterations", type=int, default=100, help="QBP iterations")
+    parser.add_argument(
+        "--restarts", type=int, default=1,
+        help="independent QBP restarts; the best result is kept (default 1). "
+        "More restarts buy better solutions, and parallelize cleanly",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for running restarts in parallel (default: "
+        "the REPRO_WORKERS environment variable, else 1); the selected "
+        "solution is bit-identical to a serial run with the same seed",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--budget", type=float, default=None, metavar="SECONDS",
@@ -187,6 +202,14 @@ def _run(args) -> int:
         if args.budget <= 0:
             build_parser().error("--budget must be positive")
         budget = Budget(wall_seconds=args.budget)
+    if args.restarts < 1:
+        build_parser().error("--restarts must be >= 1")
+    if args.workers is not None and args.workers < 1:
+        build_parser().error("--workers must be >= 1")
+    if args.checkpoint and args.restarts > 1:
+        # A QBP checkpoint records ONE solve's state; restarts would
+        # fight over the file (and parallel restarts cannot share it).
+        build_parser().error("--checkpoint requires --restarts 1")
 
     try:
         initial, initial_rung = supervised_initial_solution(
@@ -200,21 +223,33 @@ def _run(args) -> int:
 
     stop_reason = STOP_COMPLETED
     if args.solver == "qbp":
-        checkpointer = (
-            QbpCheckpointer(args.checkpoint) if args.checkpoint else None
-        )
-        resume = checkpointer.load() if checkpointer else None
-        if resume is not None:
-            print(f"resuming from checkpoint at iteration {resume.iteration}")
-        result = solve_qbp(
-            problem,
-            iterations=args.iterations,
-            initial=initial,
-            seed=args.seed,
-            budget=budget,
-            checkpointer=checkpointer,
-            resume=resume,
-        )
+        if args.restarts > 1:
+            result = solve_qbp_multistart(
+                problem,
+                restarts=args.restarts,
+                iterations=args.iterations,
+                initial=initial,
+                seed=args.seed,
+                budget=budget,
+                workers=args.workers,
+            )
+            checkpointer = None
+        else:
+            checkpointer = (
+                QbpCheckpointer(args.checkpoint) if args.checkpoint else None
+            )
+            resume = checkpointer.load() if checkpointer else None
+            if resume is not None:
+                print(f"resuming from checkpoint at iteration {resume.iteration}")
+            result = solve_qbp(
+                problem,
+                iterations=args.iterations,
+                initial=initial,
+                seed=args.seed,
+                budget=budget,
+                checkpointer=checkpointer,
+                resume=resume,
+            )
         stop_reason = result.stop_reason
         if checkpointer is not None and stop_reason == STOP_COMPLETED:
             checkpointer.clear()

@@ -1,0 +1,188 @@
+"""Telemetry merge: snapshots fold, merged traces stay schema-valid."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.events import IterationEvent, RestartEvent, validate_trace_line
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry
+from repro.parallel.merge import (
+    capture_worker_dump,
+    merge_metric_snapshots,
+    merge_snapshot_into,
+    merge_worker_dump,
+    worker_span_id,
+)
+from repro.parallel.pool import WorkerPool, supports_process_pool
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+
+# scripts/ is not a package: load check_trace by path for the
+# merged-trace gate tests below.
+import importlib.util
+
+_spec = importlib.util.spec_from_file_location(
+    "scripts_check_trace", SCRIPTS / "check_trace.py"
+)
+_module = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_module)
+sys.modules["scripts_check_trace"] = _module
+
+
+def make_worker_bundle(worker: int) -> Telemetry:
+    tel = Telemetry.enabled_default()
+    with tel.span("qbp.solve", worker_input=worker):
+        with tel.span("qbp.iteration"):
+            tel.counter("solver.iterations").inc()
+            tel.histogram("move.gain").observe(float(worker))
+            tel.emit(
+                IterationEvent(
+                    solver="qbp", iteration=0, cost=1.0, best_cost=1.0
+                )
+            )
+    tel.gauge("last.worker").set(float(worker))
+    return tel
+
+
+class TestSnapshotMerge:
+    def test_counters_add(self):
+        merged = merge_metric_snapshots(
+            [make_worker_bundle(w).metrics_snapshot() for w in range(3)]
+        )
+        assert merged["counters"]["solver.iterations"] == 3.0
+
+    def test_gauges_last_write_wins(self):
+        merged = merge_metric_snapshots(
+            [make_worker_bundle(w).metrics_snapshot() for w in range(3)]
+        )
+        assert merged["gauges"]["last.worker"] == 2.0
+
+    def test_histogram_summaries_fold_exactly(self):
+        merged = merge_metric_snapshots(
+            [make_worker_bundle(w).metrics_snapshot() for w in range(4)]
+        )
+        summary = merged["histograms"]["move.gain"]
+        assert summary["count"] == 4
+        assert summary["sum"] == 0.0 + 1.0 + 2.0 + 3.0
+        assert summary["min"] == 0.0
+        assert summary["max"] == 3.0
+
+    def test_merge_into_disabled_is_noop(self):
+        from repro.obs.telemetry import DISABLED
+
+        merge_snapshot_into(DISABLED, make_worker_bundle(0).metrics_snapshot())
+
+    def test_reference_histogram_fold(self):
+        # Folding two registries' summaries equals one registry that saw
+        # every observation.
+        reference = MetricsRegistry()
+        for value in (1.0, 5.0, 2.0, 8.0):
+            reference.histogram("h").observe(value)
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        a.histogram("h").observe(5.0)
+        b.histogram("h").observe(2.0)
+        b.histogram("h").observe(8.0)
+        merged = merge_metric_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["histograms"]["h"] == reference.snapshot()["histograms"]["h"]
+
+
+class TestDumpMerge:
+    def test_span_ids_unique_and_worker_prefixed(self):
+        parent = Telemetry.enabled_default()
+        for worker in range(3):
+            dump = capture_worker_dump(make_worker_bundle(worker), worker)
+            merge_worker_dump(parent, dump)
+        ids = [s.span_id for s in parent.tracer.spans]
+        assert len(set(ids)) == len(ids)
+        assert worker_span_id(0, 1) in ids
+        assert worker_span_id(2, 1) in ids
+
+    def test_worker_roots_reparented_under_open_span(self):
+        parent = Telemetry.enabled_default()
+        dump = capture_worker_dump(make_worker_bundle(0), 0)
+        with parent.span("qbp.multistart"):
+            merge_worker_dump(parent, dump)
+        by_name = {s.name: s for s in parent.tracer.spans}
+        multistart = by_name["qbp.multistart"]
+        assert by_name["qbp.solve"].parent_id == multistart.span_id
+        assert by_name["qbp.iteration"].parent_id == worker_span_id(0, 1)
+
+    def test_events_are_worker_stamped(self):
+        parent = Telemetry.enabled_default()
+        merge_worker_dump(parent, capture_worker_dump(make_worker_bundle(5), 5))
+        events = parent.events()
+        assert len(events) == 1
+        assert events[0].kind == "iteration"
+        assert events[0].worker == 5
+
+    def test_merged_trace_lines_validate(self):
+        parent = Telemetry.enabled_default()
+        with parent.span("qbp.multistart"):
+            for worker in range(2):
+                dump = capture_worker_dump(make_worker_bundle(worker), worker)
+                merge_worker_dump(parent, dump)
+        parent.emit(
+            RestartEvent(solver="qbp", index=0, restarts=2, best_cost=1.0)
+        )
+        for line in parent.tracer.to_jsonl_lines():
+            validate_trace_line(line)
+
+    def test_merged_metrics_fold_in(self):
+        parent = Telemetry.enabled_default()
+        for worker in range(2):
+            merge_worker_dump(
+                parent, capture_worker_dump(make_worker_bundle(worker), worker)
+            )
+        assert parent.metrics_snapshot()["counters"]["solver.iterations"] == 2.0
+
+
+def emit_spans_task(payload, ctx):
+    with ctx.telemetry.span("worker.unit", index=ctx.worker_id):
+        ctx.telemetry.emit(
+            IterationEvent(solver="qbp", iteration=0, cost=1.0, best_cost=1.0)
+        )
+    return payload
+
+
+@pytest.mark.skipif(not supports_process_pool(), reason="platform lacks fork")
+class TestMergedTraceThroughPool:
+    def test_check_trace_accepts_merged_trace(self, tmp_path):
+        from scripts_check_trace import check_trace
+
+        tel = Telemetry.enabled_default()
+        pool = WorkerPool(workers=2, name="merge.test", telemetry=tel)
+        with tel.span("pool.parent"):
+            pool.map(emit_spans_task, [0, 1, 2])
+        trace = tmp_path / "merged.jsonl"
+        lines = tel.tracer.to_jsonl_lines()
+        for event in tel.events():
+            from repro.obs.events import event_to_dict
+
+            lines.append(json.dumps(event_to_dict(event), sort_keys=True))
+        trace.write_text("".join(line + "\n" for line in lines))
+        problems = check_trace(
+            trace, min_spans=4, min_events=3, require_spans=["pool.parent"]
+        )
+        assert problems == []
+
+    def test_span_ids_unique_across_workers(self):
+        tel = Telemetry.enabled_default()
+        pool = WorkerPool(workers=2, name="merge.test", telemetry=tel)
+        with tel.span("pool.parent"):
+            pool.map(emit_spans_task, [0, 1, 2])
+        ids = [s.span_id for s in tel.tracer.spans]
+        assert len(set(ids)) == len(ids)
+        assert {f"w{k}:1" for k in range(3)} <= set(ids)
+
+    def test_events_tagged_by_worker(self):
+        tel = Telemetry.enabled_default()
+        pool = WorkerPool(workers=2, name="merge.test", telemetry=tel)
+        pool.map(emit_spans_task, [0, 1, 2])
+        workers = sorted(e.worker for e in tel.events())
+        assert workers == [0, 1, 2]

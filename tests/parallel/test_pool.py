@@ -1,0 +1,187 @@
+"""WorkerPool behaviour: dispatch, fallbacks, failures, budget leases."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.obs.telemetry import Telemetry
+from repro.parallel.pool import (
+    DEFAULT_WORKERS_ENV,
+    WorkerCrashError,
+    WorkerPool,
+    resolve_workers,
+    supports_process_pool,
+)
+from repro.runtime.budget import Budget
+from repro.runtime.faults import FaultPlan, inject_faults
+
+
+# Task functions must be module-level so they cross the fork boundary.
+def square(payload, ctx):
+    return payload * payload
+
+
+def record_context(payload, ctx):
+    return {
+        "worker_id": ctx.worker_id,
+        "pid": os.getpid(),
+        "has_budget": ctx.budget is not None,
+        "env_workers": os.environ.get(DEFAULT_WORKERS_ENV),
+    }
+
+
+def fail_on_odd(payload, ctx):
+    if payload % 2:
+        raise RuntimeError(f"odd payload {payload}")
+    return payload
+
+
+def sleep_until_cancelled(payload, ctx):
+    if payload == "fast":
+        return "done"
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if ctx.budget is not None and ctx.budget.check() is not None:
+            return "cancelled"
+        time.sleep(0.01)
+    return "timed out"
+
+
+def instant(payload, ctx):
+    return payload
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_WORKERS_ENV, "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_WORKERS_ENV, "4")
+        assert resolve_workers(None) == 4
+
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(DEFAULT_WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_WORKERS_ENV, "many")
+        assert resolve_workers(None) == 1
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestSerialPath:
+    def test_workers_one_never_forks(self):
+        pool = WorkerPool(workers=1)
+        assert not pool.uses_processes
+
+    def test_results_in_order(self):
+        outcomes = WorkerPool(workers=1).map(square, [1, 2, 3, 4])
+        assert [o.value for o in outcomes] == [1, 4, 9, 16]
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+
+    def test_serial_uses_parent_process(self):
+        outcomes = WorkerPool(workers=1).map(record_context, [None])
+        assert outcomes[0].value["pid"] == os.getpid()
+
+    def test_failure_is_isolated(self):
+        outcomes = WorkerPool(workers=1).map(fail_on_odd, [0, 1, 2])
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].failure.error_type == "RuntimeError"
+        assert "odd payload 1" in outcomes[1].failure.message
+
+    def test_strict_raises(self):
+        with pytest.raises(WorkerCrashError, match="odd payload"):
+            WorkerPool(workers=1).map(fail_on_odd, [0, 1], strict=True)
+
+    def test_active_fault_plan_forces_serial(self):
+        pool = WorkerPool(workers=4)
+        with inject_faults(FaultPlan()):
+            assert not pool.uses_processes
+
+    def test_fake_budget_clock_forces_serial(self):
+        fake_now = [0.0]
+        budget = Budget(wall_seconds=10.0, clock=lambda: fake_now[0])
+        pool = WorkerPool(workers=4, budget=budget)
+        assert not pool.uses_processes
+
+    def test_first_success_skips_rest(self):
+        outcomes = WorkerPool(workers=1).map(instant, ["a", "b"], first_success=True)
+        assert outcomes[0].value == "a"
+        assert not outcomes[1].ok
+        assert outcomes[1].failure.error_type == "Skipped"
+
+    def test_on_result_sees_successes(self):
+        seen = []
+        WorkerPool(workers=1).map(
+            fail_on_odd, [0, 1, 2], on_result=lambda o: seen.append(o.index)
+        )
+        assert seen == [0, 2]
+
+
+@pytest.mark.skipif(not supports_process_pool(), reason="platform lacks fork")
+class TestProcessPath:
+    def test_uses_processes(self):
+        assert WorkerPool(workers=2).uses_processes
+
+    def test_results_in_payload_order(self):
+        outcomes = WorkerPool(workers=2).map(square, list(range(6)))
+        assert [o.value for o in outcomes] == [n * n for n in range(6)]
+
+    def test_runs_in_child_processes(self):
+        outcomes = WorkerPool(workers=2).map(record_context, [None, None])
+        pids = {o.value["pid"] for o in outcomes}
+        assert os.getpid() not in pids
+
+    def test_workers_cannot_nest_pools(self):
+        outcomes = WorkerPool(workers=2).map(record_context, [None, None])
+        assert all(o.value["env_workers"] == "1" for o in outcomes)
+
+    def test_single_payload_stays_serial(self):
+        outcomes = WorkerPool(workers=4).map(record_context, [None])
+        assert outcomes[0].value["pid"] == os.getpid()
+
+    def test_worker_failure_is_isolated(self):
+        outcomes = WorkerPool(workers=2).map(fail_on_odd, [0, 1, 2, 3])
+        assert [o.ok for o in outcomes] == [True, False, True, False]
+        failure = outcomes[1].failure
+        assert failure.error_type == "RuntimeError"
+        assert "odd payload 1" in failure.message
+        assert "Traceback" in failure.traceback
+
+    def test_failures_emit_fallback_events(self):
+        tel = Telemetry.enabled_default()
+        pool = WorkerPool(workers=2, name="test.pool", telemetry=tel)
+        pool.map(fail_on_odd, [0, 1, 2, 3])
+        fallbacks = [e for e in tel.events() if getattr(e, "kind", "") == "fallback"]
+        assert [e.rung for e in fallbacks] == ["worker-1", "worker-3"]
+        assert all(e.ladder == "test.pool" and e.status == "error" for e in fallbacks)
+        snapshot = tel.metrics_snapshot()
+        assert snapshot["counters"]["pool.task_failures"] == 2.0
+
+    def test_budget_expiry_cancels_workers(self):
+        budget = Budget(wall_seconds=0.3)
+        pool = WorkerPool(workers=2, budget=budget)
+        t0 = time.monotonic()
+        outcomes = pool.map(sleep_until_cancelled, [None, None])
+        elapsed = time.monotonic() - t0
+        assert elapsed < 5.0  # cooperative cancel, not the 10s task deadline
+        assert all(o.value == "cancelled" for o in outcomes if o.ok)
+
+    def test_first_success_cancels_stragglers(self):
+        t0 = time.monotonic()
+        outcomes = WorkerPool(workers=2).map(
+            sleep_until_cancelled, ["fast", "slow"], first_success=True
+        )
+        elapsed = time.monotonic() - t0
+        # The fast task's success must cancel the slow one well before
+        # its 10-second deadline (the cancel event reaches its lease).
+        assert elapsed < 5.0
+        assert outcomes[0].value == "done"
+        assert outcomes[1].value in ("cancelled", None)

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.eval",
     "repro.netlist",
     "repro.obs",
+    "repro.parallel",
     "repro.runtime",
     "repro.solvers",
     "repro.timing",

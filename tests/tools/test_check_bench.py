@@ -1,0 +1,145 @@
+"""The benchmark regression gate (scripts/check_bench.py)."""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+
+_spec = importlib.util.spec_from_file_location(
+    "scripts_check_bench", SCRIPTS / "check_bench.py"
+)
+check_bench_mod = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench_mod)
+sys.modules["scripts_check_bench"] = check_bench_mod
+
+
+@pytest.fixture
+def snapshot():
+    return {
+        "format": "metrics-snapshot-v1",
+        "counters": {"solver.iterations": 120.0, "solver.passes": 16.0},
+        "gauges": {
+            "harness.qbp_seconds": 0.5,
+            "harness.gfm_seconds": 0.2,
+            "last.cost": 442.0,
+        },
+        "histograms": {},
+    }
+
+
+class TestCheckFunction:
+    def test_identical_snapshots_pass(self, snapshot):
+        assert check_bench_mod.check_bench(snapshot, snapshot) == []
+
+    def test_counter_drift_fails(self, snapshot):
+        current = copy.deepcopy(snapshot)
+        current["counters"]["solver.iterations"] = 240.0
+        problems = check_bench_mod.check_bench(current, snapshot)
+        assert any("solver.iterations" in p for p in problems)
+
+    def test_counter_drift_within_tolerance_passes(self, snapshot):
+        current = copy.deepcopy(snapshot)
+        current["counters"]["solver.iterations"] = 126.0  # +5%
+        assert (
+            check_bench_mod.check_bench(current, snapshot, counter_tolerance=0.10)
+            == []
+        )
+
+    def test_missing_counter_fails(self, snapshot):
+        current = copy.deepcopy(snapshot)
+        del current["counters"]["solver.passes"]
+        problems = check_bench_mod.check_bench(current, snapshot)
+        assert any("missing from run" in p for p in problems)
+
+    def test_new_counter_is_not_a_failure(self, snapshot):
+        current = copy.deepcopy(snapshot)
+        current["counters"]["pool.task_failures"] = 1.0
+        assert check_bench_mod.check_bench(current, snapshot) == []
+
+    def test_time_gauge_within_ratio_passes(self, snapshot):
+        current = copy.deepcopy(snapshot)
+        current["gauges"]["harness.qbp_seconds"] = 4.0  # 8x of 0.5s, under 10x
+        assert check_bench_mod.check_bench(current, snapshot) == []
+
+    def test_time_gauge_blowup_fails(self, snapshot):
+        current = copy.deepcopy(snapshot)
+        current["gauges"]["harness.qbp_seconds"] = 50.0  # 100x
+        problems = check_bench_mod.check_bench(current, snapshot)
+        assert any("harness.qbp_seconds" in p for p in problems)
+
+    def test_speedup_beyond_ratio_also_fails(self, snapshot):
+        # A 100x "speedup" means the workload silently stopped running.
+        current = copy.deepcopy(snapshot)
+        current["gauges"]["harness.qbp_seconds"] = 0.005
+        problems = check_bench_mod.check_bench(current, snapshot)
+        assert any("harness.qbp_seconds" in p for p in problems)
+
+    def test_non_time_gauges_ignored(self, snapshot):
+        current = copy.deepcopy(snapshot)
+        current["gauges"]["last.cost"] = 9999.0
+        assert check_bench_mod.check_bench(current, snapshot) == []
+
+
+class TestCli:
+    def write(self, path: Path, payload) -> Path:
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_passing_run_exits_zero(self, tmp_path, snapshot):
+        current = self.write(tmp_path / "current.json", snapshot)
+        baseline = self.write(tmp_path / "baseline.json", snapshot)
+        assert (
+            check_bench_mod.main([str(current), "--baseline", str(baseline)]) == 0
+        )
+
+    def test_drift_exits_one(self, tmp_path, snapshot):
+        drifted = copy.deepcopy(snapshot)
+        drifted["counters"]["solver.iterations"] = 1.0
+        current = self.write(tmp_path / "current.json", drifted)
+        baseline = self.write(tmp_path / "baseline.json", snapshot)
+        assert (
+            check_bench_mod.main([str(current), "--baseline", str(baseline)]) == 1
+        )
+
+    def test_unreadable_input_exits_two(self, tmp_path, snapshot):
+        baseline = self.write(tmp_path / "baseline.json", snapshot)
+        assert (
+            check_bench_mod.main(
+                [str(tmp_path / "missing.json"), "--baseline", str(baseline)]
+            )
+            == 2
+        )
+
+    def test_wrong_format_exits_two(self, tmp_path, snapshot):
+        bad = self.write(tmp_path / "bad.json", {"format": "other-v1"})
+        baseline = self.write(tmp_path / "baseline.json", snapshot)
+        assert check_bench_mod.main([str(bad), "--baseline", str(baseline)]) == 2
+
+    def test_update_writes_baseline(self, tmp_path, snapshot):
+        current = self.write(tmp_path / "current.json", snapshot)
+        baseline = tmp_path / "sub" / "baseline.json"
+        assert (
+            check_bench_mod.main(
+                [str(current), "--baseline", str(baseline), "--update"]
+            )
+            == 0
+        )
+        assert json.loads(baseline.read_text()) == snapshot
+
+    def test_committed_baseline_is_valid(self):
+        baseline = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "baselines"
+            / "eval-small.json"
+        )
+        payload = check_bench_mod.load_snapshot(baseline)
+        assert payload["counters"]["solver.iterations"] > 0
+        assert check_bench_mod.check_bench(payload, payload) == []

@@ -57,6 +57,40 @@ class TestMain:
         assert "cost" in payload
         assert "feasible" in capsys.readouterr().out
 
+    def test_multistart_parallel_matches_serial(self, circuit_file, tmp_path, capsys):
+        path, _ = circuit_file
+
+        def run(workers, out_name):
+            out = tmp_path / out_name
+            args = [
+                str(path), "--grid", "2x2", "--iterations", "5",
+                "--restarts", "3", "--seed", "1", "--output", str(out),
+            ]
+            if workers is not None:
+                args += ["--workers", str(workers)]
+            assert main(args) == 0
+            return json.loads(out.read_text())
+
+        serial = run(1, "serial.json")
+        parallel = run(2, "parallel.json")
+        assert serial["assignment"] == parallel["assignment"]
+        assert serial["cost"] == parallel["cost"]
+
+    def test_checkpoint_with_restarts_rejected(self, circuit_file, tmp_path, capsys):
+        path, _ = circuit_file
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    str(path), "--restarts", "2",
+                    "--checkpoint", str(tmp_path / "c.json"),
+                ]
+            )
+
+    def test_bad_workers_rejected(self, circuit_file, capsys):
+        path, _ = circuit_file
+        with pytest.raises(SystemExit):
+            main([str(path), "--workers", "0"])
+
     @pytest.mark.parametrize("solver", ["gfm", "gkl"])
     def test_baseline_solvers(self, circuit_file, solver, capsys):
         path, _ = circuit_file
