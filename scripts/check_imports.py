@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Layering and import-cycle check for the ``repro`` package (stdlib only).
+
+Two properties are enforced, both load-bearing for the engine refactor:
+
+1. **Layering** — foundation packages must not import from the layers
+   built on top of them.  In particular ``repro.core`` and
+   ``repro.engine`` must import nothing from ``repro.solvers``,
+   ``repro.baselines`` or ``repro.eval`` (the engine is *below* the
+   algorithms; see docs/ARCHITECTURE.md).
+2. **Acyclicity** — the module-level import graph of ``repro`` contains
+   no cycles.
+
+Usage::
+
+    python scripts/check_imports.py [--root src/repro]
+
+Exits non-zero with a report when either property is violated.  Runs
+without importing the package (pure AST), so it is safe in any
+environment and is wired into CI next to the test jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+# Each entry: packages that may NOT be imported (directly, at module
+# level or inside functions) from modules under the key package.
+FORBIDDEN = {
+    "repro.core": (
+        "repro.engine",
+        "repro.solvers",
+        "repro.baselines",
+        "repro.eval",
+        "repro.parallel",
+        "repro.runtime",
+        "repro.obs",
+        "repro.tools",
+        "repro.apps",
+    ),
+    "repro.engine": (
+        "repro.solvers",
+        "repro.baselines",
+        "repro.eval",
+        "repro.tools",
+        "repro.apps",
+    ),
+    "repro.solvers": ("repro.eval", "repro.tools", "repro.apps"),
+    "repro.baselines": ("repro.eval", "repro.tools", "repro.apps"),
+}
+
+
+def module_name(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to ``root``'s parent."""
+    rel = path.relative_to(root.parent).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def imports_of(path: Path, current_package: str) -> set[str]:
+    """All absolute ``repro.*`` module names imported by ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import - resolve against the package
+                base = current_package.split(".")
+                if node.level > 1:
+                    base = base[: -(node.level - 1)]
+                prefix = ".".join(base)
+                target = f"{prefix}.{node.module}" if node.module else prefix
+            else:
+                target = node.module or ""
+            if target.startswith("repro"):
+                found.add(target)
+    return found
+
+
+def build_graph(root: Path) -> dict[str, set[str]]:
+    graph: dict[str, set[str]] = {}
+    for path in sorted(root.rglob("*.py")):
+        name = module_name(path, root)
+        package = name if path.name == "__init__.py" else name.rsplit(".", 1)[0]
+        graph[name] = imports_of(path, package)
+    return graph
+
+
+def check_layering(graph: dict[str, set[str]]) -> list[str]:
+    errors = []
+    for module, imported in sorted(graph.items()):
+        for package, banned in FORBIDDEN.items():
+            if not (module == package or module.startswith(package + ".")):
+                continue
+            for target in sorted(imported):
+                if any(
+                    target == b or target.startswith(b + ".") for b in banned
+                ):
+                    errors.append(
+                        f"layering violation: {module} imports {target} "
+                        f"(forbidden for {package})"
+                    )
+    return errors
+
+
+def check_cycles(graph: dict[str, set[str]]) -> list[str]:
+    """DFS cycle detection over the intra-``repro`` import graph."""
+    # Normalise edges to known module names (an import of a package
+    # attribute like ``repro.core.assignment`` stays as the module).
+    known = set(graph)
+
+    def resolve(target: str) -> str | None:
+        while target and target not in known:
+            if "." not in target:
+                return None
+            target = target.rsplit(".", 1)[0]
+        return target or None
+
+    edges = {
+        module: {
+            resolved
+            for t in imported
+            if (resolved := resolve(t)) is not None and resolved != module
+        }
+        for module, imported in graph.items()
+    }
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = dict.fromkeys(edges, WHITE)
+    stack: list[str] = []
+    cycles: list[str] = []
+
+    def visit(node: str) -> None:
+        color[node] = GREY
+        stack.append(node)
+        for nxt in sorted(edges[node]):
+            if color[nxt] == GREY:
+                start = stack.index(nxt)
+                cycles.append(" -> ".join(stack[start:] + [nxt]))
+            elif color[nxt] == WHITE:
+                visit(nxt)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(edges):
+        if color[node] == WHITE:
+            visit(node)
+    return [f"import cycle: {c}" for c in cycles]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "src" / "repro",
+        help="package root to scan (default: src/repro)",
+    )
+    args = parser.parse_args()
+    graph = build_graph(args.root)
+    errors = check_layering(graph) + check_cycles(graph)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} import-hygiene error(s)", file=sys.stderr)
+        return 1
+    print(
+        f"import hygiene OK: {len(graph)} modules, no layering violations, "
+        "no cycles"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

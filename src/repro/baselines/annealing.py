@@ -20,7 +20,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baselines.engine import GainEngine
+from repro.engine.delta import DeltaCache
 from repro.baselines.result import InterchangeResult
 from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
@@ -79,7 +79,7 @@ def annealing_partition(
     tel = resolve_telemetry(telemetry)
     start_time = time.perf_counter()
     rng = ensure_rng(seed)
-    engine = GainEngine(problem, initial)
+    engine = DeltaCache(problem, initial)
     n, m = engine.n, engine.m
     proposals = moves_per_temperature or 8 * n
     initial_cost = engine.current_cost()

@@ -1,267 +1,28 @@
-"""Shared vectorised gain machinery for the interchange baselines.
+"""Backwards-compatible alias for the shared incremental kernel.
 
-A :class:`GainEngine` maintains, for an evolving assignment:
-
-* ``delta`` - the ``(N, M)`` matrix of exact objective changes for
-  moving each component to each partition (the GFM gain entries are
-  ``-delta``; the paper's "(M-1) gain entries per component"),
-* ``timing_block`` - an ``(N, M)`` count of timing constraints each
-  candidate move would violate (0 = timing-feasible move),
-* partition ``loads`` for O(1) capacity checks.
-
-All three are updated *incrementally* after a move: only the rows of the
-moved component's wire/constraint neighbours are recomputed, so a full
-GFM pass costs O(nnz(A) * M) instead of O(N^2 * M).
+The vectorised gain machinery that used to live here is now the
+engine-layer :class:`repro.engine.delta.DeltaCache`, shared with the
+Burkard solver's eta evaluation (one move-delta implementation for the
+whole repository).  :class:`GainEngine` remains importable for existing
+code and keeps the original eager ``(problem, assignment)`` constructor.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
-
-import numpy as np
-
 from repro.core.assignment import Assignment
-from repro.core.constraints import TimingIndex, partition_loads
-from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
+from repro.engine.delta import DeltaCache
 
 
-class GainEngine:
-    """Incrementally maintained move gains and feasibility masks."""
+class GainEngine(DeltaCache):
+    """Incrementally maintained move gains and feasibility masks.
+
+    Deprecated alias: new code should use
+    :class:`repro.engine.delta.DeltaCache` directly.
+    """
 
     def __init__(self, problem: PartitioningProblem, assignment: Assignment) -> None:
-        self.problem = problem
-        self.evaluator = ObjectiveEvaluator(problem)
-        self.timing_index = TimingIndex(problem.timing, problem.delay_matrix)
-        self.part = problem.validate_assignment_shape(assignment.part).copy()
-        self.n = problem.num_components
-        self.m = problem.num_partitions
-        self.sizes = problem.sizes()
-        self.capacities = problem.capacities()
-        self.loads = partition_loads(self.part, self.sizes, self.m)
-        self.B = problem.cost_matrix
-        self.D = problem.delay_matrix
-        self.P = problem.linear_cost_matrix()
-        self.alpha, self.beta = problem.alpha, problem.beta
+        super().__init__(problem, assignment)
 
-        self._A = problem.sparse_connection_matrix()
-        self._AT = self._A.T.tocsr()
-        # Wire adjacency arrays reused from the evaluator.
-        self._out_adj = self.evaluator._out_adj
-        self._in_adj = self.evaluator._in_adj
 
-        self.delta = self._full_delta()
-        self.timing_block = self._full_timing_block()
-
-    # ------------------------------------------------------------------
-    # Full recomputation (construction / audit)
-    # ------------------------------------------------------------------
-    def _full_delta(self) -> np.ndarray:
-        """The complete ``(N, M)`` move-delta matrix."""
-        part = self.part
-        # in_term[j, i]  = sum_k a[k, j] * B[part[k], i]
-        # out_term[j, i] = sum_k a[j, k] * B[i, part[k]]
-        in_term = np.asarray(self._AT @ self.B[part, :])
-        out_term = np.asarray(self._A @ self.B.T[part, :])
-        total = self.beta * (in_term + out_term)
-        if self.P is not None and self.alpha:
-            total = total + self.alpha * self.P.T
-        current = total[np.arange(self.n), part]
-        return total - current[:, None]
-
-    def _full_timing_block(self) -> np.ndarray:
-        """``(N, M)`` violated-constraint counts per candidate move."""
-        block = np.zeros((self.n, self.m), dtype=np.int32)
-        for j in self.timing_index.constrained_components():
-            block[j, :] = self._timing_block_row(j)
-        return block
-
-    def _timing_block_row(self, j: int) -> np.ndarray:
-        """Violation counts for moving ``j`` to each partition."""
-        row = np.zeros(self.m, dtype=np.int32)
-        part, d = self.part, self.D
-        for k, budget in self.timing_index._out[j]:
-            row += d[:, part[k]] > budget
-        for k, budget in self.timing_index._in[j]:
-            row += d[part[k], :] > budget
-        return row
-
-    def _delta_row(self, j: int) -> np.ndarray:
-        """Move deltas for one component against the current assignment."""
-        part = self.part
-        total = np.zeros(self.m)
-        out_k, out_w = self._out_adj[j]
-        if out_k.size:
-            total += self.beta * (self.B[:, part[out_k]] @ out_w)
-        in_k, in_w = self._in_adj[j]
-        if in_k.size:
-            total += self.beta * (in_w @ self.B[part[in_k], :])
-        if self.P is not None and self.alpha:
-            total += self.alpha * self.P[:, j]
-        return total - total[part[j]]
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-    def capacity_mask(self) -> np.ndarray:
-        """``(N, M)`` boolean: move fits the destination capacity."""
-        headroom = self.capacities - self.loads
-        return self.sizes[:, None] <= headroom[None, :] + 1e-9
-
-    def feasible_move_mask(self, locked: Optional[np.ndarray] = None) -> np.ndarray:
-        """``(N, M)`` boolean: capacity- and timing-feasible non-trivial moves."""
-        mask = self.capacity_mask() & (self.timing_block == 0)
-        mask[np.arange(self.n), self.part] = False
-        if locked is not None:
-            mask[locked, :] = False
-        return mask
-
-    def best_move(
-        self, locked: Optional[np.ndarray] = None
-    ) -> Optional[Tuple[int, int, float]]:
-        """The feasible move with the smallest delta (largest gain).
-
-        Returns ``(component, target_partition, delta)`` or ``None`` when
-        no feasible move exists.  Deterministic tie-breaking by flattened
-        index.
-        """
-        mask = self.feasible_move_mask(locked)
-        if not mask.any():
-            return None
-        scores = np.where(mask, self.delta, np.inf)
-        flat = int(np.argmin(scores))
-        j, i = divmod(flat, self.m)
-        return j, i, float(scores[j, i])
-
-    def current_cost(self) -> float:
-        """Objective of the current assignment."""
-        return self.evaluator.cost(self.part)
-
-    def assignment(self) -> Assignment:
-        """Snapshot of the current assignment."""
-        return Assignment(self.part, self.m)
-
-    # ------------------------------------------------------------------
-    # Mutation
-    # ------------------------------------------------------------------
-    def apply_move(self, j: int, new_i: int) -> float:
-        """Move component ``j`` to ``new_i`` and update all state.
-
-        Returns the exact objective delta of the move.  The move is
-        applied unconditionally (callers enforce feasibility policy).
-        """
-        old_i = int(self.part[j])
-        if old_i == new_i:
-            return 0.0
-        moved_delta = float(self.delta[j, new_i])
-        self.part[j] = new_i
-        self.loads[old_i] -= self.sizes[j]
-        self.loads[new_i] += self.sizes[j]
-
-        # Wire neighbours' deltas depend on j's position; refresh them.
-        touched = {j}
-        out_k, _ = self._out_adj[j]
-        in_k, _ = self._in_adj[j]
-        touched.update(out_k.tolist())
-        touched.update(in_k.tolist())
-        for k in touched:
-            self.delta[k, :] = self._delta_row(k)
-
-        # Timing rows of constraint partners (and j itself) change too.
-        timing_touched = {j}
-        timing_touched.update(k for k, _ in self.timing_index._out[j])
-        timing_touched.update(k for k, _ in self.timing_index._in[j])
-        for k in timing_touched:
-            if self.timing_index.degree(k):
-                self.timing_block[k, :] = self._timing_block_row(k)
-        return moved_delta
-
-    def apply_swap(self, j1: int, j2: int) -> float:
-        """Exchange two components; returns the exact objective delta."""
-        i1, i2 = int(self.part[j1]), int(self.part[j2])
-        d = float(self.evaluator.swap_delta(self.part, j1, j2))
-        if i1 == i2:
-            return 0.0
-        # Two raw moves; loads net out exactly.
-        self.apply_move(j1, i2)
-        self.apply_move(j2, i1)
-        return d
-
-    # ------------------------------------------------------------------
-    # Swap-specific queries (GKL)
-    # ------------------------------------------------------------------
-    def swap_delta_matrix(self) -> np.ndarray:
-        """Exact ``(N, N)`` swap deltas for the current assignment.
-
-        Built from the move-delta matrix plus a sparse correction for
-        directly-wired pairs (whose two move deltas each see the other
-        component at a stale position).
-        """
-        part = self.part
-        move_to_partner = self.delta[:, part]  # [j1, j2] = delta(j1 -> part[j2])
-        swap = move_to_partner + move_to_partner.T
-        src = self.evaluator.wire_src
-        if src.size:
-            dst = self.evaluator.wire_dst
-            w = self.evaluator.wire_w
-            b = self.B
-            p1, p2 = part[src], part[dst]
-            claimed = w * (b[p2, p2] - b[p1, p2] + b[p1, p1] - b[p1, p2])
-            actual = w * (b[p2, p1] - b[p1, p2])
-            correction = np.where(p1 == p2, 0.0, self.beta * (actual - claimed))
-            flat = swap.ravel()
-            np.add.at(flat, src * self.n + dst, correction)
-            np.add.at(flat, dst * self.n + src, correction)
-        return swap
-
-    def swap_capacity_mask(self) -> np.ndarray:
-        """``(N, N)`` boolean: the swap respects both capacities.
-
-        Same-partition pairs are trivially feasible (the swap is a
-        no-op for loads).
-        """
-        headroom_of = (self.capacities - self.loads)[self.part]  # per component
-        size_diff = self.sizes[None, :] - self.sizes[:, None]  # s2 - s1 at [j1, j2]
-        mask = (size_diff <= headroom_of[:, None] + 1e-9) & (
-            -size_diff <= headroom_of[None, :] + 1e-9
-        )
-        mask |= self.part[:, None] == self.part[None, :]
-        return mask
-
-    def swap_timing_mask(self) -> np.ndarray:
-        """``(N, N)`` boolean: approximately timing-feasible swaps.
-
-        Exact for pairs with no mutual constraint; pairs with a direct
-        mutual constraint are evaluated against the partner's *stale*
-        position, so callers must confirm a selected pair with
-        :meth:`exact_swap_feasible` (GKL does).
-        """
-        ok_move = self.timing_block == 0  # (N, M)
-        to_partner = ok_move[:, self.part]  # [j1, j2] = j1 can move to part[j2]
-        return to_partner & to_partner.T
-
-    def exact_swap_feasible(self, j1: int, j2: int) -> bool:
-        """Exact C1+C2 feasibility of swapping ``j1`` and ``j2``."""
-        i1, i2 = int(self.part[j1]), int(self.part[j2])
-        s1, s2 = self.sizes[j1], self.sizes[j2]
-        if i1 != i2:
-            if self.loads[i1] - s1 + s2 > self.capacities[i1] + 1e-9:
-                return False
-            if self.loads[i2] - s2 + s1 > self.capacities[i2] + 1e-9:
-                return False
-        return self.timing_index.swap_is_feasible(self.part, j1, j2)
-
-    # ------------------------------------------------------------------
-    # Consistency audit (used by tests)
-    # ------------------------------------------------------------------
-    def audit(self) -> None:
-        """Raise ``AssertionError`` if incremental state drifted."""
-        expected_delta = self._full_delta()
-        if not np.allclose(self.delta, expected_delta, atol=1e-6):
-            raise AssertionError("incremental delta matrix drifted from ground truth")
-        expected_block = self._full_timing_block()
-        if not np.array_equal(self.timing_block, expected_block):
-            raise AssertionError("incremental timing block drifted from ground truth")
-        expected_loads = partition_loads(self.part, self.sizes, self.m)
-        if not np.allclose(self.loads, expected_loads, atol=1e-6):
-            raise AssertionError("partition loads drifted from ground truth")
+__all__ = ["GainEngine"]

@@ -26,7 +26,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.engine import GainEngine
+from repro.engine.delta import DeltaCache
 from repro.baselines.result import InterchangeResult
 from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
@@ -77,7 +77,7 @@ def gfm_partition(
 
     tel = resolve_telemetry(telemetry)
     start = time.perf_counter()
-    engine = GainEngine(problem, initial)
+    engine = DeltaCache(problem, initial)
     initial_cost = engine.current_cost()
     pass_costs: List[float] = []
     total_moves = 0
@@ -131,7 +131,7 @@ def gfm_partition(
 
 
 def _run_pass(
-    engine: GainEngine, max_moves: Optional[int], budget: Optional[Budget] = None
+    engine: DeltaCache, max_moves: Optional[int], budget: Optional[Budget] = None
 ) -> Tuple[float, int]:
     """One FM pass with locking and best-prefix rollback.
 

@@ -29,7 +29,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.engine import GainEngine
+from repro.engine.delta import DeltaCache
 from repro.baselines.result import InterchangeResult
 from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
@@ -76,7 +76,7 @@ def gkl_partition(
 
     tel = resolve_telemetry(telemetry)
     start = time.perf_counter()
-    engine = GainEngine(problem, initial)
+    engine = DeltaCache(problem, initial)
     initial_cost = engine.current_cost()
     pass_costs: List[float] = []
     total_swaps = 0
@@ -130,7 +130,7 @@ def gkl_partition(
 
 
 def _run_pass(
-    engine: GainEngine, max_swaps: Optional[int], budget: Optional[Budget] = None
+    engine: DeltaCache, max_swaps: Optional[int], budget: Optional[Budget] = None
 ) -> Tuple[float, int]:
     """One KL pass: best-swap/lock until exhausted, then best-prefix rollback.
 
@@ -166,13 +166,13 @@ def _run_pass(
 
 
 def _best_swap(
-    engine: GainEngine, locked: np.ndarray
+    engine: DeltaCache, locked: np.ndarray
 ) -> Optional[Tuple[int, int, float]]:
     """Best feasible swap among unlocked pairs, exactly validated.
 
     The vectorised masks narrow candidates; because the timing mask is
     approximate for mutually-constrained pairs, the cheapest candidates
-    are confirmed with :meth:`GainEngine.exact_swap_feasible` in score
+    are confirmed with :meth:`~repro.engine.delta.DeltaCache.exact_swap_feasible` in score
     order until one passes.
     """
     n = engine.n

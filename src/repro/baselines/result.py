@@ -5,29 +5,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.core.assignment import Assignment
-from repro.runtime.budget import STOP_COMPLETED
+from repro.engine.outcome import SolveOutcome
 
 
 @dataclass
-class InterchangeResult:
-    """Outcome of a GFM or GKL run.
+class InterchangeResult(SolveOutcome):
+    """Outcome of a GFM, GKL or annealing run (a
+    :class:`~repro.engine.SolveOutcome`).
 
-    Both baselines only ever apply violation-free moves starting from a
-    feasible solution, so the final assignment is feasible by
-    construction; ``feasible`` records the audit result anyway.
+    The interchange baselines only ever apply violation-free moves
+    starting from a feasible solution, so the final assignment is
+    feasible by construction; ``feasible`` records the audit result
+    anyway.
     """
 
-    assignment: Assignment
-    cost: float
-    initial_cost: float
-    passes: int
-    moves_applied: int
-    feasible: bool
-    elapsed_seconds: float
+    initial_cost: float = 0.0
+    passes: int = 0
+    moves_applied: int = 0
     pass_costs: List[float] = field(default_factory=list)
-    stop_reason: str = STOP_COMPLETED
-    """Why the run ended: ``completed | deadline | cancelled``."""
 
     @property
     def improvement_percent(self) -> float:

@@ -21,14 +21,32 @@ from typing import Iterable, List, Sequence
 import numpy as np
 
 
+class AssignmentFrozenError(RuntimeError):
+    """Mutation attempted on an :class:`Assignment` that has been hashed.
+
+    An assignment freezes the first time it is hashed (placed in a set
+    or used as a dict key): mutating it afterwards would silently change
+    its hash and corrupt any container holding it.  Mutate a
+    :meth:`Assignment.copy` instead.
+    """
+
+
 class Assignment:
     """An assignment of ``num_components`` components to ``num_partitions`` partitions.
 
     Instances are lightweight and mutable via :meth:`move` / :meth:`swap`
     (solvers mutate copies); use :meth:`copy` to snapshot.
+
+    Hashing an instance **freezes** it: because the hash derives from
+    the ``part`` vector, an instance that has entered a hashed container
+    must never change.  After the first ``hash()`` the backing array is
+    made read-only and :meth:`move` / :meth:`swap` /
+    ``assignment[j] = i`` raise :class:`AssignmentFrozenError`.  Use
+    :meth:`frozen` to get a pre-frozen snapshot (and keep mutating the
+    original), or :meth:`copy` for a fresh mutable one.
     """
 
-    __slots__ = ("num_partitions", "part")
+    __slots__ = ("num_partitions", "part", "_frozen")
 
     def __init__(self, part: Sequence[int], num_partitions: int) -> None:
         arr = np.asarray(part, dtype=int).copy()
@@ -40,6 +58,7 @@ class Assignment:
             raise ValueError(f"assignment values must be in [0, {num_partitions})")
         self.part = arr
         self.num_partitions = int(num_partitions)
+        self._frozen = False
 
     # ------------------------------------------------------------------
     @property
@@ -51,6 +70,10 @@ class Assignment:
         return int(self.part[j])
 
     def __setitem__(self, j: int, i: int) -> None:
+        if self._frozen:
+            raise AssignmentFrozenError(
+                "assignment was hashed and is frozen; mutate a .copy() instead"
+            )
         if not 0 <= i < self.num_partitions:
             raise ValueError(f"partition {i} out of range [0, {self.num_partitions})")
         self.part[j] = i
@@ -67,10 +90,29 @@ class Assignment:
         )
 
     def __hash__(self):
+        # Freeze on first hash: the hash is content-derived, so any
+        # later mutation would corrupt hashed containers holding us.
+        self._frozen = True
+        self.part.flags.writeable = False
         return hash((self.num_partitions, self.part.tobytes()))
 
+    @property
+    def is_frozen(self) -> bool:
+        """``True`` once the instance has been hashed (or :meth:`frozen`)."""
+        return self._frozen
+
+    def frozen(self) -> "Assignment":
+        """A pre-frozen snapshot, safe to hold in sets/dicts.
+
+        The returned copy is independent, so the original stays mutable.
+        """
+        snap = Assignment(self.part, self.num_partitions)
+        snap._frozen = True
+        snap.part.flags.writeable = False
+        return snap
+
     def copy(self) -> "Assignment":
-        """Independent copy."""
+        """Independent (mutable) copy."""
         return Assignment(self.part, self.num_partitions)
 
     def move(self, j: int, i: int) -> "Assignment":
@@ -80,6 +122,10 @@ class Assignment:
 
     def swap(self, j1: int, j2: int) -> "Assignment":
         """Exchange the partitions of components ``j1`` and ``j2`` (in place)."""
+        if self._frozen:
+            raise AssignmentFrozenError(
+                "assignment was hashed and is frozen; mutate a .copy() instead"
+            )
         self.part[j1], self.part[j2] = self.part[j2], self.part[j1]
         return self
 

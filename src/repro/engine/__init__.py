@@ -1,0 +1,37 @@
+"""The shared solver-engine layer.
+
+Everything the solvers and baselines have in common lives here, between
+``repro.core`` (problem statement, objective, constraints) and the
+algorithm packages that build on it:
+
+* :class:`~repro.engine.delta.DeltaCache` — the vectorized incremental
+  move/swap-delta kernel with timing/capacity feasibility folded in;
+  the single implementation behind the Burkard iteration's ``eta``
+  rows, the GFM/GKL gain matrices, and the annealing proposals,
+* :class:`~repro.engine.context.SolverContext` — the per-solve bundle
+  of problem, evaluator, telemetry, budget, checkpointer and RNG that
+  entry points build once instead of threading five parameters,
+* :class:`~repro.engine.outcome.SolveOutcome` — the unified result type
+  every solver's result subclasses,
+* :mod:`~repro.engine.fanout` — the shared fold helpers for parallel
+  fan-out (best-restart selection, ordered outcome routing).
+
+Layering (machine-enforced by ``scripts/check_imports.py`` and
+``tests/test_layering.py``): this package imports only ``repro.core``,
+``repro.obs``, ``repro.runtime``, ``repro.utils`` — never ``solvers``,
+``baselines`` or ``eval``.
+"""
+
+from repro.engine.context import SolverContext
+from repro.engine.delta import ETA_MODES, DeltaCache
+from repro.engine.fanout import BestFold, fold_outcomes
+from repro.engine.outcome import SolveOutcome
+
+__all__ = [
+    "BestFold",
+    "DeltaCache",
+    "ETA_MODES",
+    "SolveOutcome",
+    "SolverContext",
+    "fold_outcomes",
+]

@@ -1,0 +1,78 @@
+"""The per-solve service bundle (:class:`SolverContext`).
+
+Every solver entry point used to thread the same five optional services
+(evaluator, telemetry, budget, checkpointer, RNG) through its own
+parameter list and down into its helpers.  :class:`SolverContext`
+bundles them once: entry points build a context at their boundary
+(:meth:`SolverContext.create` resolves defaults exactly the way the
+individual call sites used to) and pass the one object inward.
+
+The context is deliberately dumb — plain attribute access, no hidden
+state — so threading it through existing code changes no behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
+from repro.runtime.budget import Budget
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+@dataclass
+class SolverContext:
+    """Problem plus the resolved per-solve services.
+
+    ``telemetry`` is always the *resolved* bundle (never ``None``);
+    ``raw_telemetry`` preserves what the caller passed so nested solver
+    calls can forward it unchanged (some entry points distinguish
+    "explicit bundle" from "use the ambient one").
+    """
+
+    problem: PartitioningProblem
+    evaluator: ObjectiveEvaluator
+    telemetry: Telemetry
+    rng: np.random.Generator
+    budget: Optional[Budget] = None
+    checkpointer: Optional[object] = None
+    raw_telemetry: Optional[Telemetry] = None
+
+    @classmethod
+    def create(
+        cls,
+        problem: PartitioningProblem,
+        *,
+        seed: RandomSource = None,
+        evaluator: Optional[ObjectiveEvaluator] = None,
+        telemetry: Optional[Telemetry] = None,
+        budget: Optional[Budget] = None,
+        checkpointer: Optional[object] = None,
+    ) -> "SolverContext":
+        """Resolve defaults the way solver entry points always have.
+
+        ``telemetry=None`` resolves to the ambient bundle,
+        ``evaluator=None`` constructs one, and ``seed`` is normalised
+        through :func:`repro.utils.rng.ensure_rng` (an existing
+        ``Generator`` passes through, preserving its stream).
+        """
+        return cls(
+            problem=problem,
+            evaluator=evaluator if evaluator is not None else ObjectiveEvaluator(problem),
+            telemetry=resolve_telemetry(telemetry),
+            rng=ensure_rng(seed),
+            budget=budget,
+            checkpointer=checkpointer,
+            raw_telemetry=telemetry,
+        )
+
+    def budget_reason(self) -> Optional[str]:
+        """The budget's stop reason, or ``None`` (also when unbudgeted)."""
+        if self.budget is None:
+            return None
+        return self.budget.check()

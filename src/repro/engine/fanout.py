@@ -1,0 +1,65 @@
+"""Shared fold helpers for fanned-out solver work.
+
+Two call sites used to hand-roll the same pattern around
+:meth:`repro.parallel.pool.WorkerPool.map`: iterate the outcomes in
+submission order, route failures to a recorder, and fold values —
+``solve_qbp_multistart`` keeping the best restart, ``run_table``
+collecting finished circuit rows.  Both now use these helpers, so the
+ordering and failure-handling contract lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def fold_outcomes(
+    outcomes,
+    *,
+    on_value: Callable[[int, Any], None],
+    on_failure: Optional[Callable[[int, Any], None]] = None,
+) -> None:
+    """Route a pool's task outcomes, preserving submission order.
+
+    Folding in submission (index) order is load-bearing: it makes the
+    parallel fold deterministic and bit-identical to the serial loop —
+    running-best events report the same progression and ties keep the
+    lowest index.  ``on_failure`` receives ``(index, TaskFailure)`` for
+    failed tasks (``None`` drops them silently; callers that retry
+    failed items serially detect them by absence instead).
+    """
+    for outcome in outcomes:
+        if outcome.failure is not None:
+            if on_failure is not None:
+                on_failure(outcome.index, outcome.failure)
+            continue
+        on_value(outcome.index, outcome.value)
+
+
+class BestFold(Generic[T]):
+    """Keep the minimum-key value across a fold, ties to the lowest index.
+
+    The exact selection rule both the serial and parallel multistart
+    paths share: a candidate replaces the incumbent only when its key is
+    *strictly* smaller, so on equal keys the earliest-offered (lowest
+    restart index) value wins in both paths.
+    """
+
+    def __init__(self, key: Callable[[T], Any]) -> None:
+        self._key = key
+        self.best: Optional[T] = None
+        self.best_index: Optional[int] = None
+
+    def offer(self, index: int, value: T) -> bool:
+        """Consider ``value``; returns ``True`` when it becomes the best."""
+        if self.best is None or self._key(value) < self._key(self.best):
+            self.best = value
+            self.best_index = index
+            return True
+        return False
+
+    def result(self) -> Tuple[Optional[T], Optional[int]]:
+        """The winning ``(value, index)`` pair (``(None, None)`` if empty)."""
+        return self.best, self.best_index

@@ -27,6 +27,7 @@ from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
+from repro.engine.fanout import fold_outcomes
 from repro.eval.paper_data import GKL_OUTER_LOOPS, QBP_ITERATIONS
 from repro.eval.workloads import Workload, build_workload, workload_names
 from repro.obs.metrics import METRICS_SNAPSHOT_FORMAT, diff_snapshots
@@ -272,7 +273,7 @@ def run_circuit_experiment(
     qbp_cpu = time.perf_counter() - t0
     if checkpointer is not None and qbp.stop_reason in (STOP_COMPLETED, STOP_STALLED):
         checkpointer.clear()  # finished on its own merits; nothing to resume
-    qbp_assignment = qbp.best_feasible_assignment
+    qbp_assignment = qbp.solution  # best fully feasible iterate (SolveOutcome API)
     if qbp_assignment is None:  # initial is feasible, so this cannot regress
         qbp_assignment = initial
     qbp_cost = min(evaluator.cost(qbp_assignment), start_cost)
@@ -555,9 +556,12 @@ def run_table(
             "harness.table", table=table, workers=pool.workers, circuits=len(pending)
         ):
             outcomes = pool.map(_table_circuit_task, payloads, on_result=record)
-        for name, outcome in zip(pending, outcomes):
-            if outcome.ok:
-                finished[name] = outcome.value
+        # Shared fold helper (same contract as multistart): submission
+        # order, failures dropped so the serial loop below retries them.
+        fold_outcomes(
+            outcomes,
+            on_value=lambda index, row: finished.__setitem__(pending[index], row),
+        )
 
     rows: List[ExperimentRow] = []
     for name in names:

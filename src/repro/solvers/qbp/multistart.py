@@ -1,0 +1,243 @@
+"""Multi-start driver for the generalized Burkard solver.
+
+Restart fan-out (serial or process-pool), best-restart selection, and
+failure accounting.  The selection rule itself —
+``(best_feasible_cost, penalized_cost)`` minimised with ties to the
+lowest restart index — lives in :class:`repro.engine.fanout.BestFold`,
+shared with the evaluation harness's table fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.problem import PartitioningProblem
+from repro.engine.fanout import BestFold, fold_outcomes
+from repro.obs.events import FallbackEvent, RestartEvent
+from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
+from repro.parallel.pool import WorkerPool
+from repro.parallel.seeds import multistart_seeds
+from repro.runtime.budget import Budget
+from repro.solvers.qbp.iteration import BurkardResult, CallbackGuard, logger, solve_qbp
+from repro.utils.rng import RandomSource
+
+
+class MultistartError(RuntimeError):
+    """Every restart of :func:`solve_qbp_multistart` failed.
+
+    The message names the first failing restart's index; on the serial
+    path the first restart's original exception rides along as
+    ``__cause__`` (it is propagated, not masked), on the process-pool
+    path the worker-side traceback is embedded in the message.
+    """
+
+
+def _multistart_restart_task(payload, ctx):
+    """Run one multistart restart (module-level so it crosses fork cleanly).
+
+    ``ctx.budget`` is this restart's lease under the shared multistart
+    budget; ``ctx.telemetry`` is the worker's own bundle (merged back by
+    the pool), so iteration events and ``solver.iterations`` counts from
+    parallel restarts land in the same combined stream a serial run
+    writes.
+    """
+    problem, iterations, seed_seq, kwargs = payload
+    return solve_qbp(
+        problem,
+        iterations=iterations,
+        seed=np.random.default_rng(seed_seq),
+        budget=ctx.budget,
+        telemetry=ctx.telemetry,
+        **kwargs,
+    )
+
+
+_SERIAL_ONLY_KWARGS = ("callback", "checkpointer", "resume")
+"""``solve_qbp`` kwargs that force the serial multistart path: callbacks
+fire in the caller's process by contract, and checkpoint/resume state is
+a single file owned by one writer."""
+
+
+def solve_qbp_multistart(
+    problem: PartitioningProblem,
+    *,
+    restarts: int = 3,
+    iterations: int = 100,
+    seed: RandomSource = None,
+    budget: Optional[Budget] = None,
+    telemetry: Optional[Telemetry] = None,
+    workers: Optional[int] = None,
+    **kwargs,
+) -> BurkardResult:
+    """Run :func:`solve_qbp` from several independent starts; keep the best.
+
+    The paper observes that "QBP maintained the same kind of good
+    results from any arbitrary initial solution" and that more CPU
+    buys better results; multi-start is the natural way to spend a
+    larger budget.  Each restart builds its own randomized greedy
+    initial solution; the result with the best feasible cost (falling
+    back to best penalized cost) is returned.
+
+    Restarts draw from per-restart seed streams
+    (:func:`repro.parallel.seeds.multistart_seeds`): restart ``k``'s RNG
+    depends only on ``(seed, k)``, never on what earlier restarts
+    consumed.  That makes the restarts embarrassingly parallel -
+    ``workers > 1`` fans them out over a
+    :class:`~repro.parallel.pool.WorkerPool` (``None`` reads
+    ``REPRO_WORKERS``, default 1) and selects the **bit-identical** best
+    assignment the serial loop would pick: same per-restart seeds, same
+    ``(best_feasible_cost, penalized_cost)`` comparison, ties broken by
+    lowest restart index in both paths.  Restarts needing in-process
+    state (``callback``, ``checkpointer``, ``resume``) run serially
+    regardless of ``workers``.
+
+    A shared ``budget`` bounds the whole multi-start: serial restarts
+    stop when it runs out (the first restart always runs - it bails out
+    quickly on its own budget checks, so an already-expired budget still
+    yields a capacity-feasible incumbent), and parallel restarts each
+    hold a lease that one expiry/cancel signal revokes cooperatively.
+
+    A restart that raises an unexpected exception is recorded (warning
+    log + ``FallbackEvent``) and the remaining restarts still run; only
+    argument errors (``ValueError``/``TypeError``) abort immediately.
+
+    Raises
+    ------
+    MultistartError
+        When **every** restart failed.  The message carries the first
+        failing restart's index and the first failure rides along as
+        ``__cause__`` rather than being masked by later ones.
+    """
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
+    tel = resolve_telemetry(telemetry)
+    if kwargs.get("callback") is not None and not isinstance(
+        kwargs["callback"], CallbackGuard
+    ):
+        # One guard shared by every restart: a callback that raises is
+        # warned about (and disabled) exactly once for the whole run.
+        kwargs["callback"] = CallbackGuard(kwargs["callback"])
+    seeds = multistart_seeds(seed, restarts)
+    pool = WorkerPool(
+        workers=workers, name="qbp.multistart", budget=budget, telemetry=tel
+    )
+    parallel = (
+        restarts > 1
+        and pool.uses_processes
+        and all(kwargs.get(key) is None for key in _SERIAL_ONLY_KWARGS)
+        and (budget is None or budget.check() is None)
+    )
+
+    fold_state: BestFold[BurkardResult] = BestFold(
+        key=lambda r: (r.best_feasible_cost, r.penalized_cost)
+    )
+    truncated: Optional[str] = None
+    failures: list = []  # (index, message, cause_or_None)
+
+    def fold(index: int, result: BurkardResult) -> None:
+        fold_state.offer(index, result)
+        best = fold_state.best
+        if tel.enabled:
+            tel.counter("solver.restarts").inc()
+            tel.emit(
+                RestartEvent(
+                    solver="qbp",
+                    index=index,
+                    restarts=restarts,
+                    best_cost=float(best.penalized_cost),
+                    best_feasible_cost=(
+                        float(best.best_feasible_cost)
+                        if np.isfinite(best.best_feasible_cost)
+                        else None
+                    ),
+                    stop_reason=result.stop_reason,
+                )
+            )
+
+    span = tel.span(
+        "qbp.multistart",
+        restarts=restarts,
+        iterations=iterations,
+        workers=pool.workers if parallel else 1,
+    )
+    with span:
+        if parallel:
+            payloads = [
+                (problem, iterations, seeds[index], kwargs)
+                for index in range(restarts)
+            ]
+            outcomes = pool.map(_multistart_restart_task, payloads)
+            # Fold in restart order (fold_outcomes preserves submission
+            # order): RestartEvents carry the same running best a serial
+            # loop would report, and ties keep the lowest index.
+            fold_outcomes(
+                outcomes,
+                on_value=fold,
+                on_failure=lambda index, failure: failures.append(
+                    (index, failure.describe(), None)
+                ),
+            )
+        else:
+            for index in range(restarts):
+                if index > 0 and budget is not None:
+                    truncated = budget.check()
+                    if truncated is not None:
+                        break
+                try:
+                    result = solve_qbp(
+                        problem,
+                        iterations=iterations,
+                        seed=np.random.default_rng(seeds[index]),
+                        budget=budget,
+                        telemetry=telemetry,
+                        **kwargs,
+                    )
+                except (ValueError, TypeError):
+                    raise  # argument errors would fail every restart
+                except Exception as exc:
+                    failures.append(
+                        (index, f"{type(exc).__name__}: {exc}", exc)
+                    )
+                    logger.warning(
+                        "multistart restart %d/%d failed: %s: %s",
+                        index,
+                        restarts,
+                        type(exc).__name__,
+                        exc,
+                    )
+                    if tel.enabled:
+                        tel.counter("pool.task_failures").inc()
+                        tel.emit(
+                            FallbackEvent(
+                                ladder="qbp.multistart",
+                                rung=f"worker-{index}",
+                                try_index=0,
+                                status="error",
+                                elapsed_seconds=0.0,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                    continue
+                fold(index, result)
+        best, best_index = fold_state.result()
+        if best is None:
+            first_index, first_message, first_cause = failures[0]
+            error = MultistartError(
+                f"all {restarts} restart(s) failed; first failure at "
+                f"restart {first_index}: {first_message}"
+            )
+            raise error from first_cause
+        span.set("best_restart", best_index)
+    if truncated is not None:
+        best.stop_reason = truncated
+    return best
+
+
+__all__ = [
+    "MultistartError",
+    "solve_qbp_multistart",
+    "_SERIAL_ONLY_KWARGS",
+    "_multistart_restart_task",
+]

@@ -253,13 +253,15 @@ def _run(args) -> int:
         stop_reason = result.stop_reason
         if checkpointer is not None and stop_reason == STOP_COMPLETED:
             checkpointer.clear()
-        assignment = result.best_feasible_assignment or initial
     elif args.solver == "gfm":
-        gfm = gfm_partition(problem, initial, budget=budget)
-        assignment, stop_reason = gfm.assignment, gfm.stop_reason
+        result = gfm_partition(problem, initial, budget=budget)
+        stop_reason = result.stop_reason
     else:
-        gkl = gkl_partition(problem, initial, budget=budget)
-        assignment, stop_reason = gkl.assignment, gkl.stop_reason
+        result = gkl_partition(problem, initial, budget=budget)
+        stop_reason = result.stop_reason
+    # Uniform SolveOutcome API: every solver reports via ``.solution``
+    # (QBP's is its best fully feasible iterate, possibly None).
+    assignment = result.solution if result.solution is not None else initial
 
     evaluator = ObjectiveEvaluator(problem)
     feasibility = check_feasibility(problem, assignment)

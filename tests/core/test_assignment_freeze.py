@@ -1,0 +1,74 @@
+"""Regression tests: hashing an Assignment freezes it (mutability hazard).
+
+Historically ``Assignment`` was mutable *and* content-hashed: putting
+one in a set and then calling ``move``/``swap`` silently changed its
+hash, corrupting the container.  Hashing now freezes the instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment, AssignmentFrozenError
+
+
+class TestFreezeOnHash:
+    def test_hash_equality_still_holds(self):
+        assert hash(Assignment([0, 1], 2)) == hash(Assignment([0, 1], 2))
+
+    def test_unhashed_instance_stays_mutable(self):
+        a = Assignment([0, 1, 0], 2)
+        assert not a.is_frozen
+        a.move(0, 1).swap(1, 2)
+        a[2] = 1
+        assert a.part.tolist() == [1, 0, 1]
+
+    def test_setitem_after_hash_raises(self):
+        a = Assignment([0, 1], 2)
+        hash(a)
+        with pytest.raises(AssignmentFrozenError):
+            a[0] = 1
+
+    def test_move_and_swap_after_hash_raise(self):
+        a = Assignment([0, 1], 2)
+        {a}  # set membership hashes
+        with pytest.raises(AssignmentFrozenError):
+            a.move(0, 1)
+        with pytest.raises(AssignmentFrozenError):
+            a.swap(0, 1)
+
+    def test_backing_array_is_read_only_after_hash(self):
+        a = Assignment([0, 1], 2)
+        hash(a)
+        with pytest.raises(ValueError):
+            a.part[0] = 1  # numpy-level writes are blocked too
+
+    def test_set_membership_survives_attempted_mutation(self):
+        a = Assignment([0, 1, 0], 2)
+        bucket = {a}
+        with pytest.raises(AssignmentFrozenError):
+            a.move(0, 1)
+        assert a in bucket  # hash unchanged, container intact
+
+    def test_copy_of_frozen_is_mutable(self):
+        a = Assignment([0, 1], 2)
+        hash(a)
+        b = a.copy()
+        assert not b.is_frozen
+        b.move(0, 1)
+        assert b.part.tolist() == [1, 1]
+        assert a.part.tolist() == [0, 1]
+
+    def test_frozen_view_keeps_original_mutable(self):
+        a = Assignment([0, 1], 2)
+        snap = a.frozen()
+        assert snap.is_frozen
+        with pytest.raises(AssignmentFrozenError):
+            snap.move(0, 1)
+        a.move(0, 1)  # original untouched by the snapshot's freeze
+        assert a.part.tolist() == [1, 1]
+        assert snap.part.tolist() == [0, 1]
+
+    def test_equality_across_frozen_and_mutable(self):
+        a = Assignment([0, 1], 2)
+        assert a.frozen() == a
+        assert np.array_equal(a.frozen().part, a.part)

@@ -1,0 +1,73 @@
+"""Tests for repro.engine.context (SolverContext)."""
+
+import numpy as np
+
+from repro.core.objective import ObjectiveEvaluator
+from repro.engine.context import SolverContext
+from repro.netlist.circuit import Circuit
+from repro.core.problem import PartitioningProblem
+from repro.obs.telemetry import Telemetry
+from repro.runtime.budget import Budget
+from repro.topology.grid import grid_topology
+
+
+def tiny_problem():
+    circuit = Circuit("ctx")
+    for j in range(4):
+        circuit.add_component(f"u{j}", size=1.0)
+    circuit.add_wire(0, 1, 2.0)
+    circuit.add_wire(2, 3, 1.0)
+    topo = grid_topology(1, 2, capacity=4.0)
+    return PartitioningProblem(circuit, topo)
+
+
+class TestCreate:
+    def test_defaults_resolve(self):
+        problem = tiny_problem()
+        ctx = SolverContext.create(problem)
+        assert ctx.problem is problem
+        assert isinstance(ctx.evaluator, ObjectiveEvaluator)
+        assert isinstance(ctx.rng, np.random.Generator)
+        assert ctx.telemetry is not None  # resolved, never None
+        assert ctx.budget is None
+        assert ctx.checkpointer is None
+        assert ctx.raw_telemetry is None
+
+    def test_existing_generator_passes_through(self):
+        rng = np.random.default_rng(7)
+        expected = np.random.default_rng(7).integers(0, 1 << 30, size=5)
+        ctx = SolverContext.create(tiny_problem(), seed=rng)
+        assert ctx.rng is rng
+        assert np.array_equal(ctx.rng.integers(0, 1 << 30, size=5), expected)
+
+    def test_seed_is_deterministic(self):
+        a = SolverContext.create(tiny_problem(), seed=13)
+        b = SolverContext.create(tiny_problem(), seed=13)
+        assert a.rng.integers(0, 1000) == b.rng.integers(0, 1000)
+
+    def test_explicit_services_kept(self):
+        problem = tiny_problem()
+        evaluator = ObjectiveEvaluator(problem)
+        tel = Telemetry.enabled_default()
+        budget = Budget(wall_seconds=10.0)
+        ctx = SolverContext.create(
+            problem, evaluator=evaluator, telemetry=tel, budget=budget,
+            checkpointer="sentinel",
+        )
+        assert ctx.evaluator is evaluator
+        assert ctx.telemetry is tel
+        assert ctx.raw_telemetry is tel
+        assert ctx.budget is budget
+        assert ctx.checkpointer == "sentinel"
+
+
+class TestBudgetReason:
+    def test_none_without_budget(self):
+        assert SolverContext.create(tiny_problem()).budget_reason() is None
+
+    def test_reports_cancellation(self):
+        budget = Budget(wall_seconds=100.0)
+        ctx = SolverContext.create(tiny_problem(), budget=budget)
+        assert ctx.budget_reason() is None
+        budget.cancel()
+        assert ctx.budget_reason() == "cancelled"

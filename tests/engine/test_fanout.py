@@ -1,0 +1,71 @@
+"""Tests for repro.engine.fanout (shared fold helpers)."""
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.engine.fanout import BestFold, fold_outcomes
+
+
+@dataclass
+class FakeOutcome:
+    index: int
+    value: Any = None
+    failure: Optional[str] = None
+
+
+class TestFoldOutcomes:
+    def test_routes_in_given_order(self):
+        seen = []
+        fold_outcomes(
+            [FakeOutcome(0, "a"), FakeOutcome(1, "b"), FakeOutcome(2, "c")],
+            on_value=lambda i, v: seen.append((i, v)),
+        )
+        assert seen == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_failures_routed_separately(self):
+        values, failures = [], []
+        fold_outcomes(
+            [FakeOutcome(0, "a"), FakeOutcome(1, failure="boom"), FakeOutcome(2, "c")],
+            on_value=lambda i, v: values.append(i),
+            on_failure=lambda i, f: failures.append((i, f)),
+        )
+        assert values == [0, 2]
+        assert failures == [(1, "boom")]
+
+    def test_failures_dropped_without_handler(self):
+        values = []
+        fold_outcomes(
+            [FakeOutcome(0, failure="boom"), FakeOutcome(1, "b")],
+            on_value=lambda i, v: values.append((i, v)),
+        )
+        assert values == [(1, "b")]
+
+
+class TestBestFold:
+    def test_keeps_minimum(self):
+        fold = BestFold(key=lambda v: v)
+        assert fold.offer(0, 5.0)
+        assert fold.offer(1, 3.0)
+        assert not fold.offer(2, 4.0)
+        assert fold.result() == (3.0, 1)
+
+    def test_ties_keep_lowest_index(self):
+        """The multistart determinism contract: strict <, first wins."""
+        fold = BestFold(key=lambda v: v[0])
+        fold.offer(0, (1.0, "first"))
+        assert not fold.offer(1, (1.0, "second"))
+        best, index = fold.result()
+        assert best == (1.0, "first")
+        assert index == 0
+
+    def test_tuple_keys_compare_lexicographically(self):
+        """Same rule solve_qbp_multistart uses: (feasible, penalized)."""
+        fold = BestFold(key=lambda r: (r["feas"], r["pen"]))
+        fold.offer(0, {"feas": float("inf"), "pen": 10.0})
+        assert fold.offer(1, {"feas": 5.0, "pen": 99.0})  # feasible beats not
+        assert not fold.offer(2, {"feas": 5.0, "pen": 50.0} | {"pen": 99.0})
+        assert fold.offer(3, {"feas": 5.0, "pen": 98.0})  # pen breaks the tie
+        assert fold.best_index == 3
+
+    def test_empty_result(self):
+        assert BestFold(key=lambda v: v).result() == (None, None)

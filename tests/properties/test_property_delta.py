@@ -1,0 +1,171 @@
+"""Property-based tests: the shared delta kernel is exact (hypothesis).
+
+Satellite of the engine refactor: on random problems — with and without
+timing constraints, with and without a linear cost term —
+
+* ``ObjectiveEvaluator.move_delta`` / ``swap_delta`` equal full
+  ``cost()`` recomputation,
+* every entry of ``DeltaCache.delta`` equals the corresponding full
+  recomputation, and stays exact through a random sequence of
+  incremental ``apply_move`` updates,
+* ``DeltaCache.timing_block`` counts exactly the constraints a move
+  would violate, and the capacity loads track the assignment.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.engine.delta import DeltaCache
+from repro.netlist.circuit import Circuit
+from repro.topology.grid import grid_topology
+from repro.timing.constraints import TimingConstraints
+
+
+@st.composite
+def problems(draw):
+    """Random small problems; ~half with timing, ~half with linear costs."""
+    n = draw(st.integers(2, 8))
+    m = draw(st.sampled_from([2, 3, 4]))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    circuit = Circuit("prop-delta")
+    for j in range(n):
+        circuit.add_component(f"u{j}", size=float(rng.uniform(0.5, 3.0)))
+    for j1 in range(n):
+        for j2 in range(n):
+            if j1 != j2 and rng.random() < 0.4:
+                circuit.add_wire(j1, j2, float(rng.integers(1, 6)))
+    topo = grid_topology(1, m, capacity=circuit.total_size())
+    linear = rng.uniform(0, 5, (m, n)) if draw(st.booleans()) else None
+    timing = None
+    if draw(st.booleans()):
+        timing = TimingConstraints(n)
+        # Budgets straddle the grid's delay range so constraints bind
+        # for some placements and not others.
+        max_delay = float(topo.delay_matrix.max())
+        for _ in range(draw(st.integers(1, 4))):
+            j1 = int(rng.integers(0, n))
+            j2 = int(rng.integers(0, n))
+            if j1 == j2:
+                continue
+            timing.add(j1, j2, float(rng.uniform(0.0, max_delay * 1.2)))
+    alpha = draw(st.sampled_from([0.5, 1.0, 2.0]))
+    beta = draw(st.sampled_from([0.5, 1.0, 3.0]))
+    return PartitioningProblem(
+        circuit, topo, linear_cost=linear, timing=timing, alpha=alpha, beta=beta
+    )
+
+
+def random_assignment(problem, rng):
+    return Assignment.uniform_random(
+        problem.num_components, problem.num_partitions, rng
+    )
+
+
+class TestEvaluatorDeltasMatchFullRecompute:
+    @settings(max_examples=40, deadline=None)
+    @given(problems(), st.integers(0, 2**31), st.data())
+    def test_move_delta(self, problem, seed, data):
+        rng = np.random.default_rng(seed)
+        evaluator = ObjectiveEvaluator(problem)
+        a = random_assignment(problem, rng)
+        j = data.draw(st.integers(0, problem.num_components - 1))
+        i = data.draw(st.integers(0, problem.num_partitions - 1))
+        delta = evaluator.move_delta(a, j, i)
+        moved = a.copy().move(j, i)
+        assert abs((evaluator.cost(moved) - evaluator.cost(a)) - delta) < 1e-8
+
+    @settings(max_examples=40, deadline=None)
+    @given(problems(), st.integers(0, 2**31), st.data())
+    def test_swap_delta(self, problem, seed, data):
+        rng = np.random.default_rng(seed)
+        evaluator = ObjectiveEvaluator(problem)
+        a = random_assignment(problem, rng)
+        n = problem.num_components
+        j1 = data.draw(st.integers(0, n - 1))
+        j2 = data.draw(st.integers(0, n - 1))
+        delta = evaluator.swap_delta(a, j1, j2)
+        swapped = a.copy().swap(j1, j2)
+        assert abs((evaluator.cost(swapped) - evaluator.cost(a)) - delta) < 1e-8
+
+
+class TestDeltaCacheMatchesFullRecompute:
+    @settings(max_examples=40, deadline=None)
+    @given(problems(), st.integers(0, 2**31))
+    def test_delta_matrix_is_exact(self, problem, seed):
+        """Every (j, i) entry equals cost(moved) - cost(current)."""
+        rng = np.random.default_rng(seed)
+        a = random_assignment(problem, rng)
+        cache = DeltaCache(problem, a)
+        evaluator = cache.evaluator
+        base = evaluator.cost(a)
+        for j in range(problem.num_components):
+            for i in range(problem.num_partitions):
+                moved = a.copy().move(j, i)
+                assert abs((evaluator.cost(moved) - base) - cache.delta[j, i]) < 1e-8
+
+    @settings(max_examples=30, deadline=None)
+    @given(problems(), st.integers(0, 2**31), st.data())
+    def test_incremental_updates_stay_exact(self, problem, seed, data):
+        """After random apply_move sequences, state matches ground truth."""
+        rng = np.random.default_rng(seed)
+        a = random_assignment(problem, rng)
+        cache = DeltaCache(problem, a)
+        moves = data.draw(st.integers(1, 6))
+        for _ in range(moves):
+            j = int(rng.integers(0, problem.num_components))
+            i = int(rng.integers(0, problem.num_partitions))
+            before = cache.current_cost()
+            reported = cache.apply_move(j, i)
+            after = cache.current_cost()
+            assert abs((after - before) - reported) < 1e-8
+        cache.audit()  # delta, timing_block and loads vs full recompute
+
+    @settings(max_examples=30, deadline=None)
+    @given(problems(), st.integers(0, 2**31), st.data())
+    def test_apply_swap_reports_exact_delta(self, problem, seed, data):
+        rng = np.random.default_rng(seed)
+        a = random_assignment(problem, rng)
+        cache = DeltaCache(problem, a)
+        n = problem.num_components
+        j1 = data.draw(st.integers(0, n - 1))
+        j2 = data.draw(st.integers(0, n - 1))
+        before = cache.current_cost()
+        reported = cache.apply_swap(j1, j2)
+        assert abs((cache.current_cost() - before) - reported) < 1e-8
+        cache.audit()
+
+    @settings(max_examples=30, deadline=None)
+    @given(problems(), st.integers(0, 2**31))
+    def test_timing_block_counts_violations_exactly(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        a = random_assignment(problem, rng)
+        cache = DeltaCache(problem, a)
+        d = problem.delay_matrix
+        for j in range(problem.num_components):
+            for i in range(problem.num_partitions):
+                expected = 0
+                for j1, j2, budget in problem.timing.items():
+                    if j1 == j and d[i, a[j2]] > budget:
+                        expected += 1
+                    elif j2 == j and d[a[j1], i] > budget:
+                        expected += 1
+                assert cache.timing_block[j, i] == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(problems(), st.integers(0, 2**31))
+    def test_eta_matches_gain_semantics_without_timing(self, problem, seed):
+        """On timing-free problems the symmetric eta rows relate to deltas:
+        ``delta[j, i] = eta[j, i] - eta[j, part[j]]`` (both are the full
+        marginal cost of placing ``j`` at ``i``)."""
+        if problem.has_timing:
+            return
+        rng = np.random.default_rng(seed)
+        a = random_assignment(problem, rng)
+        cache = DeltaCache(problem, a)
+        eta = cache.eta(a.part, mode="symmetric", penalty=1.0)
+        anchored = eta - eta[np.arange(problem.num_components), a.part][:, None]
+        assert np.allclose(anchored, cache.delta, atol=1e-8)

@@ -1,0 +1,64 @@
+"""The layering contract, enforced as a test (mirrors CI's import check).
+
+``repro.core`` and ``repro.engine`` are foundation layers: they must
+import nothing from the algorithm packages (``solvers``, ``baselines``)
+or the application layers (``eval``, ``tools``, ``apps``), and the
+import graph of the whole package must stay acyclic.  The same rules
+run in CI via ``scripts/check_imports.py``; this test keeps them
+enforced by the plain test suite too.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+import check_imports  # noqa: E402
+
+
+def test_no_layering_violations():
+    graph = check_imports.build_graph(SRC_ROOT)
+    assert check_imports.check_layering(graph) == []
+
+
+def test_no_import_cycles():
+    graph = check_imports.build_graph(SRC_ROOT)
+    assert check_imports.check_cycles(graph) == []
+
+
+def test_engine_transitive_closure_stays_below_solvers():
+    """Nothing reachable from repro.engine lands in solvers/baselines/eval.
+
+    Computed on the AST import graph (the root ``repro/__init__.py`` is
+    an aggregation facade, so a runtime ``import repro.engine`` always
+    pulls the whole package in; the static closure is the real contract).
+    """
+    graph = check_imports.build_graph(SRC_ROOT)
+    known = set(graph)
+
+    def resolve(target):
+        while target and target not in known:
+            if "." not in target:
+                return None
+            target = target.rsplit(".", 1)[0]
+        return target or None
+
+    closure, frontier = set(), {"repro.engine"}
+    while frontier:
+        module = frontier.pop()
+        closure.add(module)
+        for target in graph.get(module, ()):
+            resolved = resolve(target)
+            # The package roots re-export from higher layers; skip them.
+            if resolved in (None, "repro") or resolved in closure:
+                continue
+            frontier.add(resolved)
+
+    offenders = sorted(
+        m
+        for m in closure
+        if m.startswith(("repro.solvers", "repro.baselines", "repro.eval"))
+    )
+    assert offenders == []
