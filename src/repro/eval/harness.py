@@ -16,8 +16,9 @@ Protocol (paper Section 5):
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -33,12 +34,15 @@ from repro.eval.workloads import Workload, build_workload, workload_names
 from repro.obs.metrics import METRICS_SNAPSHOT_FORMAT, diff_snapshots
 from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
 from repro.parallel.pool import WorkerPool
+from repro.parallel.retry import IntegrityError, RetryPolicy
 from repro.runtime.budget import (
     STOP_COMPLETED,
+    STOP_REASONS,
     STOP_STALLED,
     Budget,
     BudgetExceededError,
 )
+from repro.runtime.faults import maybe_fault_task
 from repro.runtime.checkpoint import (
     TABLE_CHECKPOINT_FORMAT,
     QbpCheckpointer,
@@ -347,14 +351,25 @@ class TableCheckpoint:
     the record rather than mixing incompatible rows.
     """
 
-    def __init__(self, directory, table: int, *, params: Optional[dict] = None):
+    def __init__(
+        self,
+        directory,
+        table: int,
+        *,
+        params: Optional[dict] = None,
+        telemetry=None,
+    ):
         self.directory = Path(directory)
         self.table = int(table)
         self.path = self.directory / f"table{self.table}.json"
         self.params = params or {}
+        self.telemetry = telemetry
         self._rows: Dict[str, ExperimentRow] = {}
         payload = try_load_json_checkpoint(
-            self.path, expected_format=TABLE_CHECKPOINT_FORMAT
+            self.path,
+            expected_format=TABLE_CHECKPOINT_FORMAT,
+            label=f"table{self.table}",
+            telemetry=telemetry,
         )
         if (
             payload is not None
@@ -386,18 +401,78 @@ class TableCheckpoint:
                 "params": self.params,
                 "rows": [r.to_dict() for r in self._rows.values()],
             },
+            backup=True,
         )
 
     def qbp_checkpoint_path(self, name: str) -> Path:
         return self.directory / f"table{self.table}-{name}-qbp.json"
 
     def clear(self) -> None:
-        """Remove the table record and all per-circuit QBP snapshots."""
-        for path in [self.path, *self.directory.glob(f"table{self.table}-*-qbp.json")]:
+        """Remove the table record, QBP snapshots, and backup generations."""
+        for path in [
+            self.path,
+            self.path.with_name(self.path.name + ".bak"),
+            *self.directory.glob(f"table{self.table}-*-qbp.json"),
+            *self.directory.glob(f"table{self.table}-*-qbp.json.bak"),
+        ]:
             try:
                 path.unlink()
             except FileNotFoundError:
                 pass
+
+
+def verify_table_row(row, payload) -> None:
+    """Integrity gate for table rows: internal consistency before acceptance.
+
+    A row carries no assignments (those stay worker-side), so the gate
+    checks everything that is re-derivable from the row itself: identity
+    against the payload, finiteness, the improvement percentages against
+    their own costs, and the QBP never-worsens invariant the harness
+    enforces by construction.  A worker that silently corrupted its row
+    (the ``worker.corrupt`` fault site, a miscompiled numpy, a bad DIMM)
+    fails one of these and is rejected-and-retried instead of entering
+    the table.
+    """
+    name, table = payload[0], payload[1]
+    if not isinstance(row, ExperimentRow):
+        raise IntegrityError(f"worker returned {type(row).__name__}, not a row")
+    if row.name != name:
+        raise IntegrityError(f"row is for {row.name!r}, expected {name!r}")
+    if row.with_timing != (table == 3):
+        raise IntegrityError(
+            f"row.with_timing={row.with_timing} does not match table {table}"
+        )
+    costs = {
+        "start_cost": row.start_cost,
+        "qbp_cost": row.qbp_cost,
+        "gfm_cost": row.gfm_cost,
+        "gkl_cost": row.gkl_cost,
+    }
+    for label, value in costs.items():
+        if not math.isfinite(value) or value < 0:
+            raise IntegrityError(f"{label}={value!r} is not a finite cost")
+    if row.qbp_cost > row.start_cost + 1e-6:
+        raise IntegrityError(
+            f"qbp_cost {row.qbp_cost!r} exceeds start_cost {row.start_cost!r} "
+            "(the harness clamps QBP to never worsen)"
+        )
+    for label, final, claimed in (
+        ("qbp", row.qbp_cost, row.qbp_improvement),
+        ("gfm", row.gfm_cost, row.gfm_improvement),
+        ("gkl", row.gkl_cost, row.gkl_improvement),
+    ):
+        expected = (
+            0.0
+            if row.start_cost == 0
+            else 100.0 * (row.start_cost - final) / row.start_cost
+        )
+        if not math.isclose(expected, claimed, rel_tol=1e-9, abs_tol=1e-6):
+            raise IntegrityError(
+                f"{label}_improvement {claimed!r} inconsistent with its "
+                f"costs (expected {expected!r})"
+            )
+    if row.stop_reason not in STOP_REASONS:
+        raise IntegrityError(f"unknown stop_reason {row.stop_reason!r}")
 
 
 def _table_circuit_task(payload, ctx):
@@ -414,7 +489,7 @@ def _table_circuit_task(payload, ctx):
     if workload is None:
         workload = build_workload(name, scale=scale)
     with ctx.telemetry.span("harness.circuit", circuit=name, table=table):
-        return run_circuit_experiment(
+        row = run_circuit_experiment(
             workload,
             with_timing=(table == 3),
             qbp_iterations=qbp_iterations,
@@ -424,6 +499,13 @@ def _table_circuit_task(payload, ctx):
             qbp_checkpoint_path=ckpt_path,
             telemetry=ctx.telemetry,
         )
+    try:
+        maybe_fault_task("worker.corrupt", ctx.worker_id, ctx.attempt)
+    except Exception:
+        # Silent tamper: a better cost whose improvement column no
+        # longer adds up - only the parent's integrity gate catches it.
+        row = replace(row, qbp_cost=row.qbp_cost * 0.5)
+    return row
 
 
 def run_table(
@@ -439,6 +521,8 @@ def run_table(
     checkpoint_dir=None,
     telemetry: Optional[Telemetry] = None,
     workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[ExperimentRow]:
     """Reproduce Table II (``table=2``) or Table III (``table=3``).
 
@@ -480,6 +564,15 @@ def run_table(
         serial ones; rows always come back in canonical circuit order.
         A circuit whose worker fails is retried serially in-process, so
         real errors surface with their original exception type.
+    task_timeout / retry:
+        Self-healing knobs forwarded to the pool: a hang deadline in
+        seconds (``None`` reads ``REPRO_TASK_TIMEOUT``) and a
+        :class:`~repro.parallel.retry.RetryPolicy` (``None`` reads
+        ``REPRO_TASK_RETRIES``).  Every worker row also passes the
+        :func:`verify_table_row` integrity gate before it is accepted or
+        checkpointed; rejected rows are retried under the policy and,
+        failing that, recomputed serially in-process.  See
+        ``docs/ROBUSTNESS.md``.
     """
     if table not in (2, 3):
         raise ValueError(f"table must be 2 or 3, got {table}")
@@ -494,6 +587,7 @@ def run_table(
                 "qbp_iterations": qbp_iterations,
                 "seed": seed if isinstance(seed, int) else None,
             },
+            telemetry=telemetry,
         )
     tel = resolve_telemetry(telemetry)
 
@@ -523,7 +617,14 @@ def run_table(
         for name in names
         if checkpoint is None or checkpoint.completed(name) is None
     ]
-    pool = WorkerPool(workers=workers, name="eval.table", budget=budget, telemetry=tel)
+    pool = WorkerPool(
+        workers=workers,
+        name="eval.table",
+        budget=budget,
+        telemetry=tel,
+        task_timeout=task_timeout,
+        retry=retry,
+    )
     parallel = (
         len(pending) > 1
         and pool.uses_processes
@@ -555,7 +656,12 @@ def run_table(
         with tel.span(
             "harness.table", table=table, workers=pool.workers, circuits=len(pending)
         ):
-            outcomes = pool.map(_table_circuit_task, payloads, on_result=record)
+            outcomes = pool.map(
+                _table_circuit_task,
+                payloads,
+                on_result=record,
+                verify=verify_table_row,
+            )
         # Shared fold helper (same contract as multistart): submission
         # order, failures dropped so the serial loop below retries them.
         fold_outcomes(
@@ -580,6 +686,7 @@ def run_table(
                 continue  # other circuits may have finished: no resume gap
             break  # nothing started for this circuit: resume later
         row = run_one(name)
+        verify_table_row(row, (name, table))  # same gate as the worker path
         rows.append(row)
         if checkpoint is not None:
             checkpoint.record(row)

@@ -23,6 +23,7 @@ Quick run with a full telemetry trace (inspect with traceview)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import List
@@ -38,7 +39,10 @@ from repro.eval.tables import render_table1, render_table23
 from repro.eval.workloads import all_workloads, build_workload, workload_names
 from repro.netlist.stats import circuit_stats
 from repro.obs.telemetry import add_telemetry_arguments, session_from_args
+from repro.parallel.retry import RetryPolicy
 from repro.runtime.budget import STOP_COMPLETED, Budget
+from repro.runtime.faults import inject_faults, plan_from_env
+from repro.runtime.signals import drain_on_signals
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -99,6 +103,24 @@ def main(argv: List[str] | None = None) -> int:
         "rows are bit-identical to a serial run with the same seed",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total attempts per circuit task before quarantine (default: "
+        "the REPRO_TASK_RETRIES environment variable, else no retries); "
+        "backoff is exponential with deterministic jitter",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hang watchdog: kill a worker that produces neither a result "
+        "nor a heartbeat for this long (default: the REPRO_TASK_TIMEOUT "
+        "environment variable, else off)",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH", help="also dump rows as JSON"
     )
     parser.add_argument(
@@ -121,8 +143,31 @@ def main(argv: List[str] | None = None) -> int:
         budget = Budget(wall_seconds=args.budget)
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
+    retry = None
+    if args.retries is not None:
+        if args.retries < 1:
+            parser.error("--retries must be >= 1")
+        retry = RetryPolicy(max_attempts=args.retries)
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be positive")
+    # SIGINT/SIGTERM drain cooperatively instead of killing the sweep:
+    # every completed row is already checkpointed, so a drained run
+    # resumes bit-identically with the same --checkpoint-dir.
+    if budget is None and args.table in ("2", "3", "all"):
+        budget = Budget()
+    try:
+        # Chaos profile: a REPRO_FAULT_PLAN spec injects worker faults
+        # into this run (CI chaos job, scripts/chaos_drill.py).  Only
+        # task-scoped rules are expressible, so the plan crosses fork.
+        fault_plan = plan_from_env(seed=args.seed)
+    except ValueError as exc:
+        parser.error(f"bad REPRO_FAULT_PLAN: {exc}")
 
-    with session_from_args(args, root_span="eval.run"):
+    with contextlib.ExitStack() as stack:
+        if fault_plan is not None:
+            stack.enter_context(inject_faults(fault_plan))
+        stack.enter_context(session_from_args(args, root_span="eval.run"))
+        drain = stack.enter_context(drain_on_signals(budget))
         workloads = {name: build_workload(name, scale=args.scale) for name in names}
         initials = None
         if args.table in ("2", "3", "all"):
@@ -154,6 +199,8 @@ def main(argv: List[str] | None = None) -> int:
                 budget=budget,
                 checkpoint_dir=args.checkpoint_dir,
                 workers=args.workers,
+                task_timeout=args.task_timeout,
+                retry=retry,
             )
             collected[table_num] = rows
             print(
@@ -182,6 +229,19 @@ def main(argv: List[str] | None = None) -> int:
                     )
                 )
             print()
+
+        if drain.draining:
+            print(
+                "interrupted by signal: completed rows were flushed through "
+                "the checkpoint"
+                + (
+                    "; re-run with the same --checkpoint-dir to resume "
+                    "bit-identically"
+                    if args.checkpoint_dir
+                    else " (add --checkpoint-dir to make interrupted runs "
+                    "resumable)"
+                )
+            )
 
     if args.json:
         payload = {

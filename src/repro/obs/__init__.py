@@ -8,7 +8,8 @@ the repo reports through:
 * :mod:`repro.obs.metrics` - process-local counters, gauges, and
   histograms with ``metrics-snapshot-v1`` exports,
 * :mod:`repro.obs.events` - the typed solver event stream
-  (iteration / restart / fallback / checkpoint) with schema validation,
+  (iteration / restart / fallback / checkpoint / retry / quarantine /
+  integrity) with schema validation,
 * :mod:`repro.obs.telemetry` - the :class:`Telemetry` bundle, ambient
   resolution, and the :func:`telemetry_session` scope the CLIs use.
 
@@ -24,9 +25,12 @@ from repro.obs.events import (
     CheckpointEvent,
     EventLog,
     FallbackEvent,
+    IntegrityEvent,
     IterationEvent,
     JsonlEventSink,
+    QuarantineEvent,
     RestartEvent,
+    TaskRetryEvent,
     event_to_dict,
     validate_trace_line,
 )
@@ -62,12 +66,15 @@ __all__ = [
     "FallbackEvent",
     "Gauge",
     "Histogram",
+    "IntegrityEvent",
     "IterationEvent",
     "JsonlEventSink",
     "METRICS_SNAPSHOT_FORMAT",
     "MetricsRegistry",
     "NULL_SPAN",
+    "QuarantineEvent",
     "RestartEvent",
+    "TaskRetryEvent",
     "SpanRecord",
     "TRACE_SCHEMA_VERSION",
     "Telemetry",

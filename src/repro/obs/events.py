@@ -8,7 +8,14 @@ of ad-hoc callbacks:
 * :class:`RestartEvent` - one multistart restart boundary,
 * :class:`FallbackEvent` - one failed (or skipped) rung try inside a
   :class:`~repro.runtime.supervisor.SolverSupervisor` ladder,
-* :class:`CheckpointEvent` - one checkpoint file write.
+* :class:`CheckpointEvent` - one checkpoint file write (or salvage of a
+  damaged one),
+* :class:`TaskRetryEvent` - one failed pool-task attempt that will be
+  retried with backoff,
+* :class:`QuarantineEvent` - one pool task given up on after exhausting
+  its retry budget (the poison-task record, with the payload digest),
+* :class:`IntegrityEvent` - one worker result rejected by the parent's
+  integrity gate before acceptance.
 
 Every event serialises (:func:`event_to_dict`) to a JSONL line tagged
 ``type: "event"`` and ``schema: EVENT_SCHEMA_VERSION``; the required
@@ -90,18 +97,87 @@ class FallbackEvent:
 
 @dataclass(frozen=True)
 class CheckpointEvent:
-    """One checkpoint snapshot written to disk."""
+    """One checkpoint snapshot written to disk (or recovered from it).
+
+    ``status`` is ``"saved"`` for ordinary writes; the torn-file recovery
+    path emits ``"corrupt"`` (the primary file was damaged) followed by
+    ``"salvaged"`` (the backup stood in) so an audit can see exactly
+    which snapshot a resume actually used.
+    """
 
     label: str
     iteration: int
     path: str
     bytes: int
     worker: Optional[int] = None
+    status: str = "saved"
 
     kind = "checkpoint"
 
 
-EVENT_TYPES = (IterationEvent, RestartEvent, FallbackEvent, CheckpointEvent)
+@dataclass(frozen=True)
+class TaskRetryEvent:
+    """One failed pool-task attempt about to be retried.
+
+    ``attempt`` counts from 0; ``delay_seconds`` is the backoff (with
+    deterministic jitter) the pool waits before redispatching;
+    ``failure_kind`` is the :class:`repro.parallel.pool.TaskFailure`
+    kind that triggered the retry (``error | crash | hang | integrity``).
+    """
+
+    pool: str
+    task: int
+    attempt: int
+    max_attempts: int
+    failure_kind: str
+    delay_seconds: float
+    error: Optional[str] = None
+    worker: Optional[int] = None
+
+    kind = "retry"
+
+
+@dataclass(frozen=True)
+class QuarantineEvent:
+    """One pool task abandoned after exhausting its retry budget.
+
+    The payload digest identifies the poison payload across runs without
+    shipping the payload itself into the event stream.
+    """
+
+    pool: str
+    task: int
+    attempts: int
+    payload_digest: str
+    failure_kind: str
+    error: Optional[str] = None
+    worker: Optional[int] = None
+
+    kind = "quarantine"
+
+
+@dataclass(frozen=True)
+class IntegrityEvent:
+    """One worker result rejected by the parent-side integrity gate."""
+
+    pool: str
+    task: int
+    attempt: int
+    reason: str
+    worker: Optional[int] = None
+
+    kind = "integrity"
+
+
+EVENT_TYPES = (
+    IterationEvent,
+    RestartEvent,
+    FallbackEvent,
+    CheckpointEvent,
+    TaskRetryEvent,
+    QuarantineEvent,
+    IntegrityEvent,
+)
 
 EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     cls.kind: tuple(f.name for f in fields(cls)) for cls in EVENT_TYPES

@@ -10,7 +10,10 @@ total runtime") made operational:
 * :mod:`repro.runtime.checkpoint` - atomic JSON snapshots so killed
   runs resume mid-circuit with bit-exact results,
 * :mod:`repro.runtime.faults` - deterministic fault injection used by
-  ``tests/runtime`` to prove every degradation path stays feasible.
+  ``tests/runtime`` and the chaos suite to prove every degradation path
+  stays feasible,
+* :mod:`repro.runtime.signals` - SIGINT/SIGTERM drained into a
+  cooperative cancel so killed sweeps salvage their completed rows.
 """
 
 from repro.runtime.budget import (
@@ -28,6 +31,7 @@ from repro.runtime.checkpoint import (
     QbpCheckpoint,
     QbpCheckpointer,
     atomic_write_json,
+    checkpoint_backup_path,
     load_json_checkpoint,
     load_qbp_checkpoint,
     save_qbp_checkpoint,
@@ -35,12 +39,17 @@ from repro.runtime.checkpoint import (
     try_load_qbp_checkpoint,
 )
 from repro.runtime.faults import (
+    FAULT_PLAN_ENV,
     FaultPlan,
     InjectedFault,
     corrupt_json_file,
     inject_faults,
     maybe_fault,
+    maybe_fault_task,
+    parse_fault_plan,
+    plan_from_env,
 )
+from repro.runtime.signals import drain_on_signals
 from repro.runtime.supervisor import (
     Attempt,
     AttemptRecord,
@@ -67,13 +76,19 @@ __all__ = [
     "SolverSupervisor",
     "SupervisorExhaustedError",
     "SupervisorOutcome",
+    "FAULT_PLAN_ENV",
     "atomic_write_json",
     "budget_stop",
+    "checkpoint_backup_path",
     "corrupt_json_file",
+    "drain_on_signals",
     "inject_faults",
     "load_json_checkpoint",
     "load_qbp_checkpoint",
     "maybe_fault",
+    "maybe_fault_task",
+    "parse_fault_plan",
+    "plan_from_env",
     "save_qbp_checkpoint",
     "try_load_json_checkpoint",
     "try_load_qbp_checkpoint",

@@ -73,9 +73,24 @@ class Budget:
     The cancel flag is a :class:`threading.Event`, so a supervising
     thread (or signal handler) can call :meth:`cancel` while a solve is
     running; the solver notices at its next checkpointable boundary.
+
+    ``on_check`` is an optional zero-argument hook invoked at the top of
+    every :meth:`check`.  Because solvers check cooperatively at their
+    natural step boundaries, the hook doubles as a liveness signal: the
+    worker pool stamps a shared heartbeat from it, so a task that keeps
+    checking its budget is demonstrably alive and a wedged one goes
+    silent (see ``docs/ROBUSTNESS.md``).  The hook must be cheap and
+    must not raise.
     """
 
-    __slots__ = ("wall_seconds", "max_iterations", "_clock", "_start", "_cancel")
+    __slots__ = (
+        "wall_seconds",
+        "max_iterations",
+        "on_check",
+        "_clock",
+        "_start",
+        "_cancel",
+    )
 
     def __init__(
         self,
@@ -83,6 +98,7 @@ class Budget:
         wall_seconds: Optional[float] = None,
         max_iterations: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
+        on_check: Optional[Callable[[], None]] = None,
         _cancel: Optional[threading.Event] = None,
     ) -> None:
         if wall_seconds is not None and not wall_seconds > 0:
@@ -91,6 +107,7 @@ class Budget:
             raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
         self.wall_seconds = None if wall_seconds is None else float(wall_seconds)
         self.max_iterations = None if max_iterations is None else int(max_iterations)
+        self.on_check = on_check
         self._clock = clock
         self._start = clock()
         self._cancel = _cancel if _cancel is not None else threading.Event()
@@ -128,6 +145,8 @@ class Budget:
         Cancellation takes precedence over the deadline (it is the more
         specific user intent).
         """
+        if self.on_check is not None:
+            self.on_check()
         if self.cancelled:
             return STOP_CANCELLED
         if self.expired():
@@ -161,6 +180,7 @@ class Budget:
             wall_seconds=None if math.isinf(remaining) else max(remaining, 1e-9),
             max_iterations=self.max_iterations,
             clock=self._clock,
+            on_check=self.on_check,
             _cancel=self._cancel,
         )
 

@@ -17,9 +17,12 @@ File format (``qbp-checkpoint-v1``): a single JSON object with keys
 ``format, label, n, m, iteration, part, h, best_part, best_pen,
 best_feas_part, best_feas_cost, shadow_part, history, improvements,
 rng_state``.  Writes are atomic (temp file + ``os.replace``), so a kill
-mid-write leaves the previous snapshot intact; corrupted or
-wrong-format files surface as :class:`CheckpointError` (or ``None``
-from the forgiving loader).
+mid-write leaves the previous snapshot intact, and saves rotate the
+previous generation to ``<name>.bak``; corrupted or wrong-format files
+surface as :class:`CheckpointError`, while the forgiving loaders warn
+and *salvage* from the backup generation (emitting ``"corrupt"`` /
+``"salvaged"`` :class:`CheckpointEvent` records) before giving up with
+``None``.  See ``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -50,14 +53,29 @@ class CheckpointError(RuntimeError):
 # ----------------------------------------------------------------------
 # Atomic JSON primitives
 # ----------------------------------------------------------------------
-def atomic_write_json(path, payload: Dict[str, Any]) -> int:
-    """Write ``payload`` to ``path`` atomically; returns the bytes written."""
+def checkpoint_backup_path(path) -> Path:
+    """Where the previous good snapshot of ``path`` is rotated to."""
+    path = Path(path)
+    return path.with_name(path.name + ".bak")
+
+
+def atomic_write_json(path, payload: Dict[str, Any], *, backup: bool = False) -> int:
+    """Write ``payload`` to ``path`` atomically; returns the bytes written.
+
+    With ``backup=True`` the previous snapshot (if any) is first rotated
+    to ``<name>.bak``, so even a snapshot that lands torn on disk (power
+    loss mid-page-write - ``os.replace`` is atomic against *crashes of
+    this process*, not against the filesystem losing buffered pages)
+    leaves one older-but-consistent generation for the salvage loader.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     maybe_fault("checkpoint.write")
     tmp = path.with_name(path.name + ".tmp")
     encoded = json.dumps(payload)
     tmp.write_text(encoded)
+    if backup and path.exists():
+        os.replace(path, checkpoint_backup_path(path))
     os.replace(tmp, path)
     return len(encoded.encode("utf-8"))
 
@@ -79,21 +97,86 @@ def load_json_checkpoint(path, *, expected_format: str) -> Dict[str, Any]:
     return payload
 
 
-def try_load_json_checkpoint(path, *, expected_format: str) -> Optional[Dict[str, Any]]:
+def _emit_checkpoint_status(
+    telemetry, label: str, path: Path, status: str, *, iteration: int = 0
+) -> None:
+    """Mirror a salvage decision onto the typed event stream."""
+    tel = resolve_telemetry(telemetry)
+    if not tel.enabled:
+        return
+    tel.counter(f"checkpoint.{status}").inc()
+    try:
+        size = path.stat().st_size
+    except OSError:
+        size = 0
+    tel.emit(
+        CheckpointEvent(
+            label=label,
+            iteration=int(iteration),
+            path=str(path),
+            bytes=int(size),
+            status=status,
+        )
+    )
+
+
+def try_load_json_checkpoint(
+    path,
+    *,
+    expected_format: str,
+    salvage: bool = True,
+    label: str = "",
+    telemetry=None,
+) -> Optional[Dict[str, Any]]:
     """Forgiving loader: ``None`` (with a logged warning) instead of raising.
 
     Missing files are silent (nothing to resume); damaged or
     incompatible files warn, because losing a checkpoint silently would
     mask the fault the snapshot existed to survive.
+
+    Torn-file salvage (``salvage=True``): when the primary file is
+    truncated/corrupt - or missing while a backup rotated by
+    ``atomic_write_json(..., backup=True)`` still exists - the loader
+    warns, emits a ``"corrupt"`` :class:`CheckpointEvent`, and falls
+    back to the previous good generation at ``<name>.bak`` (emitting
+    ``"salvaged"``), so one damaged write costs at most one snapshot
+    interval of progress instead of the whole run.
     """
     path = Path(path)
+    backup = checkpoint_backup_path(path)
+    tag = label or expected_format
+
+    def _salvage(reason: str) -> Optional[Dict[str, Any]]:
+        if not salvage or not backup.exists():
+            return None
+        try:
+            payload = load_json_checkpoint(backup, expected_format=expected_format)
+        except CheckpointError as exc:
+            logger.warning("backup checkpoint is unusable too: %s", exc)
+            return None
+        logger.warning(
+            "checkpoint %s %s; resuming from previous good snapshot %s",
+            path,
+            reason,
+            backup,
+        )
+        _emit_checkpoint_status(
+            telemetry,
+            tag,
+            backup,
+            "salvaged",
+            iteration=int(payload.get("iteration", 0) or 0),
+        )
+        return payload
+
     if not path.exists():
-        return None
+        return _salvage("is missing")
     try:
         return load_json_checkpoint(path, expected_format=expected_format)
     except CheckpointError as exc:
         logger.warning("ignoring unusable checkpoint: %s", exc)
-        return None
+        _emit_checkpoint_status(telemetry, tag, path, "corrupt")
+        return _salvage("is unusable")
 
 
 # ----------------------------------------------------------------------
@@ -183,9 +266,9 @@ class QbpCheckpoint:
         return ckpt
 
 
-def save_qbp_checkpoint(path, checkpoint: QbpCheckpoint) -> int:
+def save_qbp_checkpoint(path, checkpoint: QbpCheckpoint, *, backup: bool = False) -> int:
     """Atomically persist ``checkpoint``; returns the bytes written."""
-    return atomic_write_json(path, checkpoint.to_payload())
+    return atomic_write_json(path, checkpoint.to_payload(), backup=backup)
 
 
 def load_qbp_checkpoint(path) -> QbpCheckpoint:
@@ -195,9 +278,14 @@ def load_qbp_checkpoint(path) -> QbpCheckpoint:
     )
 
 
-def try_load_qbp_checkpoint(path) -> Optional[QbpCheckpoint]:
-    """Forgiving loader used on resume paths: damage => start fresh."""
-    payload = try_load_json_checkpoint(path, expected_format=QBP_CHECKPOINT_FORMAT)
+def try_load_qbp_checkpoint(path, *, label: str = "", telemetry=None) -> Optional[QbpCheckpoint]:
+    """Forgiving loader used on resume paths: damage => salvage => fresh."""
+    payload = try_load_json_checkpoint(
+        path,
+        expected_format=QBP_CHECKPOINT_FORMAT,
+        label=label,
+        telemetry=telemetry,
+    )
     if payload is None:
         return None
     try:
@@ -211,7 +299,10 @@ class QbpCheckpointer:
     """Periodic checkpoint writer attached to :func:`solve_qbp`.
 
     Snapshots are taken every ``every`` completed iterations and at
-    every stop (natural or budget-forced).  ``clear()`` removes the file
+    every stop (natural or budget-forced).  Each save rotates the
+    previous snapshot to ``<name>.bak``, so a torn write is survivable:
+    :meth:`load` falls back to the previous good generation (see
+    :func:`try_load_json_checkpoint`).  ``clear()`` removes both files
     once the run completes, so stale state is never resumed by accident.
     """
 
@@ -230,7 +321,7 @@ class QbpCheckpointer:
     def save(self, checkpoint: QbpCheckpoint) -> None:
         if not checkpoint.label:
             checkpoint.label = self.label
-        written = save_qbp_checkpoint(self.path, checkpoint)
+        written = save_qbp_checkpoint(self.path, checkpoint, backup=True)
         self.saves += 1
         tel = resolve_telemetry(self.telemetry)
         if tel.enabled:
@@ -246,10 +337,13 @@ class QbpCheckpointer:
             )
 
     def load(self) -> Optional[QbpCheckpoint]:
-        return try_load_qbp_checkpoint(self.path)
+        return try_load_qbp_checkpoint(
+            self.path, label=self.label, telemetry=self.telemetry
+        )
 
     def clear(self) -> None:
-        try:
-            self.path.unlink()
-        except FileNotFoundError:
-            pass
+        for path in (self.path, checkpoint_backup_path(self.path)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass

@@ -15,12 +15,56 @@ Inside :func:`inject_faults`, an active :class:`FaultPlan` can
 Every injected event is recorded on ``plan.injected`` so tests can
 assert exactly which degradation path ran.
 
+Two kinds of site exist:
+
+**Call-ordered sites** count invocations per process and match rule
+windows against that counter (``fail(site, times=3, after=1)``).  Their
+counters and audit log are process-local, so a plan containing any
+call-ordered rule forces the :class:`~repro.parallel.pool.WorkerPool`
+serial - the schedule of a process fan-out would make "the third call"
+nondeterministic.
+
+**Task-scoped sites** (the ``worker.*`` family) are hit with an explicit
+``(task_index, attempt)`` identity via :func:`maybe_fault_task` and match
+rules declared with :meth:`FaultPlan.fail_task` / :meth:`FaultPlan.slow_task`.
+Because the rule decision is a pure function of ``(site, task, attempt)``,
+these rules are deterministic under any parallel schedule and are allowed
+to cross ``fork`` into worker processes (:attr:`FaultPlan.fork_safe`);
+the worker-side audit entries are merged back by the pool (or
+reconstructed by the parent for workers that died before reporting).
+
 Fault sites in the repo::
 
     gap.trust / gap.timing / gap.plain   the three inner-GAP ladder rungs
     qbp.iteration                        top of each Burkard iteration
     bootstrap.attempt                    each zero-B bootstrap attempt
     checkpoint.write                     each checkpoint file write
+    worker.retry                         top of each pool-task attempt; an
+                                         injected failure surfaces as an
+                                         ordinary task error the retry
+                                         policy then handles
+    worker.hang                          after ``worker.retry``; a ``slow``
+                                         rule simulates a wedged worker
+                                         (no heartbeats while sleeping, so
+                                         hang detection kills it)
+    worker.crash                         after ``worker.hang``; any injected
+                                         failure makes the worker process
+                                         die abruptly (``os._exit``) on the
+                                         process path, or surfaces as a
+                                         ``crash``-kind task failure on the
+                                         serial path
+    worker.corrupt                       inside pool task functions, after
+                                         the real result is computed; an
+                                         injected failure silently tampers
+                                         with the result so the parent's
+                                         integrity gate must catch it
+
+Site-naming conventions: ``<layer>.<step>``, lowercase, dot-separated;
+the layer prefix is the module family that owns the site (``gap``,
+``qbp``, ``bootstrap``, ``checkpoint``, ``worker``).  All ``worker.*``
+sites are task-scoped; everything else is call-ordered.  A new site
+must be listed here and, if task-scoped, hit through
+:func:`maybe_fault_task` only.
 """
 
 from __future__ import annotations
@@ -59,6 +103,21 @@ class _Rule:
     seconds: float = 0.0
     error: ErrorSpec = None
     fired: int = 0
+    tasks: Optional[frozenset] = None
+    """Task-scoped rules only: the task indices this rule fires for."""
+    attempts: Optional[frozenset] = None
+    """Task-scoped rules only: attempt numbers to fire on (None = all)."""
+
+    @property
+    def task_scoped(self) -> bool:
+        return self.tasks is not None
+
+    def matches_task(self, task: int, attempt: int) -> bool:
+        return (
+            self.task_scoped
+            and task in self.tasks
+            and (self.attempts is None or attempt in self.attempts)
+        )
 
 
 @dataclass
@@ -117,12 +176,104 @@ class FaultPlan:
         )
         return self
 
+    def fail_task(
+        self,
+        site: str,
+        *,
+        tasks,
+        attempts=(0,),
+        error: ErrorSpec = None,
+    ) -> "FaultPlan":
+        """Raise at task-scoped ``site`` for the given task indices.
+
+        ``tasks`` is an int or an iterable of task indices; ``attempts``
+        restricts firing to those 0-based attempt numbers (default: only
+        the first attempt, so a retry succeeds) - pass ``None`` to fire
+        on every attempt.  The decision is a pure function of
+        ``(site, task, attempt)``, which is what makes these rules safe
+        under any parallel schedule (see module docstring).
+        """
+        self._rules.setdefault(site, []).append(
+            _Rule(kind="fail", error=error, **_task_scope(tasks, attempts))
+        )
+        return self
+
+    def slow_task(
+        self,
+        site: str,
+        seconds: float,
+        *,
+        tasks,
+        attempts=(0,),
+    ) -> "FaultPlan":
+        """Sleep ``seconds`` at task-scoped ``site`` for the given tasks.
+
+        On ``worker.hang`` this simulates a wedged worker: the sleep
+        emits no heartbeats, so a pool with a ``task_timeout`` kills the
+        process and records a ``hang``-kind failure.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self._rules.setdefault(site, []).append(
+            _Rule(kind="slow", seconds=seconds, **_task_scope(tasks, attempts))
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def fork_safe(self) -> bool:
+        """Whether this plan may cross ``fork`` into pool workers.
+
+        True only when *every* rule is task-scoped: call-ordered rules
+        keep per-process counters that a process fan-out would make
+        nondeterministic, so they force the pool serial (the historical
+        behaviour); task-scoped ``worker.*`` rules are pure functions of
+        the task identity and inject identically under any schedule.
+        """
+        return all(
+            rule.task_scoped for rules in self._rules.values() for rule in rules
+        )
+
+    def would_fire_task(self, site: str, task: int, attempt: int) -> Optional[str]:
+        """The rule kind that :meth:`hit_task` would inject, or ``None``.
+
+        Pure lookup (no counters, no audit entry): the pool parent uses
+        it to reconstruct the audit log for workers that died before
+        reporting (a killed hang, an abrupt crash).
+        """
+        for rule in self._rules.get(site, ()):
+            if rule.matches_task(task, attempt):
+                return rule.kind
+        return None
+
+    def record_injected(self, site: str, task: int, kind: str) -> None:
+        """Append an audit entry on the parent's behalf (see above)."""
+        self.injected.append((site, int(task), kind))
+
+    def hit_task(self, site: str, task: int, attempt: int = 0) -> None:
+        """Apply task-scoped rules at ``site`` for ``(task, attempt)``.
+
+        Audit entries use the *task index* in the middle slot (the same
+        ``(site, index, kind)`` tuple shape call-ordered sites record).
+        """
+        for rule in self._rules.get(site, ()):
+            if not rule.matches_task(task, attempt):
+                continue
+            self.injected.append((site, int(task), rule.kind))
+            rule.fired += 1
+            if rule.kind == "slow":
+                time.sleep(rule.seconds)
+            else:
+                raise _make_error(rule.error, site)
+
     # ------------------------------------------------------------------
     def hit(self, site: str) -> None:
         """Apply this plan at ``site`` (called via :func:`maybe_fault`)."""
         index = self.calls.get(site, 0)
         self.calls[site] = index + 1
         for rule in self._rules.get(site, ()):
+            if rule.task_scoped:
+                continue  # task-scoped rules fire via hit_task only
             in_window = index >= rule.after and (
                 rule.times is None or index < rule.after + rule.times
             )
@@ -138,6 +289,19 @@ class FaultPlan:
                 self.injected.append((site, index, "fail"))
                 rule.fired += 1
                 raise _make_error(rule.error, site)
+
+
+def _task_scope(tasks, attempts) -> dict:
+    """Normalise ``fail_task``/``slow_task`` scope arguments."""
+    if isinstance(tasks, int):
+        tasks = (tasks,)
+    tasks = frozenset(int(t) for t in tasks)
+    if not tasks:
+        raise ValueError("tasks must name at least one task index")
+    return {
+        "tasks": tasks,
+        "attempts": None if attempts is None else frozenset(int(a) for a in attempts),
+    }
 
 
 _active: Optional[FaultPlan] = None
@@ -161,15 +325,105 @@ def maybe_fault(site: str) -> None:
         _active.hit(site)
 
 
+def maybe_fault_task(site: str, task: int, attempt: int = 0) -> None:
+    """Task-scoped fault-site hook (the ``worker.*`` family).
+
+    A no-op unless a plan is active; otherwise applies task-scoped rules
+    for ``(task, attempt)``.  Call-ordered rules at the same site are
+    ignored here, exactly as :func:`maybe_fault` ignores task-scoped
+    ones - the two families never interact.
+    """
+    if _active is not None:
+        _active.hit_task(site, task, attempt)
+
+
 def active_plan() -> Optional[FaultPlan]:
     """The currently installed plan, if any.
 
     A plan's call counters and audit log are process-local state, so the
     parallel :class:`~repro.parallel.pool.WorkerPool` refuses to fan out
-    while one is active - faults injected in a forked worker would be
-    invisible to the test that planned them.
+    while one with call-ordered rules is active - faults injected in a
+    forked worker would be invisible to the test that planned them.
+    Plans whose rules are all task-scoped (``plan.fork_safe``) do cross
+    ``fork``: their decisions are schedule-independent and the pool
+    merges (or reconstructs) the worker-side audit entries.
     """
     return _active
+
+
+# ----------------------------------------------------------------------
+# Environment profiles (CI chaos jobs)
+# ----------------------------------------------------------------------
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+"""Environment variable :func:`plan_from_env` reads a plan spec from."""
+
+
+def parse_fault_plan(spec: str, *, seed: int = 0) -> FaultPlan:
+    """Build a task-scoped :class:`FaultPlan` from a compact spec string.
+
+    Grammar (clauses separated by ``;``)::
+
+        site:kind[:key=value]...
+
+    where ``kind`` is ``fail`` or ``slow`` and the keys are
+
+    * ``tasks`` - comma-separated task indices (required),
+    * ``attempts`` - comma-separated attempt numbers (default ``0``;
+      ``*`` = every attempt),
+    * ``seconds`` - sleep duration for ``slow`` rules (default ``30``).
+
+    Example (the CI chaos profile)::
+
+        worker.hang:slow:tasks=1:seconds=30;worker.crash:fail:tasks=2;\
+worker.corrupt:fail:tasks=3;worker.retry:fail:tasks=0
+
+    Only task-scoped rules can be expressed, so a parsed plan is always
+    ``fork_safe`` and usable with a process pool.
+    """
+    plan = FaultPlan(seed=seed)
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split(":")
+        if len(parts) < 2:
+            raise ValueError(f"fault clause {clause!r} needs 'site:kind'")
+        site, kind = parts[0].strip(), parts[1].strip()
+        options = {}
+        for item in parts[2:]:
+            if "=" not in item:
+                raise ValueError(f"fault option {item!r} must be key=value")
+            key, value = item.split("=", 1)
+            options[key.strip()] = value.strip()
+        if "tasks" not in options:
+            raise ValueError(f"fault clause {clause!r} must set tasks=")
+        tasks = tuple(int(v) for v in options["tasks"].split(",") if v)
+        raw_attempts = options.get("attempts", "0")
+        attempts = (
+            None
+            if raw_attempts == "*"
+            else tuple(int(v) for v in raw_attempts.split(",") if v)
+        )
+        if kind == "fail":
+            plan.fail_task(site, tasks=tasks, attempts=attempts)
+        elif kind == "slow":
+            plan.slow_task(
+                site,
+                float(options.get("seconds", 30.0)),
+                tasks=tasks,
+                attempts=attempts,
+            )
+        else:
+            raise ValueError(f"fault kind must be fail|slow, got {kind!r}")
+    return plan
+
+
+def plan_from_env(*, seed: int = 0) -> Optional[FaultPlan]:
+    """The plan described by ``REPRO_FAULT_PLAN``, or ``None`` if unset."""
+    spec = os.environ.get(FAULT_PLAN_ENV, "").strip()
+    if not spec:
+        return None
+    return parse_fault_plan(spec, seed=seed)
 
 
 def corrupt_json_file(path, seed: int = 0) -> None:

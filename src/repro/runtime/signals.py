@@ -1,0 +1,117 @@
+"""Signal-safe graceful shutdown: SIGINT/SIGTERM drain instead of dying.
+
+A long Table II/III sweep owns real work-in-progress: completed rows in
+a :class:`~repro.eval.harness.TableCheckpoint`, a mid-circuit QBP
+snapshot, worker processes holding incumbents.  The default Python
+behaviour on SIGINT (``KeyboardInterrupt`` at an arbitrary bytecode) or
+SIGTERM (immediate death) throws all of that away.
+
+:func:`drain_on_signals` converts both signals into a *cooperative
+cancel* of the run's shared :class:`~repro.runtime.budget.Budget`:
+
+* every solver notices at its next checkpointable boundary and returns
+  its incumbent with ``stop_reason="cancelled"``,
+* the worker pool's shared cancel event fans the stop out to every
+  forked worker through their budget leases,
+* the harness flushes each completed row through its checkpoint as it
+  lands, so ``--resume`` continues bit-identically from the salvaged
+  prefix (see ``docs/ROBUSTNESS.md`` for the end-to-end walkthrough).
+
+A *second* signal of either kind restores the previous handlers and
+re-raises, so a stuck drain can still be killed interactively.  Only a
+signal handler is installed - no threads - and the handler body is
+async-signal-safe Python (an ``Event.set`` plus ``Budget.cancel``, both
+lock-free flag writes).
+
+Handlers can only be installed from the main thread; elsewhere (e.g. a
+pool worker, which must stay signal-transparent) the context manager
+degrades to a no-op so library code can use it unconditionally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import signal
+import threading
+from typing import Iterator, Optional, Tuple
+
+from repro.runtime.budget import Budget
+
+logger = logging.getLogger(__name__)
+
+DRAIN_SIGNALS: Tuple[signal.Signals, ...] = (signal.SIGINT, signal.SIGTERM)
+"""The signals :func:`drain_on_signals` converts into a cooperative stop."""
+
+
+class DrainState:
+    """What :func:`drain_on_signals` yields: did a drain signal arrive?"""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.signal_number: Optional[int] = None
+
+    @property
+    def draining(self) -> bool:
+        return self._event.is_set()
+
+    def mark(self, signum: int) -> None:
+        self.signal_number = signum
+        self._event.set()
+
+
+@contextlib.contextmanager
+def drain_on_signals(budget: Optional[Budget]) -> Iterator[DrainState]:
+    """Install SIGINT/SIGTERM handlers that cancel ``budget`` cooperatively.
+
+    Usage::
+
+        budget = budget or Budget()        # a drain needs a cancel flag
+        with drain_on_signals(budget) as drain:
+            rows = run_table(..., budget=budget, ...)
+        if drain.draining:
+            print("interrupted; completed rows checkpointed - rerun with --resume")
+
+    The first signal cancels the budget and keeps running (the drain);
+    the second restores the original handlers and re-raises the default
+    behaviour, so a wedged drain is still interruptible.  Outside the
+    main thread this is a no-op passthrough.
+    """
+    state = DrainState()
+    if budget is None or threading.current_thread() is not threading.main_thread():
+        yield state
+        return
+
+    previous = {}
+
+    def handler(signum, frame):
+        if state.draining:
+            # Second signal: give up on draining, restore and re-deliver.
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+            signal.raise_signal(signum)
+            return
+        logger.warning(
+            "received %s: draining - completed work is checkpointed, "
+            "send again to stop immediately",
+            signal.Signals(signum).name,
+        )
+        state.mark(signum)
+        budget.cancel()
+
+    try:
+        for sig in DRAIN_SIGNALS:
+            previous[sig] = signal.signal(sig, handler)
+    except (ValueError, OSError):  # non-main interpreter contexts
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        yield state
+        return
+    try:
+        yield state
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
+__all__ = ["DRAIN_SIGNALS", "DrainState", "drain_on_signals"]

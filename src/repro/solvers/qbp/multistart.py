@@ -9,17 +9,22 @@ shared with the evaluation harness's table fan-out.
 
 from __future__ import annotations
 
-from typing import Optional
+import math
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.constraints import check_feasibility
+from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
 from repro.engine.fanout import BestFold, fold_outcomes
-from repro.obs.events import FallbackEvent, RestartEvent
+from repro.obs.events import FallbackEvent, IntegrityEvent, RestartEvent
 from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
 from repro.parallel.pool import WorkerPool
+from repro.parallel.retry import IntegrityError, RetryPolicy
 from repro.parallel.seeds import multistart_seeds
 from repro.runtime.budget import Budget
+from repro.runtime.faults import maybe_fault_task
 from repro.solvers.qbp.iteration import BurkardResult, CallbackGuard, logger, solve_qbp
 from repro.utils.rng import RandomSource
 
@@ -27,11 +32,92 @@ from repro.utils.rng import RandomSource
 class MultistartError(RuntimeError):
     """Every restart of :func:`solve_qbp_multistart` failed.
 
-    The message names the first failing restart's index; on the serial
-    path the first restart's original exception rides along as
-    ``__cause__`` (it is propagated, not masked), on the process-pool
-    path the worker-side traceback is embedded in the message.
+    The message aggregates **all** failing restart indices (also exposed
+    as :attr:`failed_indices`) and the per-restart detail as
+    :attr:`failures`; the *first* restart's original exception rides
+    along as ``__cause__`` when it is available in-process (serial
+    path), on the process-pool path the worker-side description is
+    embedded in the message instead.
     """
+
+    def __init__(self, message: str, failures: Optional[List[Tuple[int, str]]] = None):
+        super().__init__(message)
+        self.failures: List[Tuple[int, str]] = list(failures or [])
+        """``(restart_index, description)`` for every failed restart."""
+
+    @property
+    def failed_indices(self) -> List[int]:
+        return [index for index, _ in self.failures]
+
+
+def _maybe_corrupt_result(
+    result: BurkardResult, task: int, attempt: int
+) -> BurkardResult:
+    """``worker.corrupt`` fault site: silently tamper with a result.
+
+    When the (task, attempt)-scoped rule fires, the result claims better
+    costs than its assignments actually earn - exactly the class of
+    silent wrongness only the parent's integrity gate can catch, which
+    is what the chaos suite uses it to prove.  Sits on both the worker
+    and serial restart paths, so the gate is drilled in both.
+    """
+    try:
+        maybe_fault_task("worker.corrupt", task, attempt)
+    except Exception:
+        result.penalized_cost = float(result.penalized_cost) * 0.5
+        result.cost = float(result.cost) * 0.5
+        if math.isfinite(result.best_feasible_cost):
+            result.best_feasible_cost = float(result.best_feasible_cost) * 0.5
+    return result
+
+
+def multistart_verifier(
+    problem: PartitioningProblem,
+) -> Callable[[BurkardResult, object], None]:
+    """Integrity gate for restart results: recompute before accepting.
+
+    Returns a ``verify(result, payload)`` callback for
+    :meth:`~repro.parallel.pool.WorkerPool.map` that re-derives every
+    cost a :class:`BurkardResult` claims from its assignments with a
+    fresh :class:`ObjectiveEvaluator`, and re-checks C1+C2 feasibility
+    of the claimed feasible iterate.  Any mismatch raises
+    :class:`~repro.parallel.retry.IntegrityError`, so a corrupted or
+    miscomputed worker result is rejected (and retried) instead of
+    silently entering the best-restart fold.
+    """
+    evaluator = ObjectiveEvaluator(problem)
+
+    def _close(a: float, b: float) -> bool:
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6)
+
+    def verify(result: BurkardResult, payload) -> None:
+        if result is None:
+            raise IntegrityError("restart returned no result")
+        true_cost = evaluator.cost(result.assignment)
+        if not _close(true_cost, result.cost):
+            raise IntegrityError(
+                f"claimed cost {result.cost!r} != recomputed {true_cost!r}"
+            )
+        penalized = evaluator.penalized_cost(result.assignment, result.penalty)
+        if not _close(penalized, result.penalized_cost):
+            raise IntegrityError(
+                f"claimed penalized cost {result.penalized_cost!r} != "
+                f"recomputed {penalized!r}"
+            )
+        if result.best_feasible_assignment is not None:
+            report = check_feasibility(problem, result.best_feasible_assignment)
+            if not report.feasible:
+                raise IntegrityError(
+                    f"claimed feasible assignment is not: {report.summary()}"
+                )
+            feas_cost = evaluator.cost(result.best_feasible_assignment)
+            if not _close(feas_cost, result.best_feasible_cost):
+                raise IntegrityError(
+                    f"claimed feasible cost {result.best_feasible_cost!r} != "
+                    f"recomputed {feas_cost!r}"
+                )
+
+    return verify
 
 
 def _multistart_restart_task(payload, ctx):
@@ -44,7 +130,7 @@ def _multistart_restart_task(payload, ctx):
     writes.
     """
     problem, iterations, seed_seq, kwargs = payload
-    return solve_qbp(
+    result = solve_qbp(
         problem,
         iterations=iterations,
         seed=np.random.default_rng(seed_seq),
@@ -52,6 +138,7 @@ def _multistart_restart_task(payload, ctx):
         telemetry=ctx.telemetry,
         **kwargs,
     )
+    return _maybe_corrupt_result(result, ctx.worker_id, ctx.attempt)
 
 
 _SERIAL_ONLY_KWARGS = ("callback", "checkpointer", "resume")
@@ -69,6 +156,9 @@ def solve_qbp_multistart(
     budget: Optional[Budget] = None,
     telemetry: Optional[Telemetry] = None,
     workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    verify: bool = True,
     **kwargs,
 ) -> BurkardResult:
     """Run :func:`solve_qbp` from several independent starts; keep the best.
@@ -103,11 +193,22 @@ def solve_qbp_multistart(
     log + ``FallbackEvent``) and the remaining restarts still run; only
     argument errors (``ValueError``/``TypeError``) abort immediately.
 
+    Self-healing knobs (see ``docs/ROBUSTNESS.md``): ``task_timeout``
+    arms the pool's hang watchdog, ``retry`` its backoff/quarantine
+    ladder (both default to their ``REPRO_TASK_TIMEOUT`` /
+    ``REPRO_TASK_RETRIES`` environment resolutions), and
+    ``verify=True`` (the default) re-derives every accepted restart's
+    claimed costs and feasibility from its assignments - on the worker
+    *and* serial paths - rejecting mismatches as ``integrity`` failures
+    instead of folding them in.  Verification costs one
+    :class:`ObjectiveEvaluator` build plus one cost evaluation per
+    restart, noise next to the restarts themselves.
+
     Raises
     ------
     MultistartError
-        When **every** restart failed.  The message carries the first
-        failing restart's index and the first failure rides along as
+        When **every** restart failed.  The message aggregates all
+        failing restart indices; the first failure rides along as
         ``__cause__`` rather than being masked by later ones.
     """
     if restarts < 1:
@@ -121,8 +222,14 @@ def solve_qbp_multistart(
         kwargs["callback"] = CallbackGuard(kwargs["callback"])
     seeds = multistart_seeds(seed, restarts)
     pool = WorkerPool(
-        workers=workers, name="qbp.multistart", budget=budget, telemetry=tel
+        workers=workers,
+        name="qbp.multistart",
+        budget=budget,
+        telemetry=tel,
+        task_timeout=task_timeout,
+        retry=retry,
     )
+    verifier = multistart_verifier(problem) if verify else None
     parallel = (
         restarts > 1
         and pool.uses_processes
@@ -168,7 +275,7 @@ def solve_qbp_multistart(
                 (problem, iterations, seeds[index], kwargs)
                 for index in range(restarts)
             ]
-            outcomes = pool.map(_multistart_restart_task, payloads)
+            outcomes = pool.map(_multistart_restart_task, payloads, verify=verifier)
             # Fold in restart order (fold_outcomes preserves submission
             # order): RestartEvents carry the same running best a serial
             # loop would report, and ties keep the lowest index.
@@ -220,13 +327,40 @@ def solve_qbp_multistart(
                             )
                         )
                     continue
+                result = _maybe_corrupt_result(result, index, 0)
+                if verifier is not None:
+                    try:
+                        verifier(result, None)
+                    except IntegrityError as exc:
+                        failures.append((index, f"IntegrityError: {exc}", exc))
+                        logger.warning(
+                            "multistart restart %d/%d rejected by the "
+                            "integrity gate: %s",
+                            index,
+                            restarts,
+                            exc,
+                        )
+                        if tel.enabled:
+                            tel.counter("pool.integrity_rejects").inc()
+                            tel.emit(
+                                IntegrityEvent(
+                                    pool="qbp.multistart",
+                                    task=index,
+                                    attempt=0,
+                                    reason=str(exc),
+                                )
+                            )
+                        continue
                 fold(index, result)
         best, best_index = fold_state.result()
         if best is None:
             first_index, first_message, first_cause = failures[0]
+            indices = ", ".join(str(i) for i, _, _ in failures)
             error = MultistartError(
-                f"all {restarts} restart(s) failed; first failure at "
-                f"restart {first_index}: {first_message}"
+                f"all {restarts} restart(s) failed (failing restarts: "
+                f"{indices}); first failure at restart {first_index}: "
+                f"{first_message}",
+                failures=[(i, message) for i, message, _ in failures],
             )
             raise error from first_cause
         span.set("best_restart", best_index)
@@ -237,6 +371,7 @@ def solve_qbp_multistart(
 
 __all__ = [
     "MultistartError",
+    "multistart_verifier",
     "solve_qbp_multistart",
     "_SERIAL_ONLY_KWARGS",
     "_multistart_restart_task",

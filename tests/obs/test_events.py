@@ -40,8 +40,19 @@ class TestEventSerialisation:
             validate_trace_line(event_to_dict(event))
 
     def test_schema_lists_all_fields(self):
-        assert set(EVENT_SCHEMA) == {"iteration", "restart", "fallback", "checkpoint"}
+        assert set(EVENT_SCHEMA) == {
+            "iteration",
+            "restart",
+            "fallback",
+            "checkpoint",
+            "retry",
+            "quarantine",
+            "integrity",
+        }
         assert "best_feasible_cost" in EVENT_SCHEMA["iteration"]
+        assert "payload_digest" in EVENT_SCHEMA["quarantine"]
+        assert "delay_seconds" in EVENT_SCHEMA["retry"]
+        assert "reason" in EVENT_SCHEMA["integrity"]
 
 
 class TestValidateTraceLine:

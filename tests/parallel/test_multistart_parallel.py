@@ -151,6 +151,80 @@ class TestFailurePropagation:
         with pytest.raises(ValueError):
             solve_qbp_multistart(small_problem, restarts=0)
 
+    def test_error_aggregates_every_failing_restart(self, small_problem):
+        plan = FaultPlan().fail("qbp.iteration", times=None)
+        with inject_faults(plan):
+            with pytest.raises(MultistartError) as excinfo:
+                solve_qbp_multistart(
+                    small_problem, restarts=3, iterations=5, seed=0
+                )
+        err = excinfo.value
+        assert err.failed_indices == [0, 1, 2]
+        assert len(err.failures) == 3
+        for index, description in err.failures:
+            assert isinstance(index, int)
+            assert "InjectedFault" in description or "injected" in description
+        assert "failing restarts: 0, 1, 2" in str(err)
+
+    def test_error_without_failures_still_formats(self):
+        err = MultistartError("nothing ran")
+        assert err.failures == []
+        assert err.failed_indices == []
+
+
+class TestIntegrityGate:
+    """Corrupted restart results are rejected, not silently accepted."""
+
+    def test_corrupt_results_rejected_serially(self, small_problem):
+        reference = solve_qbp_multistart(
+            small_problem, restarts=3, iterations=8, seed=4
+        )
+        tel = Telemetry.enabled_default()
+        plan = FaultPlan().fail_task("worker.corrupt", tasks=[1])
+        with inject_faults(plan):
+            with use_telemetry(tel):
+                survived = solve_qbp_multistart(
+                    small_problem, restarts=3, iterations=8, seed=4, workers=1
+                )
+        # The tampered restart is dropped; the survivors' best can only
+        # be no better than the undisturbed best.
+        assert survived.best_feasible_cost >= reference.best_feasible_cost
+        rejects = [e for e in tel.events() if e.kind == "integrity"]
+        assert [e.task for e in rejects] == [1]
+        assert tel.metrics_snapshot()["counters"]["pool.integrity_rejects"] == 1.0
+
+    def test_verifier_accepts_honest_results(self, small_problem):
+        from repro.solvers.qbp.multistart import multistart_verifier
+        from repro.solvers.burkard import solve_qbp
+
+        result = solve_qbp(small_problem, iterations=8, seed=4)
+        multistart_verifier(small_problem)(result, payload=None)  # no raise
+
+    def test_verifier_rejects_tampered_cost(self, small_problem):
+        from dataclasses import replace
+
+        from repro.parallel.retry import IntegrityError
+        from repro.solvers.qbp.multistart import multistart_verifier
+        from repro.solvers.burkard import solve_qbp
+
+        result = solve_qbp(small_problem, iterations=8, seed=4)
+        tampered = replace(result, cost=result.cost * 0.5)
+        with pytest.raises(IntegrityError, match="cost"):
+            multistart_verifier(small_problem)(tampered, payload=None)
+
+    @needs_fork
+    def test_corrupt_results_rejected_in_processes(self, small_problem):
+        tel = Telemetry.enabled_default()
+        plan = FaultPlan().fail_task("worker.corrupt", tasks=[0])
+        with inject_faults(plan):
+            with use_telemetry(tel):
+                survived = solve_qbp_multistart(
+                    small_problem, restarts=3, iterations=8, seed=4, workers=3
+                )
+        assert survived.penalized_cost is not None
+        rejects = [e for e in tel.events() if e.kind == "integrity"]
+        assert [e.task for e in rejects] == [0]
+
 
 class TestDeterministicSeeding:
     def test_same_seed_reproduces(self, small_problem):

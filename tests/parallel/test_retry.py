@@ -1,0 +1,117 @@
+"""RetryPolicy: backoff determinism, env resolution, digest stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.retry import (
+    DEFAULT_RETRIES_ENV,
+    RETRYABLE_KINDS,
+    IntegrityError,
+    RetryPolicy,
+    payload_digest,
+)
+
+
+class TestPayloadDigest:
+    def test_stable_across_calls(self):
+        payload = ("cktb", 3, (1, 2, 3))
+        assert payload_digest(payload) == payload_digest(payload)
+
+    def test_distinguishes_payloads(self):
+        assert payload_digest(("a", 1)) != payload_digest(("a", 2))
+
+    def test_short_hex(self):
+        digest = payload_digest({"x": 1})
+        assert len(digest) == 16
+        int(digest, 16)  # valid hex
+
+    def test_unpicklable_falls_back_to_repr(self):
+        digest = payload_digest(lambda: None)  # noqa: E731
+        assert len(digest) == 16
+
+
+class TestRetryPolicy:
+    def test_should_retry_respects_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry("error", 0)
+        assert policy.should_retry("crash", 1)
+        assert not policy.should_retry("error", 2)  # third attempt is last
+
+    def test_should_retry_respects_kinds(self):
+        policy = RetryPolicy(max_attempts=5)
+        for kind in RETRYABLE_KINDS:
+            assert policy.should_retry(kind, 0)
+        assert not policy.should_retry("budget", 0)
+        assert not policy.should_retry("skipped", 0)
+
+    def test_single_attempt_never_retries(self):
+        assert not RetryPolicy(max_attempts=1).should_retry("error", 0)
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=10.0, jitter=0.0)
+        digest = payload_digest("x")
+        assert policy.delay_seconds(digest, 0) == pytest.approx(0.1)
+        assert policy.delay_seconds(digest, 1) == pytest.approx(0.2)
+        assert policy.delay_seconds(digest, 2) == pytest.approx(0.4)
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=2.0, jitter=0.0)
+        assert policy.delay_seconds(payload_digest("x"), 10) == pytest.approx(2.0)
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(jitter=0.5)
+        digest = payload_digest(("ckta", 0))
+        assert policy.delay_seconds(digest, 1) == policy.delay_seconds(digest, 1)
+
+    def test_jitter_varies_per_payload_and_attempt(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.5)
+        d1, d2 = payload_digest("a"), payload_digest("b")
+        assert policy.delay_seconds(d1, 0) != policy.delay_seconds(d2, 0)
+        # Same base backoff (capped), different jitter draw per attempt.
+        assert policy.delay_seconds(d1, 1) != policy.delay_seconds(d1, 2)
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.5)
+        for token in range(20):
+            delay = policy.delay_seconds(payload_digest(token), 0)
+            assert 0.5 <= delay <= 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestEnvResolution:
+    def test_unset_means_no_retries(self, monkeypatch):
+        monkeypatch.delenv(DEFAULT_RETRIES_ENV, raising=False)
+        assert RetryPolicy.from_env() is None
+
+    def test_env_sets_attempts(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_RETRIES_ENV, "4")
+        policy = RetryPolicy.from_env()
+        assert policy is not None and policy.max_attempts == 4
+
+    def test_below_two_means_no_retries(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_RETRIES_ENV, "1")
+        assert RetryPolicy.from_env() is None
+
+    def test_garbage_ignored(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_RETRIES_ENV, "lots")
+        assert RetryPolicy.from_env() is None
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_RETRIES_ENV, "9")
+        explicit = RetryPolicy(max_attempts=2)
+        assert RetryPolicy.resolve(explicit) is explicit
+        resolved = RetryPolicy.resolve(None)
+        assert resolved is not None and resolved.max_attempts == 9
+
+
+class TestIntegrityError:
+    def test_is_a_runtime_error(self):
+        assert issubclass(IntegrityError, RuntimeError)

@@ -8,12 +8,14 @@ import numpy as np
 import pytest
 
 from repro.runtime.budget import Budget
+from repro.obs.telemetry import Telemetry
 from repro.runtime.checkpoint import (
     QBP_CHECKPOINT_FORMAT,
     CheckpointError,
     QbpCheckpoint,
     QbpCheckpointer,
     atomic_write_json,
+    checkpoint_backup_path,
     load_json_checkpoint,
     load_qbp_checkpoint,
     save_qbp_checkpoint,
@@ -56,6 +58,81 @@ class TestAtomicJson:
         path = tmp_path / "ck.json"
         atomic_write_json(path, {"format": "x-v1"})
         assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+
+class TestTornCheckpointSalvage:
+    """A damaged primary snapshot falls back to the ``.bak`` generation."""
+
+    @staticmethod
+    def _write_two_generations(path):
+        atomic_write_json(path, {"format": "x-v1", "iteration": 4}, backup=True)
+        atomic_write_json(path, {"format": "x-v1", "iteration": 5}, backup=True)
+
+    def test_backup_rotation(self, tmp_path):
+        path = tmp_path / "ck.json"
+        self._write_two_generations(path)
+        backup = checkpoint_backup_path(path)
+        assert backup.name == "ck.json.bak"
+        assert json.loads(path.read_text())["iteration"] == 5
+        assert json.loads(backup.read_text())["iteration"] == 4
+
+    def test_no_backup_without_flag(self, tmp_path):
+        path = tmp_path / "ck.json"
+        atomic_write_json(path, {"format": "x-v1", "iteration": 1})
+        atomic_write_json(path, {"format": "x-v1", "iteration": 2})
+        assert not checkpoint_backup_path(path).exists()
+
+    def test_torn_primary_salvages_backup(self, tmp_path, caplog):
+        path = tmp_path / "ck.json"
+        self._write_two_generations(path)
+        corrupt_json_file(path, seed=5)
+        with caplog.at_level("WARNING", logger="repro.runtime.checkpoint"):
+            payload = try_load_json_checkpoint(path, expected_format="x-v1")
+        assert payload is not None and payload["iteration"] == 4
+        assert any("previous good snapshot" in r.message for r in caplog.records)
+
+    def test_missing_primary_salvages_backup(self, tmp_path):
+        path = tmp_path / "ck.json"
+        self._write_two_generations(path)
+        path.unlink()
+        payload = try_load_json_checkpoint(path, expected_format="x-v1")
+        assert payload is not None and payload["iteration"] == 4
+
+    def test_salvage_can_be_disabled(self, tmp_path):
+        path = tmp_path / "ck.json"
+        self._write_two_generations(path)
+        corrupt_json_file(path, seed=5)
+        assert (
+            try_load_json_checkpoint(path, expected_format="x-v1", salvage=False)
+            is None
+        )
+
+    def test_both_generations_torn_gives_up(self, tmp_path, caplog):
+        path = tmp_path / "ck.json"
+        self._write_two_generations(path)
+        corrupt_json_file(path, seed=5)
+        corrupt_json_file(checkpoint_backup_path(path), seed=6)
+        with caplog.at_level("WARNING", logger="repro.runtime.checkpoint"):
+            assert try_load_json_checkpoint(path, expected_format="x-v1") is None
+        assert any("backup checkpoint" in r.message for r in caplog.records)
+
+    def test_salvage_emits_typed_events(self, tmp_path):
+        tel = Telemetry.enabled_default()
+        path = tmp_path / "ck.json"
+        self._write_two_generations(path)
+        corrupt_json_file(path, seed=5)
+        try_load_json_checkpoint(
+            path, expected_format="x-v1", label="ckta", telemetry=tel
+        )
+        statuses = [
+            (e.label, e.status)
+            for e in tel.events()
+            if getattr(e, "kind", "") == "checkpoint"
+        ]
+        assert statuses == [("ckta", "corrupt"), ("ckta", "salvaged")]
+        counters = tel.metrics_snapshot()["counters"]
+        assert counters["checkpoint.corrupt"] == 1.0
+        assert counters["checkpoint.salvaged"] == 1.0
 
 
 def _sample_checkpoint() -> QbpCheckpoint:
@@ -138,6 +215,34 @@ class TestQbpCheckpointer:
         ck.clear()
         assert ck.load() is None
         ck.clear()  # idempotent
+
+    def test_save_rotates_backup_and_clear_removes_it(self, tmp_path):
+        path = tmp_path / "x.json"
+        ck = QbpCheckpointer(path, every=1, label="ckt")
+        first = _sample_checkpoint()
+        ck.save(first)
+        second = _sample_checkpoint()
+        second.iteration = 8
+        ck.save(second)
+        backup = checkpoint_backup_path(path)
+        assert backup.exists()
+        assert json.loads(backup.read_text())["iteration"] == 7
+        ck.clear()
+        assert not path.exists() and not backup.exists()
+
+    def test_torn_snapshot_resumes_from_previous_generation(self, tmp_path, caplog):
+        path = tmp_path / "x.json"
+        ck = QbpCheckpointer(path, every=1, label="ckt")
+        ck.save(_sample_checkpoint())
+        second = _sample_checkpoint()
+        second.iteration = 8
+        ck.save(second)
+        corrupt_json_file(path, seed=2)  # latest generation lands torn
+        with caplog.at_level("WARNING", logger="repro.runtime.checkpoint"):
+            salvaged = ck.load()
+        assert salvaged is not None
+        assert salvaged.iteration == 7  # one interval of progress lost, not the run
+        assert np.array_equal(salvaged.part, _sample_checkpoint().part)
 
 
 class TestSolveQbpResume:

@@ -1,0 +1,90 @@
+"""Graceful drain: SIGINT/SIGTERM cancel the budget instead of killing."""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+from repro.runtime.budget import Budget
+from repro.runtime.signals import DRAIN_SIGNALS, DrainState, drain_on_signals
+
+
+class TestDrainState:
+    def test_starts_idle(self):
+        state = DrainState()
+        assert not state.draining
+        assert state.signal_number is None
+
+    def test_mark_records_signal(self):
+        state = DrainState()
+        state.mark(signal.SIGTERM)
+        assert state.draining
+        assert state.signal_number == signal.SIGTERM
+
+
+class TestDrainOnSignals:
+    def test_sigterm_cancels_budget_and_keeps_running(self, caplog):
+        budget = Budget()
+        with caplog.at_level("WARNING", logger="repro.runtime.signals"):
+            with drain_on_signals(budget) as drain:
+                assert not drain.draining
+                signal.raise_signal(signal.SIGTERM)
+                # Still here: the handler drained instead of dying.
+                assert drain.draining
+                assert drain.signal_number == signal.SIGTERM
+                assert budget.cancelled
+        assert any("draining" in r.message for r in caplog.records)
+
+    def test_sigint_cancels_budget(self):
+        budget = Budget()
+        with drain_on_signals(budget) as drain:
+            signal.raise_signal(signal.SIGINT)
+            assert drain.draining
+            assert budget.cancelled
+
+    def test_handlers_restored_on_exit(self):
+        before = {sig: signal.getsignal(sig) for sig in DRAIN_SIGNALS}
+        with drain_on_signals(Budget()):
+            for sig in DRAIN_SIGNALS:
+                assert signal.getsignal(sig) is not before[sig]
+        for sig in DRAIN_SIGNALS:
+            assert signal.getsignal(sig) is before[sig]
+
+    def test_handlers_restored_after_drain(self):
+        before = {sig: signal.getsignal(sig) for sig in DRAIN_SIGNALS}
+        budget = Budget()
+        with drain_on_signals(budget):
+            signal.raise_signal(signal.SIGTERM)
+        for sig in DRAIN_SIGNALS:
+            assert signal.getsignal(sig) is before[sig]
+
+    def test_none_budget_is_passthrough(self):
+        before = {sig: signal.getsignal(sig) for sig in DRAIN_SIGNALS}
+        with drain_on_signals(None) as drain:
+            for sig in DRAIN_SIGNALS:
+                assert signal.getsignal(sig) is before[sig]
+        assert not drain.draining
+
+    def test_non_main_thread_is_passthrough(self):
+        budget = Budget()
+        results = {}
+
+        def target():
+            with drain_on_signals(budget) as drain:
+                results["handler"] = signal.getsignal(signal.SIGTERM)
+                results["draining"] = drain.draining
+
+        before = signal.getsignal(signal.SIGTERM)
+        worker = threading.Thread(target=target)
+        worker.start()
+        worker.join()
+        assert results["handler"] is before  # no handler installed
+        assert results["draining"] is False
+        assert not budget.cancelled
+
+    def test_drain_does_not_trip_unrelated_budget(self):
+        # The cancel is scoped to the budget that was passed in.
+        other = Budget()
+        with drain_on_signals(Budget()):
+            signal.raise_signal(signal.SIGTERM)
+        assert not other.cancelled
