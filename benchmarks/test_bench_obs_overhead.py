@@ -10,6 +10,13 @@ same QBP run three ways:
 * ``ambient`` - an enabled bundle installed ambiently,
 * ``explicit`` - an enabled bundle passed via ``telemetry=``.
 
+The profiling layer makes the same promise one level up: a profiler
+that is *not armed* (no ``--profile``) must cost nothing - the disabled
+bundle never touches ``Telemetry.profiler``, and the enabled span path
+only pays one attribute read.  ``test_profiler_disabled_overhead`` pins
+the ``off`` median against an enabled-but-unprofiled run under the same
+bound as the main guard.
+
 Run with ``pytest benchmarks/test_bench_obs_overhead.py --benchmark-only``
 and compare the three medians; the ``off`` variant must match the seed's
 un-instrumented timings, and the regression assertion below keeps the
@@ -94,3 +101,35 @@ def test_disabled_path_overhead_is_small(workload, initial):
     off = median_time(_run_off)
     explicit = median_time(_run_explicit)
     assert off <= explicit * 1.15 + 0.05
+
+
+def test_profiler_disabled_overhead(workload, initial):
+    """An unarmed profiler adds nothing to the disabled fast path.
+
+    The enabled comparison run carries a telemetry bundle whose
+    ``profiler`` stays ``None`` (the default - profiling is opt-in via
+    ``--profile``), so its spans skip the MemorySpan wrapper; the
+    disabled run must stay within the same 15% envelope as the main
+    overhead guard.
+    """
+    problem = workload.problem_no_timing
+
+    def run_enabled_unprofiled(problem, initial):
+        tel = Telemetry.enabled_default()
+        assert tel.profiler is None  # profiling stays opt-in
+        return solve_qbp(
+            problem, iterations=ITERATIONS, initial=initial, seed=0, telemetry=tel
+        )
+
+    def median_time(fn, rounds=3):
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn(problem, initial)
+            times.append(time.perf_counter() - start)
+        return sorted(times)[rounds // 2]
+
+    _run_off(problem, initial)  # warm caches before timing
+    off = median_time(_run_off)
+    unprofiled = median_time(run_enabled_unprofiled)
+    assert off <= unprofiled * 1.15 + 0.05

@@ -16,15 +16,35 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
+from typing import List, Optional
 
 from repro.core.objective import ObjectiveEvaluator
 from repro.eval.workloads import build_workload
 
 
-def main() -> int:
-    results_path = Path(sys.argv[1] if len(sys.argv) > 1 else "full_results.json")
-    payload = json.loads(results_path.read_text())
-    rows = {row["name"]: row for row in payload["table3"]}
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    results_path = Path(argv[0] if argv else "full_results.json")
+    try:
+        payload = json.loads(results_path.read_text())
+    except OSError as exc:
+        print(f"audit_run: cannot read {results_path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"audit_run: {results_path} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    table = payload.get("table3") if isinstance(payload, dict) else None
+    if table is None:
+        available = sorted(payload) if isinstance(payload, dict) else []
+        print(
+            f"audit_run: {results_path} has no 'table3' section "
+            f"(available keys: {', '.join(available) or 'none'}); "
+            "this audit needs the Table III rows written by the full "
+            "evaluation (python -m repro.eval.run --table 3 ...)",
+            file=sys.stderr,
+        )
+        return 2
+    rows = {row["name"]: row for row in table}
 
     print("circuit | run start | reference cost | origin")
     print("--------+-----------+----------------+-------")

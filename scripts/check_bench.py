@@ -18,12 +18,20 @@ Counters that exist only in the current run (new instrumentation) are
 reported but do not fail the gate; counters present in the baseline but
 missing from the run do fail (something stopped being measured).
 
+Instead of a static baseline, ``--ledger`` gates against the rolling
+window of a ``run-ledger-v1`` history (see ``repro.obs.ledger``):
+counters come from the latest recorded run, timing gauges from the
+window median, so the gate tracks the fleet's recent reality instead of
+one frozen machine.
+
 Usage::
 
     python -m repro.eval.run --table 2 --scale 0.1 --circuits ckta cktb \\
         --iterations 20 --seed 0 --metrics-out current.json
     python scripts/check_bench.py current.json \\
         --baseline benchmarks/baselines/eval-small.json
+    python scripts/check_bench.py current.json \\
+        --ledger benchmarks/ledger.jsonl --window 10
 
 Exit codes: 0 within tolerance, 1 drift detected, 2 unreadable input.
 Needs ``src`` on ``PYTHONPATH`` (or the package installed).
@@ -116,8 +124,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("current", help="metrics JSON written by --metrics-out")
     parser.add_argument(
-        "--baseline", required=True, metavar="PATH",
+        "--baseline", default=None, metavar="PATH",
         help="committed baseline snapshot (benchmarks/baselines/*.json)",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="gate against the rolling window of a run-ledger-v1 history "
+        "instead of a static baseline (see repro.obs.ledger)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="ledger window size (default: repro.obs.ledger.DEFAULT_WINDOW)",
     )
     parser.add_argument(
         "--counter-tolerance", type=float, default=DEFAULT_COUNTER_TOLERANCE,
@@ -135,6 +152,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="rewrite the baseline from the current snapshot and exit 0",
     )
     args = parser.parse_args(argv)
+    if (args.baseline is None) == (args.ledger is None):
+        parser.error("exactly one of --baseline or --ledger is required")
+    if args.update and args.baseline is None:
+        parser.error("--update needs --baseline (ledgers grow via --ledger runs)")
 
     try:
         current = load_snapshot(args.current)
@@ -150,11 +171,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"check_bench: baseline {args.baseline} updated")
         return 0
 
-    try:
-        baseline = load_snapshot(args.baseline)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
-        print(f"check_bench: unreadable baseline: {exc}", file=sys.stderr)
-        return 2
+    if args.ledger is not None:
+        from repro.obs.ledger import DEFAULT_WINDOW, read_ledger, window_baseline
+
+        records = read_ledger(args.ledger)
+        baseline = window_baseline(
+            records, window=args.window if args.window is not None else DEFAULT_WINDOW
+        )
+        if baseline is None:
+            print(
+                f"check_bench: ledger {args.ledger} has no records yet; "
+                "nothing to gate against (pass)",
+                file=sys.stderr,
+            )
+            return 0
+        baseline_label = f"{args.ledger} (window of {len(records)} record(s))"
+    else:
+        try:
+            baseline = load_snapshot(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"check_bench: unreadable baseline: {exc}", file=sys.stderr)
+            return 2
+        baseline_label = args.baseline
 
     problems = check_bench(
         current,
@@ -171,7 +209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"check_bench: {args.current} within tolerance of {args.baseline}")
+    print(f"check_bench: {args.current} within tolerance of {baseline_label}")
     return 0
 
 

@@ -50,8 +50,9 @@ def check_trace(
         if record["type"] == "span":
             spans += 1
             names.add(record["name"])
-        else:
+        elif record["type"] == "event":
             events += 1
+        # "meta" records (epoch/clock header) count as neither.
     if spans < min_spans:
         problems.append(f"expected >= {min_spans} spans, found {spans}")
     if events < min_events:

@@ -170,6 +170,7 @@ def annealing_partition(
                         improved=best_cost < step_best - 1e-12,
                     )
                 )
+        engine.stats.publish(tel)
         span.set("steps_run", steps_run)
         span.set("stop_reason", stop_reason)
 

@@ -110,6 +110,7 @@ def gkl_partition(
                 break
             if improvement <= min_gain:
                 break
+        engine.stats.publish(tel)
         span.set("passes", passes)
         span.set("stop_reason", stop_reason)
 

@@ -23,13 +23,14 @@ Layering (machine-enforced by ``scripts/check_imports.py`` and
 """
 
 from repro.engine.context import SolverContext
-from repro.engine.delta import ETA_MODES, DeltaCache
+from repro.engine.delta import ETA_MODES, DeltaCache, DeltaStats
 from repro.engine.fanout import BestFold, fold_outcomes
 from repro.engine.outcome import SolveOutcome
 
 __all__ = [
     "BestFold",
     "DeltaCache",
+    "DeltaStats",
     "ETA_MODES",
     "SolveOutcome",
     "SolverContext",

@@ -47,6 +47,66 @@ ETA_MODES = ("burkard", "diagonal", "symmetric")
 :func:`repro.solvers.burkard.solve_qbp` for the semantics of each)."""
 
 
+class DeltaStats:
+    """Hot-path counters for one :class:`DeltaCache` instance.
+
+    Plain integer attributes bumped unconditionally (an ``int += 1`` is
+    far cheaper than any telemetry lookup, so the kernel stays fast with
+    telemetry off) and *drained* into ``delta.*`` counters by
+    :meth:`publish`.  The split the counters expose is the cache's
+    hit/miss story: ``row_refreshes``/``timing_row_refreshes`` are the
+    incremental updates (cache hits - only neighbour rows recomputed),
+    ``full_rebuilds`` are the full ``(N, M)`` recomputations (misses:
+    construction, :meth:`DeltaCache.reset`).
+    """
+
+    __slots__ = (
+        "eta_evals",
+        "moves",
+        "swaps",
+        "row_refreshes",
+        "timing_row_refreshes",
+        "full_rebuilds",
+        "_published",
+    )
+
+    COUNTER_PREFIX = "delta."
+
+    def __init__(self) -> None:
+        self.eta_evals = 0
+        self.moves = 0
+        self.swaps = 0
+        self.row_refreshes = 0
+        self.timing_row_refreshes = 0
+        self.full_rebuilds = 0
+        self._published: dict = {}
+
+    def as_dict(self) -> dict:
+        return {
+            "eta_evals": self.eta_evals,
+            "moves": self.moves,
+            "swaps": self.swaps,
+            "row_refreshes": self.row_refreshes,
+            "timing_row_refreshes": self.timing_row_refreshes,
+            "full_rebuilds": self.full_rebuilds,
+        }
+
+    def publish(self, telemetry) -> None:
+        """Drain counts-since-last-publish into ``delta.*`` counters.
+
+        Safe to call repeatedly (per solve, per restart): only the
+        increment since the previous publish is added, so shared kernels
+        never double-count.  No-op on a disabled bundle.
+        """
+        if telemetry is None or not telemetry.enabled:
+            return
+        for name, value in self.as_dict().items():
+            delta = value - self._published.get(name, 0)
+            if delta:
+                telemetry.counter(self.COUNTER_PREFIX + name).inc(delta)
+                self._published[name] = value
+
+
 class DeltaCache:
     """Incrementally maintained move/swap deltas and feasibility masks.
 
@@ -98,6 +158,7 @@ class DeltaCache:
         self.t_budget = self.evaluator.t_budget
         self.t_wire = self.evaluator.t_wire
 
+        self.stats = DeltaStats()
         self.part: Optional[np.ndarray] = None
         self.capacity: Optional[CapacityTracker] = None
         self.delta: Optional[np.ndarray] = None
@@ -110,6 +171,7 @@ class DeltaCache:
     # ------------------------------------------------------------------
     def reset(self, assignment: Assignment) -> None:
         """(Re)attach the kernel to ``assignment`` and rebuild all state."""
+        self.stats.full_rebuilds += 1
         self.part = self.problem.validate_assignment_shape(assignment.part).copy()
         self.capacity = CapacityTracker.for_assignment(
             Assignment(self.part, self.m), self.sizes, self.capacities
@@ -146,6 +208,7 @@ class DeltaCache:
         vectorised over the constraint list.  ``mode`` is one of
         :data:`ETA_MODES`.
         """
+        self.stats.eta_evals += 1
         n = self.n
         b_rows = self.B[part, :]  # (N, M): b_rows[j1, i2] = B[A(j1), i2]
         eta = self.beta * (self._AT @ b_rows)
@@ -306,6 +369,7 @@ class DeltaCache:
         moved_delta = float(self.delta[j, new_i])
         self.part[j] = new_i
         self.capacity.apply_move(j, old_i, new_i)
+        self.stats.moves += 1
 
         # Wire neighbours' deltas depend on j's position; refresh them.
         touched = {j}
@@ -315,6 +379,7 @@ class DeltaCache:
         touched.update(in_k.tolist())
         for k in touched:
             self.delta[k, :] = self._delta_row(k)
+        self.stats.row_refreshes += len(touched)
 
         # Timing rows of constraint partners (and j itself) change too.
         timing_touched = {j}
@@ -323,6 +388,7 @@ class DeltaCache:
         for k in timing_touched:
             if self.timing_index.degree(k):
                 self.timing_block[k, :] = self._timing_block_row(k)
+                self.stats.timing_row_refreshes += 1
         return moved_delta
 
     def apply_swap(self, j1: int, j2: int) -> float:
@@ -331,7 +397,8 @@ class DeltaCache:
         d = float(self.evaluator.swap_delta(self.part, j1, j2))
         if i1 == i2:
             return 0.0
-        # Two raw moves; loads net out exactly.
+        self.stats.swaps += 1
+        # Two raw moves; loads net out exactly (each also counts as a move).
         self.apply_move(j1, i2)
         self.apply_move(j2, i1)
         return d

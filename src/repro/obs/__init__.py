@@ -11,7 +11,12 @@ the repo reports through:
   (iteration / restart / fallback / checkpoint / retry / quarantine /
   integrity) with schema validation,
 * :mod:`repro.obs.telemetry` - the :class:`Telemetry` bundle, ambient
-  resolution, and the :func:`telemetry_session` scope the CLIs use.
+  resolution, and the :func:`telemetry_session` scope the CLIs use,
+* :mod:`repro.obs.prof` - the sampling profiler and per-span peak-memory
+  tracker (``--profile``/``--prof-out``),
+* :mod:`repro.obs.ledger` - the append-only cross-run history
+  (``--ledger``, ``benchmarks/ledger.jsonl``),
+* :mod:`repro.obs.progress` - the live ``--progress`` status-line sink.
 
 Telemetry is **off by default** and free when off: the ambient instance
 is an inert singleton whose span/emit/instrument calls are no-ops that
@@ -28,12 +33,29 @@ from repro.obs.events import (
     IntegrityEvent,
     IterationEvent,
     JsonlEventSink,
+    ProgressEvent,
     QuarantineEvent,
     RestartEvent,
     TaskRetryEvent,
     event_to_dict,
     validate_trace_line,
 )
+from repro.obs.ledger import (
+    LEDGER_FORMAT,
+    append_record,
+    make_record,
+    read_ledger,
+    run_manifest,
+    window_baseline,
+)
+from repro.obs.prof import (
+    PROFILE_FORMAT,
+    MemoryTracker,
+    Profiler,
+    StackSampler,
+    profiler_from_env,
+)
+from repro.obs.progress import ProgressReporter
 from repro.obs.metrics import (
     METRICS_SNAPSHOT_FORMAT,
     Counter,
@@ -69,25 +91,38 @@ __all__ = [
     "IntegrityEvent",
     "IterationEvent",
     "JsonlEventSink",
+    "LEDGER_FORMAT",
     "METRICS_SNAPSHOT_FORMAT",
+    "MemoryTracker",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PROFILE_FORMAT",
+    "Profiler",
+    "ProgressEvent",
+    "ProgressReporter",
     "QuarantineEvent",
     "RestartEvent",
+    "StackSampler",
     "TaskRetryEvent",
     "SpanRecord",
     "TRACE_SCHEMA_VERSION",
     "Telemetry",
     "Tracer",
     "add_telemetry_arguments",
+    "append_record",
     "current",
     "session_from_args",
     "diff_snapshots",
     "empty_snapshot",
     "event_to_dict",
+    "make_record",
+    "profiler_from_env",
+    "read_ledger",
     "resolve",
+    "run_manifest",
     "telemetry_session",
     "use_telemetry",
     "validate_trace_line",
+    "window_baseline",
     "write_combined_trace",
 ]

@@ -15,7 +15,9 @@ of ad-hoc callbacks:
 * :class:`QuarantineEvent` - one pool task given up on after exhausting
   its retry budget (the poison-task record, with the payload digest),
 * :class:`IntegrityEvent` - one worker result rejected by the parent's
-  integrity gate before acceptance.
+  integrity gate before acceptance,
+* :class:`ProgressEvent` - one periodic batch-progress heartbeat from a
+  running worker pool (rows done / running / ETA).
 
 Every event serialises (:func:`event_to_dict`) to a JSONL line tagged
 ``type: "event"`` and ``schema: EVENT_SCHEMA_VERSION``; the required
@@ -169,6 +171,31 @@ class IntegrityEvent:
     kind = "integrity"
 
 
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One periodic batch-progress heartbeat from a worker pool.
+
+    Emitted by :class:`~repro.parallel.pool.WorkerPool` while a batch
+    runs (throttled; see ``pool.py``), never from workers themselves.
+    ``done`` counts settled tasks (successes *and* final failures),
+    ``failed`` the final failures among them; ``eta_seconds`` is a naive
+    completed-rate extrapolation and is ``None`` until the first task
+    settles.  Rendered live by
+    :class:`~repro.obs.progress.ProgressReporter` under ``--progress``.
+    """
+
+    pool: str
+    done: int
+    total: int
+    running: int = 0
+    failed: int = 0
+    elapsed_seconds: float = 0.0
+    eta_seconds: Optional[float] = None
+    worker: Optional[int] = None
+
+    kind = "progress"
+
+
 EVENT_TYPES = (
     IterationEvent,
     RestartEvent,
@@ -177,6 +204,7 @@ EVENT_TYPES = (
     TaskRetryEvent,
     QuarantineEvent,
     IntegrityEvent,
+    ProgressEvent,
 )
 
 EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
@@ -226,11 +254,13 @@ def validate_trace_line(line) -> Dict[str, Any]:
     """Validate one trace record; returns it parsed, raises ``ValueError``.
 
     ``line`` may be a raw JSONL string or an already-parsed dict.
-    Accepts the two record types a trace JSONL file may contain:
-    ``type: "span"`` (see :mod:`repro.obs.trace`) and ``type: "event"``
-    (this module).  Unknown extra keys are tolerated on events - the
-    schema version only bumps on removals - but missing required fields,
-    unknown kinds, and malformed timing are errors.
+    Accepts the three record types a trace JSONL file may contain:
+    ``type: "meta"`` (one file-level header carrying the tracer's
+    wall-clock epoch, see :mod:`repro.obs.trace`), ``type: "span"``
+    (ibid.), and ``type: "event"`` (this module).  Unknown extra keys
+    are tolerated on events - the schema version only bumps on removals
+    - but missing required fields, unknown kinds, and malformed timing
+    are errors.
     """
     if isinstance(line, (str, bytes)):
         try:
@@ -240,6 +270,13 @@ def validate_trace_line(line) -> Dict[str, Any]:
     if not isinstance(line, dict):
         raise ValueError(f"trace line must be a JSON object, got {type(line).__name__}")
     kind = line.get("type")
+    if kind == "meta":
+        epoch = line.get("epoch_unix")
+        if not isinstance(epoch, (int, float)) or epoch < 0:
+            raise ValueError(
+                f"meta line 'epoch_unix' must be a non-negative number: {line}"
+            )
+        return line
     if kind == "span":
         for key in ("name", "id", "start", "wall", "cpu"):
             if key not in line:

@@ -1,0 +1,239 @@
+"""The run ledger: append-only cross-run history (``run-ledger-v1``).
+
+Every instrumented run can append one JSON line to a ledger file
+(``benchmarks/ledger.jsonl`` by convention) carrying
+
+* a **manifest** - git revision, a digest of the run configuration,
+  seed, worker count, platform and Python version - enough to decide
+  whether two records are comparable,
+* the final **metrics snapshot** (``metrics-snapshot-v1``), whose
+  counters are deterministic for a fixed seed and whose ``*_seconds``
+  gauges carry the timings,
+* **peak RSS** (``resource.getrusage``) and the session's wall time,
+* the profiler's sample count when ``--profile`` was active.
+
+Consumers: ``repro.tools.runledger`` (``show``/``compare``/``trend``
+reports) and ``scripts/check_bench.py --ledger`` (gating a fresh run
+against the rolling window instead of a static baseline).  The file is
+append-only JSONL so concurrent writers cannot corrupt prior records
+and a torn final line is skipped, not fatal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import METRICS_SNAPSHOT_FORMAT, empty_snapshot
+
+logger = logging.getLogger(__name__)
+
+LEDGER_FORMAT = "run-ledger-v1"
+"""Format tag stamped on every ledger record."""
+
+DEFAULT_LEDGER_PATH = "benchmarks/ledger.jsonl"
+"""Where the CLIs append records when ``--ledger`` is given bare."""
+
+DEFAULT_WINDOW = 10
+"""Rolling-window size for trend/gating when not specified."""
+
+TIME_GAUGE_SUFFIX = "_seconds"
+"""Gauges with this suffix are treated as timings by the window gate."""
+
+
+def config_digest(config: Optional[Dict[str, Any]]) -> str:
+    """Stable short digest of a run-configuration mapping.
+
+    Non-JSON-serialisable values are stringified, so any ``vars(args)``
+    dict digests without preprocessing.
+    """
+    payload = json.dumps(config or {}, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit hash, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def peak_rss_kb() -> Optional[float]:
+    """This process's peak resident set size in KiB (``None`` if unknown)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on Linux
+        peak /= 1024.0
+    return float(peak)
+
+
+def run_manifest(
+    *,
+    label: str,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+    config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The identity block of one ledger record."""
+    return {
+        "label": label,
+        "git_rev": git_revision(),
+        "config_digest": config_digest(config),
+        "seed": seed,
+        "workers": workers,
+        "platform": sys.platform,
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "argv": list(sys.argv),
+        "pid": os.getpid(),
+    }
+
+
+def make_record(
+    *,
+    manifest: Dict[str, Any],
+    metrics: Optional[Dict[str, Any]] = None,
+    elapsed_seconds: Optional[float] = None,
+    profile_samples: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Assemble one ``run-ledger-v1`` record (not yet written)."""
+    snapshot = metrics if metrics is not None else empty_snapshot()
+    if snapshot.get("format") != METRICS_SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"metrics must be a {METRICS_SNAPSHOT_FORMAT!r} snapshot, "
+            f"got format {snapshot.get('format')!r}"
+        )
+    record: Dict[str, Any] = {
+        "format": LEDGER_FORMAT,
+        "ts": time.time(),
+        "manifest": manifest,
+        "metrics": snapshot,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    if elapsed_seconds is not None:
+        record["elapsed_seconds"] = float(elapsed_seconds)
+    if profile_samples is not None:
+        record["profile_samples"] = int(profile_samples)
+    return record
+
+
+def append_record(path, record: Dict[str, Any]) -> None:
+    """Append ``record`` as one JSONL line (parent dirs created)."""
+    if record.get("format") != LEDGER_FORMAT:
+        raise ValueError(f"refusing to append a non-{LEDGER_FORMAT} record")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_ledger(path) -> List[Dict[str, Any]]:
+    """Every readable record in the ledger, oldest first.
+
+    Malformed lines (torn final write, hand edits) are skipped with a
+    warning rather than poisoning the whole history; records with a
+    foreign ``format`` tag are skipped silently.
+    """
+    target = Path(path)
+    if not target.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(target.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            logger.warning("%s:%d: skipping malformed ledger line", target, lineno)
+            continue
+        if not isinstance(record, dict) or record.get("format") != LEDGER_FORMAT:
+            continue
+        records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Rolling-window analysis (runledger trend, check_bench --ledger)
+# ----------------------------------------------------------------------
+def window_baseline(
+    records: List[Dict[str, Any]], *, window: int = DEFAULT_WINDOW
+) -> Optional[Dict[str, Any]]:
+    """Synthesize a ``metrics-snapshot-v1`` baseline from the last records.
+
+    Counters come from the most recent record (they are deterministic,
+    so any window member would do - the latest reflects the current
+    intended work content).  ``*_seconds`` gauges take the window
+    *median*, which absorbs one slow CI machine without masking a real
+    regression.  ``None`` when the ledger is empty.
+    """
+    if not records:
+        return None
+    tail = records[-max(1, window):]
+    latest = tail[-1].get("metrics", empty_snapshot())
+    baseline = empty_snapshot()
+    baseline["counters"] = dict(latest.get("counters", {}))
+    gauges: Dict[str, float] = {}
+    for name in latest.get("gauges", {}):
+        if not name.endswith(TIME_GAUGE_SUFFIX):
+            continue
+        values = [
+            float(rec["metrics"]["gauges"][name])
+            for rec in tail
+            if name in rec.get("metrics", {}).get("gauges", {})
+        ]
+        if values:
+            gauges[name] = statistics.median(values)
+    baseline["gauges"] = gauges
+    return baseline
+
+
+def metric_series(
+    records: List[Dict[str, Any]], name: str
+) -> List[Optional[float]]:
+    """The value of counter/gauge ``name`` across records (``None`` gaps)."""
+    series: List[Optional[float]] = []
+    for record in records:
+        metrics = record.get("metrics", {})
+        for section in ("counters", "gauges"):
+            if name in metrics.get(section, {}):
+                series.append(float(metrics[section][name]))
+                break
+        else:
+            series.append(None)
+    return series
+
+
+__all__ = [
+    "DEFAULT_LEDGER_PATH",
+    "DEFAULT_WINDOW",
+    "LEDGER_FORMAT",
+    "append_record",
+    "config_digest",
+    "git_revision",
+    "make_record",
+    "metric_series",
+    "peak_rss_kb",
+    "read_ledger",
+    "run_manifest",
+    "window_baseline",
+]

@@ -1,0 +1,380 @@
+"""Sampling profiler and memory accounting (``repro.obs.prof``).
+
+Two independent low-overhead instruments, bundled behind one
+:class:`Profiler` handle that :class:`~repro.obs.telemetry.Telemetry`
+carries when ``--profile`` is given:
+
+* :class:`StackSampler` - a daemon timer thread that snapshots the
+  profiled thread's Python stack via ``sys._current_frames()`` at a
+  fixed interval and accumulates collapsed-stack counts.  Sampling
+  costs the profiled thread nothing between samples (the sampler runs
+  on its own thread and only *reads* frames), and the output is the
+  classic FlameGraph collapsed format (``a;b;c 42``) that
+  ``repro.tools.traceview flame`` and external tools (flamegraph.pl,
+  Speedscope) consume directly.
+* :class:`MemoryTracker` - per-span peak-memory attribution on top of
+  :mod:`tracemalloc`.  Spans bank the running peak on entry and reset
+  it, so each span's ``mem_peak_kb`` attribute reports the peak traced
+  allocation reached *while it was innermost*, nesting correctly.
+
+Both are **off by default** and fork-aware: a sampler thread does not
+survive ``fork``, so workers re-arm from the ``REPRO_PROFILE`` /
+``REPRO_PROFILE_MEM`` environment (set by ``telemetry_session`` for the
+session's duration, the same env-crosses-fork channel ``REPRO_WORKERS``
+uses) and their counts merge back through the parent's
+``worker-telemetry-v1`` dump path (:mod:`repro.parallel.merge`).
+
+This module imports nothing from the rest of ``repro`` so every other
+layer may depend on it freely.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import tracemalloc
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+PROFILE_FORMAT = "profile-v1"
+"""Format tag on serialized profiler dumps (worker transport, ledger)."""
+
+DEFAULT_INTERVAL = 0.005
+"""Default sampling period in seconds (200 Hz)."""
+
+MAX_STACK_DEPTH = 128
+"""Frames kept per sample; deeper stacks are truncated at the root end."""
+
+PROFILE_ENV = "REPRO_PROFILE"
+"""Sampling interval (seconds) workers re-arm from; empty/absent = off."""
+
+PROFILE_MEM_ENV = "REPRO_PROFILE_MEM"
+"""Set to ``1`` alongside :data:`PROFILE_ENV` to also track memory."""
+
+
+def frame_label(frame) -> str:
+    """The collapsed-stack label for one frame: ``module:qualname``."""
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{getattr(code, 'co_qualname', code.co_name)}"
+
+
+class StackSampler:
+    """Timer-thread stack sampler for one target thread.
+
+    The sampler thread wakes every ``interval`` seconds, reads the
+    target thread's current frame from ``sys._current_frames()`` (a
+    consistent snapshot under the GIL), and bumps the count for the
+    root-to-leaf stack tuple.  Only the sampler thread writes
+    ``counts``; readers consume it after :meth:`stop` joins the thread.
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.interval = float(interval)
+        self.counts: Dict[Tuple[str, ...], int] = {}
+        self.total_samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._target: Optional[int] = None
+        self._pid: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def start(self, thread_id: Optional[int] = None) -> None:
+        """Begin sampling ``thread_id`` (default: the calling thread)."""
+        if self.active:
+            return
+        self._target = thread_id if thread_id is not None else threading.get_ident()
+        self._pid = os.getpid()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-prof-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the sampler thread and wait for it (idempotent, fork-safe)."""
+        thread = self._thread
+        self._thread = None
+        if thread is None:
+            return
+        if os.getpid() != self._pid:
+            # Forked child: the thread only exists in the parent, and the
+            # inherited Event must not signal the parent's sampler.
+            return
+        self._stop.set()
+        thread.join(timeout=2.0)
+
+    @property
+    def active(self) -> bool:
+        """Whether a sampler thread is live *in this process*."""
+        return self._thread is not None and os.getpid() == self._pid
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample()
+
+    def _sample(self) -> None:
+        frame = sys._current_frames().get(self._target)
+        if frame is None:
+            return
+        stack: List[str] = []
+        while frame is not None and len(stack) < MAX_STACK_DEPTH:
+            stack.append(frame_label(frame))
+            frame = frame.f_back
+        if not stack:
+            return
+        key = tuple(reversed(stack))  # root -> leaf
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.total_samples += 1
+
+
+class MemoryTracker:
+    """Nested per-span peak-memory attribution via :mod:`tracemalloc`.
+
+    ``tracemalloc`` exposes a single process-wide running peak; nesting
+    is recovered by banking the enclosing span's peak-so-far on entry,
+    resetting the peak, and folding the child's own peak back into the
+    parent on exit.  Only the thread recorded at :meth:`start` is
+    tracked (spans opened on other threads would corrupt the bank
+    stack).
+    """
+
+    def __init__(self) -> None:
+        self._stack: List[int] = []
+        self._thread: Optional[int] = None
+        self._started_tracemalloc = False
+
+    def start(self) -> None:
+        """Start tracemalloc (if needed) and bind to the calling thread."""
+        self._thread = threading.get_ident()
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+
+    def stop(self) -> None:
+        """Stop tracemalloc if this tracker started it."""
+        self._stack.clear()
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_tracemalloc = False
+
+    @property
+    def tracking(self) -> bool:
+        """True when peaks can be attributed on the calling thread."""
+        return (
+            self._thread == threading.get_ident() and tracemalloc.is_tracing()
+        )
+
+    def enter(self) -> None:
+        """Open one nesting level (bank the parent's peak, reset)."""
+        _, peak = tracemalloc.get_traced_memory()
+        if self._stack:
+            self._stack[-1] = max(self._stack[-1], peak)
+        tracemalloc.reset_peak()
+        self._stack.append(0)
+
+    def exit(self) -> int:
+        """Close the innermost level; returns its peak traced bytes."""
+        _, peak = tracemalloc.get_traced_memory()
+        own = max(self._stack.pop(), peak) if self._stack else peak
+        tracemalloc.reset_peak()
+        if self._stack:
+            self._stack[-1] = max(self._stack[-1], own)
+        return own
+
+
+class MemorySpan:
+    """A tracer span wrapped with peak-memory capture.
+
+    Forwards the span protocol (``__enter__``/``__exit__``/``set``) and
+    stamps a ``mem_peak_kb`` attribute when the wrapped span closes.
+    Off-thread spans pass through untouched.
+    """
+
+    __slots__ = ("_span", "_tracker", "_tracked")
+
+    def __init__(self, span, tracker: MemoryTracker) -> None:
+        self._span = span
+        self._tracker = tracker
+        self._tracked = False
+
+    def set(self, key, value):
+        self._span.set(key, value)
+        return self
+
+    def __enter__(self) -> "MemorySpan":
+        self._span.__enter__()
+        if self._tracker.tracking:
+            self._tracker.enter()
+            self._tracked = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._tracked and self._tracker.tracking:
+            peak = self._tracker.exit()
+            self._span.set("mem_peak_kb", round(peak / 1024.0, 1))
+        return self._span.__exit__(exc_type, exc, tb)
+
+
+class Profiler:
+    """Stack sampling + optional memory tracking behind one handle.
+
+    Attached to ``Telemetry.profiler`` by ``telemetry_session`` (parent
+    process) or ``profiler_from_env`` (pool workers); everything here is
+    inert until :meth:`start`.
+    """
+
+    def __init__(
+        self, *, interval: float = DEFAULT_INTERVAL, memory: bool = False
+    ) -> None:
+        self.sampler = StackSampler(interval)
+        self.memory: Optional[MemoryTracker] = MemoryTracker() if memory else None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm both instruments on the calling thread."""
+        if self.memory is not None:
+            self.memory.start()
+        self.sampler.start()
+
+    def stop(self) -> None:
+        """Disarm both instruments (idempotent)."""
+        self.sampler.stop()
+        if self.memory is not None:
+            self.memory.stop()
+
+    @property
+    def active(self) -> bool:
+        return self.sampler.active
+
+    @property
+    def interval(self) -> float:
+        return self.sampler.interval
+
+    @property
+    def total_samples(self) -> int:
+        return self.sampler.total_samples
+
+    # ------------------------------------------------------------------
+    # Collapsed-stack export and merging
+    # ------------------------------------------------------------------
+    def collapsed_counts(self) -> Dict[str, int]:
+        """Stack counts keyed by the collapsed ``a;b;c`` string."""
+        merged: Dict[str, int] = {}
+        for stack, count in self.sampler.counts.items():
+            key = ";".join(stack)
+            merged[key] = merged.get(key, 0) + count
+        return merged
+
+    def collapsed_lines(self) -> List[str]:
+        """FlameGraph collapsed-stack lines, sorted by count then stack."""
+        counts = self.collapsed_counts()
+        return [
+            f"{stack} {count}"
+            for stack, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]
+
+    def write_collapsed(self, path) -> int:
+        """Write the collapsed-stack file; returns the line count."""
+        lines = self.collapsed_lines()
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("".join(line + "\n" for line in lines))
+        return len(lines)
+
+    def self_counts(self) -> Dict[str, int]:
+        """Samples per *leaf* frame (the flat "where is time spent" view)."""
+        flat: Dict[str, int] = {}
+        for stack, count in self.sampler.counts.items():
+            leaf = stack[-1]
+            flat[leaf] = flat.get(leaf, 0) + count
+        return flat
+
+    def summary_lines(self, top: int = 10) -> List[str]:
+        """Human-oriented top-leaf-frames table (for the no-file case)."""
+        total = self.total_samples
+        if total == 0:
+            return ["profile: no samples collected (run shorter than the interval?)"]
+        lines = [f"profile: {total} samples at {self.interval * 1000:g} ms"]
+        ranked = sorted(self.self_counts().items(), key=lambda kv: (-kv[1], kv[0]))
+        for frame, count in ranked[:top]:
+            lines.append(f"  {100.0 * count / total:5.1f}%  {frame}")
+        return lines
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict dump for worker transport (``profile-v1``)."""
+        return {
+            "format": PROFILE_FORMAT,
+            "interval": self.interval,
+            "samples": self.total_samples,
+            "stacks": self.collapsed_counts(),
+        }
+
+    def merge_dump(self, dump: Dict[str, object]) -> None:
+        """Fold a worker's :meth:`to_dict` payload into this profiler."""
+        stacks = dump.get("stacks") or {}
+        for key, count in stacks.items():
+            stack = tuple(str(key).split(";"))
+            self.sampler.counts[stack] = self.sampler.counts.get(stack, 0) + int(count)
+        self.sampler.total_samples += int(dump.get("samples", 0))
+
+
+# ----------------------------------------------------------------------
+# Environment propagation (parent session -> forked pool workers)
+# ----------------------------------------------------------------------
+def set_profile_env(interval: float, memory: bool) -> None:
+    """Advertise an active profile to forked children via the environment."""
+    os.environ[PROFILE_ENV] = repr(float(interval))
+    if memory:
+        os.environ[PROFILE_MEM_ENV] = "1"
+    else:
+        os.environ.pop(PROFILE_MEM_ENV, None)
+
+
+def clear_profile_env() -> None:
+    """Remove the profile advertisement (session teardown)."""
+    os.environ.pop(PROFILE_ENV, None)
+    os.environ.pop(PROFILE_MEM_ENV, None)
+
+
+def profiler_from_env() -> Optional[Profiler]:
+    """A fresh :class:`Profiler` per the environment, or ``None`` when off.
+
+    Read by pool workers right after the fork: the sampler thread never
+    crosses ``fork``, so each worker arms its own from the advertised
+    interval and ships counts back through its telemetry dump.
+    """
+    raw = os.environ.get(PROFILE_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        interval = float(raw)
+    except ValueError:
+        return None
+    if interval <= 0:
+        return None
+    memory = os.environ.get(PROFILE_MEM_ENV, "").strip() == "1"
+    return Profiler(interval=interval, memory=memory)
+
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "MAX_STACK_DEPTH",
+    "PROFILE_ENV",
+    "PROFILE_FORMAT",
+    "PROFILE_MEM_ENV",
+    "MemorySpan",
+    "MemoryTracker",
+    "Profiler",
+    "StackSampler",
+    "clear_profile_env",
+    "frame_label",
+    "profiler_from_env",
+    "set_profile_env",
+]

@@ -1,0 +1,70 @@
+"""Live progress rendering for long pool sweeps (``--progress``).
+
+:class:`~repro.parallel.pool.WorkerPool` emits periodic
+:class:`~repro.obs.events.ProgressEvent` records while a batch runs
+(rows done, restarts done, running count, elapsed, ETA).  Those are
+ordinary typed events - they land in every sink like the rest of the
+stream - and :class:`ProgressReporter` is the sink that turns them into
+a single self-overwriting status line on stderr::
+
+    [eval.table] 3/7 done (2 running) elapsed 12.4s eta ~16.5s
+
+The reporter ignores every other event kind, so it can ride alongside
+the JSONL sinks on the same telemetry bundle.  ``close()`` terminates
+the line so subsequent output starts clean.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def format_progress(event) -> str:
+    """One status line for a ``progress`` event."""
+    parts = [f"[{event.pool}] {event.done}/{event.total} done"]
+    qualifiers = []
+    if event.running:
+        qualifiers.append(f"{event.running} running")
+    if event.failed:
+        qualifiers.append(f"{event.failed} failed")
+    if qualifiers:
+        parts.append(f"({', '.join(qualifiers)})")
+    parts.append(f"elapsed {event.elapsed_seconds:.1f}s")
+    if event.eta_seconds is not None:
+        parts.append(f"eta ~{event.eta_seconds:.1f}s")
+    return " ".join(parts)
+
+
+class ProgressReporter:
+    """Event sink rendering ``progress`` events as a live status line."""
+
+    def __init__(self, stream=None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._last_width = 0
+
+    def emit(self, event) -> None:
+        """Render ``event`` if it is a progress event; ignore the rest."""
+        if getattr(event, "kind", None) != "progress":
+            return
+        line = format_progress(event)
+        pad = max(0, self._last_width - len(line))
+        try:
+            self._stream.write("\r" + line + " " * pad)
+            self._stream.flush()
+        except (OSError, ValueError):  # closed/broken stream: go quiet
+            self._last_width = 0
+            return
+        self._last_width = len(line)
+
+    def close(self) -> None:
+        """Finish the status line (idempotent)."""
+        if self._last_width:
+            try:
+                self._stream.write("\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass
+            self._last_width = 0
+
+
+__all__ = ["ProgressReporter", "format_progress"]

@@ -139,6 +139,15 @@ class Tracer:
     def __init__(self) -> None:
         self.spans: List[SpanRecord] = []
         self._epoch = time.perf_counter()
+        self.epoch_unix = time.time()
+        """Wall-clock time (``time.time``) at the tracer's epoch.
+
+        Span ``start`` values are monotonic offsets from the epoch, so
+        ``epoch_unix + start`` places a span in real time - the anchor
+        external viewers need to align merged per-worker traces against
+        logs or other systems.  Exported as the ``meta`` header line in
+        JSONL and as ``metadata.epoch_unix`` in the Chrome trace.
+        """
         self._lock = threading.Lock()
         self._ids = 0
         self._local = threading.local()
@@ -213,6 +222,23 @@ class Tracer:
             self.spans.append(record)
 
     # ------------------------------------------------------------------
+    def meta_dict(self) -> Dict[str, Any]:
+        """The trace-file header record (``type: "meta"``).
+
+        Carries the wall-clock epoch so span starts (monotonic offsets)
+        can be mapped to real time: ``epoch_unix + start``.
+        """
+        return {
+            "type": "meta",
+            "schema": TRACE_SCHEMA_VERSION,
+            "epoch_unix": self.epoch_unix,
+            "clock": "perf_counter",
+        }
+
+    def meta_line(self) -> str:
+        """:meth:`meta_dict` serialized as one JSONL line."""
+        return json.dumps(self.meta_dict(), sort_keys=True)
+
     def to_jsonl_lines(self) -> List[str]:
         """Every closed span as a serialized JSONL line (start-ordered)."""
         with self._lock:
@@ -220,8 +246,11 @@ class Tracer:
         return [json.dumps(r.to_dict(), sort_keys=True) for r in records]
 
     def export_jsonl(self, path) -> int:
-        """Append-write all spans to ``path`` as JSONL; returns the count."""
-        lines = self.to_jsonl_lines()
+        """Write the meta header plus all spans to ``path`` as JSONL.
+
+        Returns the total line count (spans + 1 for the header).
+        """
+        lines = [self.meta_line()] + self.to_jsonl_lines()
         Path(path).write_text("".join(line + "\n" for line in lines))
         return len(lines)
 
@@ -243,7 +272,21 @@ class Tracer:
         ]
 
     def export_chrome(self, path) -> int:
-        """Write the Chrome trace JSON to ``path``; returns the span count."""
+        """Write the Chrome trace JSON to ``path``; returns the span count.
+
+        Uses the object form (``{"traceEvents": [...], "metadata":
+        {...}}``) - equally valid for ``chrome://tracing`` / Perfetto -
+        so the wall-clock epoch rides along as metadata.
+        """
         events = self.to_chrome_trace()
-        Path(path).write_text(json.dumps(events))
+        payload = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "epoch_unix": self.epoch_unix,
+                "clock": "perf_counter",
+                "trace_schema": TRACE_SCHEMA_VERSION,
+            },
+        }
+        Path(path).write_text(json.dumps(payload))
         return len(events)

@@ -19,6 +19,11 @@ and the parent folds it in with :func:`merge_worker_dump`:
 * **metrics** - counters add, gauges last-write-wins (merge order = task
   order, deterministic), histogram summaries fold exactly
   (:meth:`~repro.obs.metrics.Histogram.merge_summary`).
+* **profile** - a worker armed with a sampling profiler (via
+  ``REPRO_PROFILE``, see :mod:`repro.obs.prof`) ships its collapsed
+  stack counts; the parent folds them into its own profiler with
+  :meth:`~repro.obs.prof.Profiler.merge_dump`, so one flamegraph covers
+  the whole fan-out.
 
 The merged trace is shape-identical to a serial one: every line still
 validates against ``repro.obs.events.validate_trace_line``, so
@@ -57,6 +62,9 @@ def capture_worker_dump(telemetry: Telemetry, worker: int) -> Dict[str, Any]:
         "spans": spans,
         "events": [event_to_dict(event) for event in telemetry.events()],
         "metrics": telemetry.metrics_snapshot(),
+        "profile": (
+            telemetry.profiler.to_dict() if telemetry.profiler is not None else None
+        ),
     }
 
 
@@ -114,6 +122,10 @@ def merge_worker_dump(
         telemetry.emit(event)
 
     merge_snapshot_into(telemetry, dump.get("metrics") or empty_snapshot())
+
+    profile = dump.get("profile")
+    if profile and telemetry.profiler is not None:
+        telemetry.profiler.merge_dump(profile)
 
 
 def merge_snapshot_into(telemetry: Telemetry, snapshot: Dict[str, Any]) -> None:

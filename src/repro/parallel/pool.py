@@ -94,9 +94,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.obs.events import (
     FallbackEvent,
     IntegrityEvent,
+    ProgressEvent,
     QuarantineEvent,
     TaskRetryEvent,
 )
+from repro.obs.prof import profiler_from_env
 from repro.obs.telemetry import (
     DISABLED,
     Telemetry,
@@ -118,6 +120,9 @@ DEFAULT_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
 
 _POLL_SECONDS = 0.05
 """How often the parent re-checks budget/heartbeats while tasks run."""
+
+_PROGRESS_SECONDS = 1.0
+"""Minimum gap between periodic :class:`ProgressEvent` emissions."""
 
 _CRASH_EXIT_CODE = 70
 """Exit code of a worker whose ``worker.crash`` fault site fired."""
@@ -242,6 +247,57 @@ class _TaskState:
         self.ready_at = 0.0  # earliest monotonic time the next attempt may start
         self.records: List[tuple] = []  # chronological audit, flushed in task order
         self.outcome: Optional[TaskOutcome] = None
+
+
+class _BatchProgress:
+    """Throttled parent-side progress emission for one ``map`` batch.
+
+    Emits :class:`~repro.obs.events.ProgressEvent` records *live* (not
+    through the deferred audit flush) so ``--progress`` status lines and
+    streaming event sinks see the sweep advance while it runs.  Settles
+    force an emission; in between, emissions are rate-limited to
+    :data:`_PROGRESS_SECONDS`.  No counters are touched, so benchmark
+    counter determinism is unaffected.
+    """
+
+    __slots__ = ("pool", "tel", "states", "total", "t0", "last")
+
+    def __init__(self, pool: str, tel: Telemetry, states) -> None:
+        self.pool = pool
+        self.tel = tel
+        self.states = states
+        self.total = len(states)
+        self.t0 = time.monotonic()
+        self.last = 0.0
+
+    def update(self, *, running: int = 0, force: bool = False) -> None:
+        if not self.tel.enabled:
+            return
+        now = time.monotonic()
+        if not force and now - self.last < _PROGRESS_SECONDS:
+            return
+        self.last = now
+        done = sum(1 for s in self.states if s.outcome is not None)
+        failed = sum(
+            1
+            for s in self.states
+            if s.outcome is not None and s.outcome.failure is not None
+        )
+        elapsed = now - self.t0
+        eta = None
+        if 0 < done < self.total:
+            eta = elapsed / done * (self.total - done)
+        self.tel.emit(
+            ProgressEvent(
+                pool=self.pool,
+                done=done,
+                total=self.total,
+                running=running,
+                failed=failed,
+                elapsed_seconds=elapsed,
+                eta_seconds=eta,
+            )
+        )
 
 
 class _RunningAttempt:
@@ -433,8 +489,10 @@ class WorkerPool:
     # ------------------------------------------------------------------
     def _map_serial(self, fn, states, first_success, on_result, verify):
         tel = resolve_telemetry(self.telemetry)
+        progress = _BatchProgress(self.name, tel, states)
         done = False
         for state in states:
+            progress.update()
             index = state.index
             if done:
                 state.outcome = TaskOutcome(
@@ -498,11 +556,13 @@ class WorkerPool:
                         error_type="IntegrityError",
                         message=state.records[-1][2],
                     )
+        progress.update(force=True)
 
     # ------------------------------------------------------------------
     def _map_processes(self, fn, states, first_success, on_result, verify):
         tel = resolve_telemetry(self.telemetry)
         capture = tel.enabled
+        progress = _BatchProgress(self.name, tel, states)
         ctx = multiprocessing.get_context("fork")
         cancel = ctx.Event()
         plan = active_plan()
@@ -680,8 +740,10 @@ class WorkerPool:
                         if attempt.state.outcome is None:
                             retries.append(attempt.state)
 
+                progress.update(running=len(running))
                 if self.budget is not None and self.budget.check() is not None:
                     cancel.set()
+            progress.update(force=True)
         finally:
             for attempt in running.values():
                 attempt.process.kill()
@@ -823,6 +885,12 @@ def _task_entry(
     plan = active_plan()
     mark = len(plan.injected) if plan is not None else 0
     tel = Telemetry.enabled_default() if capture else DISABLED
+    # Re-arm the sampling profiler from the environment: the parent's
+    # sampler thread does not survive the fork, but REPRO_PROFILE does.
+    prof = profiler_from_env() if capture else None
+    if prof is not None:
+        tel.profiler = prof
+        prof.start()
     value = None
     failure = None
     try:
@@ -841,6 +909,8 @@ def _task_entry(
         failure = TaskFailure(
             index, type(exc).__name__, str(exc), traceback.format_exc()
         )
+    if prof is not None:
+        prof.stop()
     dump = capture_worker_dump(tel, index) if capture else None
     faults = list(plan.injected[mark:]) if plan is not None else []
     try:

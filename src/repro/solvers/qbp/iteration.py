@@ -259,7 +259,16 @@ def solve_qbp(
                 # Variant: always linearise at the best feasible incumbent
                 # instead of the previous iterate (see docstring).
                 part = best_feas_part.copy()
+            # Kernel timing instrumentation: per-iteration eta/GAP wall
+            # time lands in qbp.iter.* histograms so metrics and
+            # --profile flamegraphs cross-reference the same hot spots.
+            timed = tel.enabled
+            t0 = time.perf_counter() if timed else 0.0
             eta = state.eta(part)  # STEP 3 (sparse, Q never materialised)
+            if timed:
+                tel.histogram("qbp.iter.eta_seconds").observe(
+                    time.perf_counter() - t0
+                )
             xi = float(state.omega[np.arange(n), part].sum())
             gap_timing = state.timing_index if problem.has_timing else None
             trust_mask = None
@@ -273,10 +282,15 @@ def solve_qbp(
                 idx = np.arange(n)
                 trust_mask[shadow_part, idx] = True  # anchor always allowed
             try:
+                t0 = time.perf_counter() if timed else 0.0
                 step4 = _solve_gap_graceful(
                     eta.T, sizes, capacities, gap_criteria, gap_timing, trust_mask,
                     budget, tel,
                 )  # STEP 4
+                if timed:
+                    tel.histogram("qbp.iter.gap_seconds").observe(
+                        time.perf_counter() - t0
+                    )
                 if step4 is None:
                     # S itself is (heuristically) empty for these costs; keep
                     # the incumbent and stop - more iterations cannot recover.
@@ -287,10 +301,15 @@ def solve_qbp(
                 # STEP 6 leaves the end-of-previous-iteration state intact
                 # (which is what checkpoints snapshot).
                 h_next = h + eta / max(1.0, abs(z - xi))
+                t0 = time.perf_counter() if timed else 0.0
                 nxt = _solve_gap_graceful(
                     h_next.T, sizes, capacities, gap_criteria, gap_timing, trust_mask,
                     budget, tel,
                 )  # STEP 6
+                if timed:
+                    tel.histogram("qbp.iter.gap_seconds").observe(
+                        time.perf_counter() - t0
+                    )
             except BudgetExceededError as exc:
                 stop_reason = exc.reason
                 break
@@ -386,6 +405,7 @@ def solve_qbp(
             ):
                 safe_checkpoint(k)
     finally:
+        state.kernel.stats.publish(tel)
         solve_span.set("stop_reason", stop_reason)
         solve_span.__exit__(None, None, None)
 

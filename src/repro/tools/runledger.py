@@ -1,0 +1,304 @@
+"""Run-ledger reports: cross-run history, comparison, and trends.
+
+Reads the append-only ``run-ledger-v1`` history written by ``--ledger``
+(see :mod:`repro.obs.ledger`) and renders:
+
+* ``show`` - one line per recorded run: timestamp, label, git revision,
+  seed/workers, wall time, peak RSS, profiler samples,
+* ``compare`` - a regression report between two records (by default the
+  latest two): counters must match exactly (they are deterministic for
+  a fixed seed), ``*_seconds`` timing gauges may grow by at most the
+  ``--time-tolerance`` factor; exits 1 when regressions are found,
+* ``trend`` - rolling-window statistics per timing metric (latest vs
+  window median/min/max), flagging metrics whose latest value exceeds
+  the window median by the tolerance factor.
+
+Examples
+--------
+::
+
+    python -m repro.tools.eval run ... --ledger benchmarks/ledger.jsonl
+    python -m repro.tools.runledger show benchmarks/ledger.jsonl
+    python -m repro.tools.runledger compare benchmarks/ledger.jsonl
+    python -m repro.tools.runledger trend benchmarks/ledger.jsonl --window 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.ledger import (
+    DEFAULT_WINDOW,
+    TIME_GAUGE_SUFFIX,
+    metric_series,
+    read_ledger,
+)
+
+DEFAULT_TIME_TOLERANCE = 1.5
+"""Timing regression factor: latest may be at most this times the base."""
+
+
+# ----------------------------------------------------------------------
+# Record helpers
+# ----------------------------------------------------------------------
+def record_stamp(record: Dict[str, Any]) -> str:
+    """Human timestamp of one record (UTC, second resolution)."""
+    ts = record.get("ts")
+    if not isinstance(ts, (int, float)):
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(ts))
+
+
+def record_title(record: Dict[str, Any], index: int) -> str:
+    manifest = record.get("manifest", {})
+    rev = manifest.get("git_rev") or "-"
+    return (
+        f"#{index} {record_stamp(record)} {manifest.get('label', '-')}"
+        f" @{rev[:9]} seed={manifest.get('seed')}"
+    )
+
+
+def compare_records(
+    base: Dict[str, Any],
+    current: Dict[str, Any],
+    *,
+    time_tolerance: float = DEFAULT_TIME_TOLERANCE,
+) -> List[str]:
+    """Regression report between two ledger records.
+
+    Mirrors ``scripts/check_bench.py`` semantics: counters are exact
+    (fixed-seed work content), ``*_seconds`` gauges are timings allowed
+    to grow by ``time_tolerance``; non-timing gauges are informational.
+    Returns a list of human-readable problems (empty = no regressions).
+    """
+    problems: List[str] = []
+    base_metrics = base.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+
+    base_digest = base.get("manifest", {}).get("config_digest")
+    cur_digest = current.get("manifest", {}).get("config_digest")
+    if base_digest and cur_digest and base_digest != cur_digest:
+        problems.append(
+            f"config digest changed: {base_digest} -> {cur_digest} "
+            "(records may not be comparable)"
+        )
+
+    base_counters = base_metrics.get("counters", {})
+    cur_counters = cur_metrics.get("counters", {})
+    for name in sorted(base_counters):
+        if name not in cur_counters:
+            problems.append(f"counter {name} disappeared (was {base_counters[name]})")
+        elif float(cur_counters[name]) != float(base_counters[name]):
+            problems.append(
+                f"counter {name} changed: {base_counters[name]} -> "
+                f"{cur_counters[name]}"
+            )
+
+    base_gauges = base_metrics.get("gauges", {})
+    cur_gauges = cur_metrics.get("gauges", {})
+    for name in sorted(base_gauges):
+        if not name.endswith(TIME_GAUGE_SUFFIX) or name not in cur_gauges:
+            continue
+        base_value = float(base_gauges[name])
+        cur_value = float(cur_gauges[name])
+        if base_value > 0 and cur_value > base_value * time_tolerance:
+            problems.append(
+                f"timing {name} regressed: {base_value:.4f}s -> "
+                f"{cur_value:.4f}s (> {time_tolerance:g}x)"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_show(args) -> int:
+    records = read_ledger(args.ledger)
+    if not records:
+        print(f"no records in {args.ledger}")
+        return 0
+    tail = records[-args.last:] if args.last else records
+    first_index = len(records) - len(tail)
+    print(f"{len(records)} record(s) in {args.ledger}")
+    header = (
+        f"{'#':>4}  {'timestamp (UTC)':<19}  {'label':<14}  {'rev':<9}  "
+        f"{'seed':>6}  {'workers':>7}  {'wall s':>8}  {'rss MB':>8}  {'samples':>7}"
+    )
+    print(header)
+    for offset, record in enumerate(tail):
+        manifest = record.get("manifest", {})
+        rev = (manifest.get("git_rev") or "-")[:9]
+        elapsed = record.get("elapsed_seconds")
+        rss = record.get("peak_rss_kb")
+        samples = record.get("profile_samples")
+        print(
+            f"{first_index + offset:>4}  {record_stamp(record):<19}  "
+            f"{str(manifest.get('label', '-')):<14}  {rev:<9}  "
+            f"{str(manifest.get('seed')):>6}  {str(manifest.get('workers')):>7}  "
+            f"{(f'{elapsed:.2f}' if elapsed is not None else '-'):>8}  "
+            f"{(f'{rss / 1024.0:.1f}' if rss is not None else '-'):>8}  "
+            f"{(str(samples) if samples is not None else '-'):>7}"
+        )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    records = read_ledger(args.ledger)
+    if len(records) < 2 and (args.base is None or args.current is None):
+        print(
+            f"error: need at least 2 records to compare, {args.ledger} has "
+            f"{len(records)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        base = records[args.base if args.base is not None else -2]
+        current = records[args.current if args.current is not None else -1]
+    except IndexError:
+        print(
+            f"error: record index out of range (ledger has {len(records)})",
+            file=sys.stderr,
+        )
+        return 2
+    base_index = records.index(base)
+    current_index = records.index(current)
+    print(f"base:    {record_title(base, base_index)}")
+    print(f"current: {record_title(current, current_index)}")
+    problems = compare_records(
+        base, current, time_tolerance=args.time_tolerance
+    )
+    if not problems:
+        print("no regressions")
+        return 0
+    print(f"{len(problems)} regression(s):")
+    for problem in problems:
+        print(f"  - {problem}")
+    return 1
+
+
+def cmd_trend(args) -> int:
+    records = read_ledger(args.ledger)
+    if not records:
+        print(f"no records in {args.ledger}")
+        return 0
+    tail = records[-max(1, args.window):]
+    latest = tail[-1]
+    names: List[str] = []
+    if args.metric:
+        names = [args.metric]
+    else:
+        gauges = latest.get("metrics", {}).get("gauges", {})
+        names = sorted(n for n in gauges if n.endswith(TIME_GAUGE_SUFFIX))
+    print(
+        f"trend over last {len(tail)} of {len(records)} record(s) "
+        f"in {args.ledger}"
+    )
+    if not names:
+        print("no timing gauges recorded (run with telemetry enabled)")
+        return 0
+    width = max(len(name) for name in names)
+    print(
+        f"{'metric':<{width}}  {'latest':>10}  {'median':>10}  "
+        f"{'min':>10}  {'max':>10}  flag"
+    )
+    flagged = 0
+    for name in names:
+        series = [v for v in metric_series(tail, name) if v is not None]
+        if not series:
+            print(f"{name:<{width}}  {'-':>10}  (no data in window)")
+            continue
+        latest_value = series[-1]
+        ordered = sorted(series)
+        median = ordered[len(ordered) // 2]
+        flag = ""
+        if median > 0 and latest_value > median * args.time_tolerance:
+            flag = f"REGRESSED (> {args.time_tolerance:g}x median)"
+            flagged += 1
+        print(
+            f"{name:<{width}}  {latest_value:>10.4f}  {median:>10.4f}  "
+            f"{ordered[0]:>10.4f}  {ordered[-1]:>10.4f}  {flag}"
+        )
+    elapsed = [
+        float(r["elapsed_seconds"])
+        for r in tail
+        if r.get("elapsed_seconds") is not None
+    ]
+    if elapsed:
+        print(
+            f"session wall: latest {elapsed[-1]:.2f}s, "
+            f"window median {sorted(elapsed)[len(elapsed) // 2]:.2f}s"
+        )
+    return 1 if flagged else 0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.runledger",
+        description="Cross-run regression history over a run-ledger-v1 file.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="list recorded runs")
+    show.add_argument("ledger", help="run-ledger-v1 JSONL file")
+    show.add_argument(
+        "--last", type=int, default=0, metavar="N",
+        help="only show the last N records (default: all)",
+    )
+    show.set_defaults(func=cmd_show)
+
+    compare = sub.add_parser(
+        "compare", help="regression report between two records"
+    )
+    compare.add_argument("ledger", help="run-ledger-v1 JSONL file")
+    compare.add_argument(
+        "--base", type=int, default=None, metavar="IDX",
+        help="base record index (default: second-newest)",
+    )
+    compare.add_argument(
+        "--current", type=int, default=None, metavar="IDX",
+        help="current record index (default: newest)",
+    )
+    compare.add_argument(
+        "--time-tolerance", type=float, default=DEFAULT_TIME_TOLERANCE,
+        metavar="X",
+        help=f"allowed timing growth factor (default {DEFAULT_TIME_TOLERANCE})",
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    trend = sub.add_parser(
+        "trend", help="rolling-window statistics per timing metric"
+    )
+    trend.add_argument("ledger", help="run-ledger-v1 JSONL file")
+    trend.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW, metavar="N",
+        help=f"window size (default {DEFAULT_WINDOW})",
+    )
+    trend.add_argument(
+        "--metric", default=None, metavar="NAME",
+        help="only trend this metric (default: every *_seconds gauge)",
+    )
+    trend.add_argument(
+        "--time-tolerance", type=float, default=DEFAULT_TIME_TOLERANCE,
+        metavar="X",
+        help=f"flag factor vs window median (default {DEFAULT_TIME_TOLERANCE})",
+    )
+    trend.set_defaults(func=cmd_trend)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)

@@ -20,6 +20,13 @@ Examples
     python -m repro.tools.partition circuit.json --trace out.jsonl
     python -m repro.tools.traceview out.jsonl
     python -m repro.tools.traceview out.jsonl --top 10 --no-events
+
+The ``flame`` subcommand renders the collapsed-stack profile written by
+``--prof-out`` (see :mod:`repro.obs.prof`) as a text-mode flamegraph::
+
+    python -m repro.tools.eval run ... --profile --prof-out prof.txt
+    python -m repro.tools.traceview flame prof.txt
+    python -m repro.tools.traceview flame prof.txt --min-percent 2 --depth 12
 """
 
 from __future__ import annotations
@@ -51,8 +58,9 @@ def load_trace(path) -> Tuple[List[dict], List[dict]]:
             raise ValueError(f"{path}:{lineno}: {exc}") from exc
         if record["type"] == "span":
             spans.append(record)
-        else:
+        elif record["type"] == "event":
             events.append(record)
+        # "meta" records (epoch/clock header) carry no spans or events.
     return spans, events
 
 
@@ -193,6 +201,137 @@ def render_restarts(events: List[dict]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Flamegraph rendering (collapsed-stack profiles from --prof-out)
+# ----------------------------------------------------------------------
+def parse_collapsed(path) -> Dict[Tuple[str, ...], int]:
+    """Parse a collapsed-stack file into ``{stack tuple: sample count}``.
+
+    The format is FlameGraph's: one ``frame;frame;... count`` line per
+    distinct stack.  Malformed lines raise ``ValueError`` naming the
+    offending line number.
+    """
+    counts: Dict[Tuple[str, ...], int] = {}
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, raw = line.rpartition(" ")
+        try:
+            count = int(raw)
+        except ValueError:
+            count = -1
+        if not stack or count < 0:
+            raise ValueError(
+                f"{path}:{lineno}: expected 'frame;frame;... count', got {line!r}"
+            )
+        frames = tuple(stack.split(";"))
+        counts[frames] = counts.get(frames, 0) + count
+    return counts
+
+
+def flame_tree(counts: Dict[Tuple[str, ...], int]) -> dict:
+    """Fold collapsed-stack counts into a call tree.
+
+    Each node is ``{"name", "count", "children"}`` where ``count`` is
+    the number of samples passing through the node (inclusive).
+    """
+    root: dict = {"name": "all", "count": 0, "children": {}}
+    for stack, n in counts.items():
+        root["count"] += n
+        node = root
+        for frame in stack:
+            child = node["children"].setdefault(
+                frame, {"name": frame, "count": 0, "children": {}}
+            )
+            child["count"] += n
+            node = child
+    return root
+
+
+def render_flame(
+    counts: Dict[Tuple[str, ...], int],
+    *,
+    min_percent: float = 1.0,
+    max_depth: Optional[int] = None,
+    bar_width: int = 30,
+) -> str:
+    """Text-mode flamegraph: indented tree, hottest branches first."""
+    root = flame_tree(counts)
+    total = root["count"]
+    if total <= 0:
+        return "no samples in profile"
+    lines = [f"{total} samples, {len(counts)} distinct stacks"]
+
+    def walk(node: dict, depth: int) -> None:
+        if max_depth is not None and depth >= max_depth:
+            return
+        children = sorted(
+            node["children"].values(), key=lambda c: (-c["count"], c["name"])
+        )
+        for child in children:
+            pct = 100.0 * child["count"] / total
+            if pct < min_percent:
+                continue
+            bar = "█" * max(1, round(bar_width * child["count"] / total))
+            lines.append(
+                f"{'  ' * depth}{child['name']}  "
+                f"{child['count']} ({pct:.1f}%)  {bar}"
+            )
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def build_flame_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.traceview flame",
+        description="Render a collapsed-stack profile (--prof-out) as a "
+        "text-mode flamegraph.",
+    )
+    parser.add_argument(
+        "profile", help="collapsed-stack profile written by --prof-out"
+    )
+    parser.add_argument(
+        "--min-percent", type=float, default=1.0, metavar="P",
+        help="hide branches below this percentage of samples (default 1.0)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=None, metavar="D",
+        help="maximum stack depth to render (default: unlimited)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=30, metavar="W",
+        help="bar width in characters (default 30)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the rendering to a file instead of stdout",
+    )
+    return parser
+
+
+def flame_main(argv: Optional[List[str]] = None) -> int:
+    args = build_flame_parser().parse_args(argv)
+    try:
+        counts = parse_collapsed(args.profile)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = render_flame(
+        counts,
+        min_percent=args.min_percent,
+        max_depth=args.depth,
+        bar_width=args.width,
+    )
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
@@ -218,6 +357,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "flame":
+        return flame_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         spans, events = load_trace(args.trace)
@@ -261,4 +403,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)

@@ -1,0 +1,116 @@
+"""Hot-path counters on the DeltaCache kernel (DeltaStats)."""
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import PartitioningProblem
+from repro.engine import DeltaStats
+from repro.engine.delta import DeltaCache
+from repro.netlist.circuit import Circuit
+from repro.obs.telemetry import DISABLED, Telemetry
+from repro.timing.constraints import TimingConstraints
+from repro.topology.grid import grid_topology
+
+
+def small_problem(with_timing=False):
+    circuit = Circuit("stats")
+    for j in range(6):
+        circuit.add_component(f"u{j}", size=1.0)
+    circuit.add_wire(0, 1, 3.0)
+    circuit.add_wire(1, 2, 2.0)
+    circuit.add_wire(3, 4, 1.0)
+    circuit.add_wire(4, 5, 4.0)
+    timing = None
+    if with_timing:
+        timing = TimingConstraints(6)
+        timing.add(0, 1, 1.0)
+    topo = grid_topology(1, 3, capacity=6.0)
+    return PartitioningProblem(circuit, topo, timing=timing)
+
+
+def fresh_cache(with_timing=False):
+    cache = DeltaCache(small_problem(with_timing), Assignment([0, 0, 1, 1, 2, 2], 3))
+    return cache
+
+
+class TestCounting:
+    def test_init_counts_one_full_rebuild(self):
+        cache = fresh_cache()
+        assert cache.stats.full_rebuilds == 1
+        cache.reset(Assignment([0, 1, 2, 0, 1, 2], 3))
+        assert cache.stats.full_rebuilds == 2
+
+    def test_moves_and_row_refreshes(self):
+        cache = fresh_cache()
+        before = cache.stats.row_refreshes
+        cache.apply_move(0, 1)
+        assert cache.stats.moves == 1
+        assert cache.stats.row_refreshes > before
+
+    def test_swaps_count_their_moves_too(self):
+        cache = fresh_cache()
+        cache.apply_swap(0, 2)
+        assert cache.stats.swaps == 1
+        assert cache.stats.moves == 2  # a swap is two half-moves
+
+    def test_eta_evals(self):
+        cache = DeltaCache(small_problem(with_timing=True))
+        part = np.array([0, 1, 2, 0, 1, 2])
+        cache.eta(part, mode="exact", penalty=50.0)
+        cache.eta(part, mode="exact", penalty=50.0)
+        assert cache.stats.eta_evals == 2
+
+    def test_timing_row_refreshes_only_with_timing(self):
+        plain = fresh_cache(with_timing=False)
+        plain.apply_move(0, 1)
+        assert plain.stats.timing_row_refreshes == 0
+        timed = fresh_cache(with_timing=True)
+        timed.apply_move(0, 1)
+        assert timed.stats.timing_row_refreshes > 0
+
+    def test_as_dict_lists_every_counter(self):
+        stats = DeltaStats()
+        assert set(stats.as_dict()) == {
+            "eta_evals",
+            "moves",
+            "swaps",
+            "row_refreshes",
+            "timing_row_refreshes",
+            "full_rebuilds",
+        }
+
+
+class TestPublish:
+    def test_publishes_deltas_to_counters(self):
+        cache = fresh_cache()
+        cache.apply_move(0, 1)
+        tel = Telemetry.enabled_default()
+        cache.stats.publish(tel)
+        snapshot = tel.metrics_snapshot()
+        assert snapshot["counters"]["delta.moves"] == 1.0
+        assert snapshot["counters"]["delta.full_rebuilds"] == 1.0
+
+    def test_repeated_publish_does_not_double_count(self):
+        cache = fresh_cache()
+        cache.apply_move(0, 1)
+        tel = Telemetry.enabled_default()
+        cache.stats.publish(tel)
+        cache.stats.publish(tel)
+        assert tel.metrics_snapshot()["counters"]["delta.moves"] == 1.0
+        cache.apply_move(1, 2)
+        cache.stats.publish(tel)
+        assert tel.metrics_snapshot()["counters"]["delta.moves"] == 2.0
+
+    def test_disabled_and_none_are_noops(self):
+        cache = fresh_cache()
+        cache.apply_move(0, 1)
+        cache.stats.publish(None)
+        cache.stats.publish(DISABLED)
+        tel = Telemetry.enabled_default()
+        cache.stats.publish(tel)  # nothing was consumed by the no-ops
+        assert tel.metrics_snapshot()["counters"]["delta.moves"] == 1.0
+
+    def test_zero_valued_counters_not_emitted(self):
+        tel = Telemetry.enabled_default()
+        DeltaStats().publish(tel)
+        assert tel.metrics_snapshot()["counters"] == {}

@@ -48,6 +48,7 @@ class TestEventSerialisation:
             "retry",
             "quarantine",
             "integrity",
+            "progress",
         }
         assert "best_feasible_cost" in EVENT_SCHEMA["iteration"]
         assert "payload_digest" in EVENT_SCHEMA["quarantine"]

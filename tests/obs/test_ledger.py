@@ -1,0 +1,136 @@
+"""The run ledger (repro.obs.ledger)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_FORMAT,
+    append_record,
+    config_digest,
+    make_record,
+    metric_series,
+    peak_rss_kb,
+    read_ledger,
+    run_manifest,
+    window_baseline,
+)
+from repro.obs.metrics import empty_snapshot
+
+
+def _snapshot(counters=None, gauges=None):
+    snapshot = empty_snapshot()
+    snapshot["counters"] = dict(counters or {})
+    snapshot["gauges"] = dict(gauges or {})
+    return snapshot
+
+
+def _record(counters=None, gauges=None, **kwargs):
+    return make_record(
+        manifest=run_manifest(label="test", seed=0, workers=1, config={"x": 1}),
+        metrics=_snapshot(counters, gauges),
+        **kwargs,
+    )
+
+
+class TestConfigDigest:
+    def test_stable_and_order_independent(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+        assert len(config_digest({"a": 1})) == 16
+
+    def test_non_json_values_stringified(self):
+        config_digest({"path": object()})  # must not raise
+
+    def test_none_equals_empty(self):
+        assert config_digest(None) == config_digest({})
+
+
+class TestManifestAndRecord:
+    def test_manifest_fields(self):
+        manifest = run_manifest(label="eval.run", seed=7, workers=4, config={})
+        assert manifest["label"] == "eval.run"
+        assert manifest["seed"] == 7
+        assert manifest["workers"] == 4
+        assert "platform" in manifest and "python" in manifest
+
+    def test_record_shape(self):
+        record = _record(
+            counters={"c": 1.0}, elapsed_seconds=1.5, profile_samples=42
+        )
+        assert record["format"] == LEDGER_FORMAT
+        assert record["ts"] > 0
+        assert record["elapsed_seconds"] == 1.5
+        assert record["profile_samples"] == 42
+        assert record["metrics"]["counters"] == {"c": 1.0}
+
+    def test_rejects_foreign_metrics_format(self):
+        with pytest.raises(ValueError):
+            make_record(
+                manifest=run_manifest(label="x"), metrics={"format": "nope"}
+            )
+
+    def test_peak_rss_positive_on_posix(self):
+        rss = peak_rss_kb()
+        assert rss is None or rss > 0
+
+
+class TestAppendRead:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "deep" / "ledger.jsonl"
+        append_record(path, _record(counters={"c": 1.0}))
+        append_record(path, _record(counters={"c": 2.0}))
+        records = read_ledger(path)
+        assert [r["metrics"]["counters"]["c"] for r in records] == [1.0, 2.0]
+
+    def test_append_rejects_untagged_record(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_record(tmp_path / "l.jsonl", {"format": "other"})
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_ledger(tmp_path / "absent.jsonl") == []
+
+    def test_torn_line_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_record(path, _record(counters={"c": 1.0}))
+        with open(path, "a") as fh:
+            fh.write('{"format": "run-ledger-v1", "truncat')
+        assert len(read_ledger(path)) == 1
+
+    def test_foreign_format_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(json.dumps({"format": "other-v1"}) + "\n")
+        append_record(path, _record())
+        assert len(read_ledger(path)) == 1
+
+
+class TestWindowBaseline:
+    def test_empty_ledger_gives_none(self):
+        assert window_baseline([]) is None
+
+    def test_counters_from_latest_times_from_median(self):
+        records = [
+            _record(counters={"c": 10.0}, gauges={"t_seconds": v, "last.cost": 9.0})
+            for v in (1.0, 5.0, 2.0)
+        ]
+        baseline = window_baseline(records, window=3)
+        assert baseline["counters"] == {"c": 10.0}
+        assert baseline["gauges"] == {"t_seconds": 2.0}  # median, no last.cost
+
+    def test_window_limits_history(self):
+        records = [
+            _record(gauges={"t_seconds": v}) for v in (100.0, 1.0, 1.0, 1.0)
+        ]
+        baseline = window_baseline(records, window=3)
+        assert baseline["gauges"]["t_seconds"] == 1.0
+
+
+class TestMetricSeries:
+    def test_counters_gauges_and_gaps(self):
+        records = [
+            _record(counters={"c": 1.0}),
+            _record(gauges={"c": 3.0}),
+            _record(),
+        ]
+        assert metric_series(records, "c") == [1.0, 3.0, None]

@@ -1,0 +1,214 @@
+"""The sampling profiler and memory accounting (repro.obs.prof)."""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import tracemalloc
+
+import pytest
+
+from repro.obs.prof import (
+    PROFILE_ENV,
+    PROFILE_FORMAT,
+    PROFILE_MEM_ENV,
+    MemorySpan,
+    MemoryTracker,
+    Profiler,
+    StackSampler,
+    clear_profile_env,
+    frame_label,
+    profiler_from_env,
+    set_profile_env,
+)
+from repro.obs.trace import Tracer
+
+
+def _burn(deadline: float) -> float:
+    total = 0.0
+    while time.perf_counter() < deadline:
+        total += sum(float(i) for i in range(200))
+    return total
+
+
+class TestStackSampler:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            StackSampler(0.0)
+
+    def test_samples_the_calling_thread(self):
+        sampler = StackSampler(0.001)
+        sampler.start()
+        assert sampler.active
+        _burn(time.perf_counter() + 0.08)
+        sampler.stop()
+        assert not sampler.active
+        assert sampler.total_samples > 0
+        # This module's burn loop must appear as a leaf frame.
+        leaves = {stack[-1] for stack in sampler.counts}
+        assert any("_burn" in leaf for leaf in leaves)
+        # Stacks are root -> leaf and labelled module:qualname.
+        for stack in sampler.counts:
+            assert all(":" in label for label in stack)
+
+    def test_start_is_idempotent(self):
+        sampler = StackSampler(0.001)
+        sampler.start()
+        thread = sampler._thread
+        sampler.start()
+        assert sampler._thread is thread
+        sampler.stop()
+
+    def test_stop_without_start_is_noop(self):
+        StackSampler().stop()
+
+    def test_counts_total_matches(self):
+        sampler = StackSampler(0.001)
+        sampler.start()
+        _burn(time.perf_counter() + 0.05)
+        sampler.stop()
+        assert sum(sampler.counts.values()) == sampler.total_samples
+
+
+class TestFrameLabel:
+    def test_module_and_qualname(self):
+        frame = sys._getframe()
+        label = frame_label(frame)
+        assert label.startswith("tests.obs.test_prof:")
+        assert "test_module_and_qualname" in label
+
+
+class TestMemoryTracker:
+    def test_nested_peaks_attributed_innermost(self):
+        tracker = MemoryTracker()
+        tracker.start()
+        try:
+            assert tracker.tracking
+            tracker.enter()
+            tracker.enter()
+            blob = bytearray(512 * 1024)
+            inner = tracker.exit()
+            del blob
+            outer = tracker.exit()
+        finally:
+            tracker.stop()
+        assert inner >= 512 * 1024
+        # The child's peak folds into the parent.
+        assert outer >= inner
+
+    def test_stop_releases_tracemalloc_only_if_started(self):
+        already = tracemalloc.is_tracing()
+        tracker = MemoryTracker()
+        tracker.start()
+        tracker.stop()
+        assert tracemalloc.is_tracing() == already
+
+    def test_not_tracking_before_start(self):
+        assert not MemoryTracker().tracking
+
+
+class TestMemorySpan:
+    def test_stamps_mem_peak_attribute(self):
+        tracer = Tracer()
+        tracker = MemoryTracker()
+        tracker.start()
+        try:
+            with MemorySpan(tracer.span("work"), tracker):
+                blob = bytearray(256 * 1024)
+                del blob
+        finally:
+            tracker.stop()
+        (record,) = tracer.spans
+        assert record.name == "work"
+        assert record.attrs["mem_peak_kb"] >= 256
+
+    def test_forwards_set_and_skips_untracked_thread(self):
+        tracer = Tracer()
+        tracker = MemoryTracker()  # never started: tracking is False
+        with MemorySpan(tracer.span("w"), tracker) as span:
+            span.set("k", 1)
+        (record,) = tracer.spans
+        assert record.attrs == {"k": 1}
+        assert "mem_peak_kb" not in record.attrs
+
+
+class TestProfiler:
+    def test_collapsed_output_and_totals(self):
+        prof = Profiler(interval=0.001)
+        prof.start()
+        _burn(time.perf_counter() + 0.08)
+        prof.stop()
+        assert prof.total_samples > 0
+        lines = prof.collapsed_lines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack
+            assert int(count) > 0
+        assert sum(prof.collapsed_counts().values()) == prof.total_samples
+
+    def test_write_collapsed(self, tmp_path):
+        prof = Profiler(interval=0.001)
+        prof.sampler.counts[("a:f", "b:g")] = 3
+        prof.sampler.total_samples = 3
+        out = tmp_path / "prof" / "collapsed.txt"
+        assert prof.write_collapsed(out) == 1
+        assert out.read_text() == "a:f;b:g 3\n"
+
+    def test_summary_lines_rank_leaves(self):
+        prof = Profiler()
+        prof.sampler.counts[("a:f", "b:g")] = 3
+        prof.sampler.counts[("a:f", "c:h")] = 1
+        prof.sampler.total_samples = 4
+        lines = prof.summary_lines()
+        assert "4 samples" in lines[0]
+        assert "b:g" in lines[1]  # hottest leaf first
+
+    def test_summary_with_no_samples(self):
+        assert "no samples" in Profiler().summary_lines()[0]
+
+    def test_to_dict_merge_dump_roundtrip(self):
+        a = Profiler()
+        a.sampler.counts[("m:f", "m:g")] = 2
+        a.sampler.total_samples = 2
+        b = Profiler()
+        b.sampler.counts[("m:f", "m:g")] = 1
+        b.sampler.counts[("m:f", "m:h")] = 4
+        b.sampler.total_samples = 5
+        dump = b.to_dict()
+        assert dump["format"] == PROFILE_FORMAT
+        a.merge_dump(dump)
+        assert a.total_samples == 7
+        assert a.sampler.counts[("m:f", "m:g")] == 3
+        assert a.sampler.counts[("m:f", "m:h")] == 4
+
+
+class TestEnvPropagation:
+    def teardown_method(self):
+        clear_profile_env()
+
+    def test_roundtrip(self):
+        set_profile_env(0.002, memory=True)
+        assert os.environ[PROFILE_ENV] == "0.002"
+        assert os.environ[PROFILE_MEM_ENV] == "1"
+        prof = profiler_from_env()
+        assert prof is not None
+        assert prof.interval == 0.002
+        assert prof.memory is not None
+
+    def test_memory_flag_off(self):
+        set_profile_env(0.01, memory=False)
+        prof = profiler_from_env()
+        assert prof.memory is None
+        assert PROFILE_MEM_ENV not in os.environ
+
+    def test_absent_means_off(self):
+        clear_profile_env()
+        assert profiler_from_env() is None
+
+    def test_invalid_values_mean_off(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "banana")
+        assert profiler_from_env() is None
+        monkeypatch.setenv(PROFILE_ENV, "-1")
+        assert profiler_from_env() is None

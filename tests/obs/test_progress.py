@@ -1,0 +1,80 @@
+"""Progress events and the live status-line reporter."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.events import (
+    IterationEvent,
+    ProgressEvent,
+    event_from_dict,
+    event_to_dict,
+    validate_trace_line,
+)
+from repro.obs.progress import ProgressReporter, format_progress
+
+
+def _event(**kwargs):
+    defaults = dict(pool="eval.table", done=3, total=7, elapsed_seconds=12.4)
+    defaults.update(kwargs)
+    return ProgressEvent(**defaults)
+
+
+class TestProgressEvent:
+    def test_roundtrips_through_dict(self):
+        event = _event(running=2, failed=1, eta_seconds=16.5, worker=None)
+        payload = event_to_dict(event)
+        assert payload["event"] == "progress"
+        assert event_from_dict(payload) == event
+
+    def test_validates_as_trace_line(self):
+        validate_trace_line(event_to_dict(_event()))
+
+
+class TestFormatProgress:
+    def test_full_line(self):
+        line = format_progress(_event(running=2, failed=1, eta_seconds=16.5))
+        assert line == (
+            "[eval.table] 3/7 done (2 running, 1 failed) "
+            "elapsed 12.4s eta ~16.5s"
+        )
+
+    def test_minimal_line(self):
+        assert format_progress(_event()) == "[eval.table] 3/7 done elapsed 12.4s"
+
+
+class TestProgressReporter:
+    def test_renders_and_overwrites(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream)
+        reporter.emit(_event(done=1))
+        reporter.emit(_event(done=2))
+        out = stream.getvalue()
+        assert out.count("\r") == 2
+        assert "2/7 done" in out
+
+    def test_ignores_other_kinds(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream)
+        reporter.emit(
+            IterationEvent(solver="qbp", iteration=1, cost=1.0, best_cost=1.0)
+        )
+        assert stream.getvalue() == ""
+        reporter.close()
+        assert stream.getvalue() == ""  # close with nothing written is silent
+
+    def test_close_terminates_line_once(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream)
+        reporter.emit(_event())
+        reporter.close()
+        reporter.close()
+        assert stream.getvalue().endswith("\n")
+        assert stream.getvalue().count("\n") == 1
+
+    def test_broken_stream_goes_quiet(self):
+        stream = io.StringIO()
+        stream.close()
+        reporter = ProgressReporter(stream)
+        reporter.emit(_event())  # must not raise
+        reporter.close()

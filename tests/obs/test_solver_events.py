@@ -191,3 +191,28 @@ class TestHarnessRows:
         assert row.metrics["counters"].get("solver.iterations", 0.0) > 0.0
         span_names = {s.name for s in tel.tracer.spans}
         assert {"harness.qbp", "harness.gfm", "harness.gkl"} <= span_names
+
+class TestKernelInstrumentation:
+    def test_iteration_timing_histograms_recorded(self, small_problem, tel):
+        solve_qbp(small_problem, iterations=4, seed=0, telemetry=tel)
+        histograms = tel.metrics_snapshot()["histograms"]
+        assert histograms["qbp.iter.eta_seconds"]["count"] >= 4
+        assert histograms["qbp.iter.gap_seconds"]["count"] >= 4
+        assert histograms["qbp.iter.eta_seconds"]["sum"] >= 0.0
+
+    def test_qbp_publishes_delta_counters(self, small_problem, tel):
+        solve_qbp(small_problem, iterations=4, seed=0, telemetry=tel)
+        counters = tel.metrics_snapshot()["counters"]
+        # QBP's kernel runs stateless (no delta table), so only the eta
+        # evaluations count here; rebuilds belong to the interchange path.
+        assert counters.get("delta.eta_evals", 0) >= 4
+
+    def test_gfm_publishes_delta_counters(self, small_problem, tel):
+        start = bootstrap_initial_solution(small_problem, seed=0)
+        gfm_partition(small_problem, start, telemetry=tel)
+        counters = tel.metrics_snapshot()["counters"]
+        assert counters.get("delta.full_rebuilds", 0) >= 1
+
+    def test_disabled_telemetry_records_nothing(self, small_problem):
+        result = solve_qbp(small_problem, iterations=4, seed=0, telemetry=DISABLED)
+        assert result is not None  # no histograms/counters to assert: DISABLED

@@ -81,7 +81,9 @@ class TestSession:
         assert span_names == ["test-root", "inner"]
         assert sum(1 for r in records if r["type"] == "event") == 1
 
-        assert isinstance(json.loads(chrome.read_text()), list)
+        chrome_payload = json.loads(chrome.read_text())
+        assert isinstance(chrome_payload["traceEvents"], list)
+        assert chrome_payload["metadata"]["clock"] == "perf_counter"
         assert json.loads(metrics.read_text())["counters"] == {"c": 1.0}
         (event_line,) = events.read_text().splitlines()
         assert validate_trace_line(event_line)["event"] == "iteration"
@@ -104,7 +106,8 @@ class TestSession:
                 raise RuntimeError("boom")
         except RuntimeError:
             pass
-        (line,) = trace.read_text().splitlines()
+        meta_line, line = trace.read_text().splitlines()
+        assert validate_trace_line(meta_line)["type"] == "meta"
         assert validate_trace_line(line)["attrs"]["error"] == "RuntimeError"
 
     def test_write_combined_trace_counts_lines(self, tmp_path):
@@ -113,4 +116,4 @@ class TestSession:
             pass
         tel.emit(_iteration())
         path = tmp_path / "combined.jsonl"
-        assert write_combined_trace(tel, path) == 2
+        assert write_combined_trace(tel, path) == 3  # meta + span + event

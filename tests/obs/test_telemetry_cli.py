@@ -1,0 +1,185 @@
+"""CLI plumbing: add_telemetry_arguments -> session_from_args -> artifacts.
+
+These are the seams every CLI (``repro.eval.run``, the partition tool)
+relies on: the flag set, the disabled fast path, and the artifact
+writing that ``telemetry_session`` performs on exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.obs.events import validate_trace_line
+from repro.obs.ledger import read_ledger
+from repro.obs.prof import PROFILE_ENV, MemorySpan
+from repro.obs.progress import ProgressReporter
+from repro.obs.telemetry import (
+    DISABLED,
+    add_telemetry_arguments,
+    current,
+    session_from_args,
+    telemetry_session,
+    write_combined_trace,
+)
+
+
+def _parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    add_telemetry_arguments(parser)
+    return parser
+
+
+class TestArgumentWiring:
+    def test_defaults_are_all_off(self):
+        args = _parser().parse_args([])
+        assert args.trace is None
+        assert args.trace_chrome is None
+        assert args.metrics_out is None
+        assert args.events_out is None
+        assert args.profile is None
+        assert args.prof_out is None
+        assert args.ledger is None
+        assert args.progress is False
+
+    def test_profile_flag_forms(self):
+        assert _parser().parse_args(["--profile"]).profile is True
+        assert _parser().parse_args(["--profile", "0.01"]).profile == 0.01
+
+    def test_all_flags_parse(self, tmp_path):
+        args = _parser().parse_args(
+            [
+                "--trace", str(tmp_path / "t.jsonl"),
+                "--prof-out", str(tmp_path / "p.txt"),
+                "--ledger", str(tmp_path / "l.jsonl"),
+                "--progress",
+            ]
+        )
+        assert args.prof_out.endswith("p.txt")
+        assert args.progress is True
+
+
+class TestSessionFromArgs:
+    def test_no_flags_stays_disabled(self):
+        args = _parser().parse_args([])
+        with session_from_args(args, root_span="t") as tel:
+            assert tel is DISABLED
+            assert current() is DISABLED
+
+    def test_metrics_flag_enables_and_writes(self, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        args = _parser().parse_args(["--metrics-out", str(metrics)])
+        with session_from_args(args, root_span="t") as tel:
+            assert tel.enabled
+            tel.counter("c").inc()
+        assert json.loads(metrics.read_text())["counters"] == {"c": 1.0}
+
+    def test_prof_out_implies_profile(self, tmp_path):
+        prof = tmp_path / "prof.txt"
+        args = _parser().parse_args(["--prof-out", str(prof)])
+        with session_from_args(args, root_span="t") as tel:
+            assert tel.profiler is not None
+            assert tel.profiler.active
+            assert PROFILE_ENV in os.environ
+        assert PROFILE_ENV not in os.environ  # cleared on teardown
+        assert prof.exists()
+
+    def test_profile_interval_passes_through(self, tmp_path):
+        args = _parser().parse_args(
+            ["--profile", "0.02", "--prof-out", str(tmp_path / "p.txt")]
+        )
+        with session_from_args(args, root_span="t") as tel:
+            assert tel.profiler.interval == 0.02
+
+    def test_ledger_records_manifest_from_args(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        args = _parser().parse_args(
+            ["--seed", "7", "--workers", "3", "--ledger", str(ledger)]
+        )
+        with session_from_args(args, root_span="my.run") as tel:
+            tel.counter("c").inc(2)
+        (record,) = read_ledger(ledger)
+        assert record["manifest"]["label"] == "my.run"
+        assert record["manifest"]["seed"] == 7
+        assert record["manifest"]["workers"] == 3
+        assert record["metrics"]["counters"] == {"c": 2.0}
+        assert record["elapsed_seconds"] > 0
+
+    def test_identical_args_give_identical_config_digest(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        for _ in range(2):
+            args = _parser().parse_args(["--seed", "7", "--ledger", str(ledger)])
+            with session_from_args(args, root_span="t"):
+                pass
+        a, b = read_ledger(ledger)
+        assert a["manifest"]["config_digest"] == b["manifest"]["config_digest"]
+
+    def test_telemetry_flags_do_not_change_config_digest(self, tmp_path):
+        # Profiling a run must not make it incomparable to an unprofiled
+        # run of the same workload: the digest covers workload config,
+        # not observability switches.
+        ledger = tmp_path / "ledger.jsonl"
+        plain = ["--seed", "7", "--ledger", str(ledger)]
+        profiled = plain + [
+            "--profile",
+            "--prof-out",
+            str(tmp_path / "p.txt"),
+            "--metrics-out",
+            str(tmp_path / "m.json"),
+            "--progress",
+        ]
+        for argv in (plain, profiled):
+            args = _parser().parse_args(argv)
+            with session_from_args(args, root_span="t"):
+                pass
+        a, b = read_ledger(ledger)
+        assert a["manifest"]["config_digest"] == b["manifest"]["config_digest"]
+
+    def test_progress_flag_attaches_reporter(self):
+        args = _parser().parse_args(["--progress"])
+        with session_from_args(args, root_span="t") as tel:
+            assert any(isinstance(s, ProgressReporter) for s in tel.sinks)
+
+
+class TestTelemetrySessionProfiling:
+    def test_memory_spans_when_profiling(self, tmp_path):
+        with telemetry_session(
+            prof_out=tmp_path / "p.txt", root_span="t"
+        ) as tel:
+            span = tel.span("inner")
+            assert isinstance(span, MemorySpan)
+            with span:
+                blob = bytearray(128 * 1024)
+                del blob
+        record = next(s for s in tel.tracer.spans if s.name == "inner")
+        assert record.attrs["mem_peak_kb"] >= 128
+
+    def test_plain_spans_without_profiler(self):
+        with telemetry_session(root_span="t") as tel:
+            assert tel.profiler is None
+            assert not isinstance(tel.span("inner"), MemorySpan)
+
+    def test_profile_without_prof_out_prints_summary(self, capsys):
+        with telemetry_session(profile=True, root_span="t"):
+            pass
+        assert "profile:" in capsys.readouterr().err
+
+
+class TestWriteCombinedTrace:
+    def test_meta_leads_and_every_line_validates(self, tmp_path):
+        from repro.obs.telemetry import Telemetry
+
+        tel = Telemetry.enabled_default()
+        with tel.span("s"):
+            pass
+        path = tmp_path / "combined.jsonl"
+        count = write_combined_trace(tel, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == count
+        records = [validate_trace_line(line) for line in lines]
+        assert records[0]["type"] == "meta"
+        assert records[0]["epoch_unix"] == tel.tracer.epoch_unix
+        assert records[1]["type"] == "span"

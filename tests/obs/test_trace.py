@@ -116,8 +116,11 @@ class TestExports:
         with tracer.span("a"):
             pass
         path = tmp_path / "trace.jsonl"
-        assert tracer.export_jsonl(path) == 1
-        (line,) = path.read_text().splitlines()
+        assert tracer.export_jsonl(path) == 2  # meta header + one span
+        meta_line, line = path.read_text().splitlines()
+        meta = json.loads(meta_line)
+        assert meta["type"] == "meta"
+        assert meta["epoch_unix"] == tracer.epoch_unix
         assert json.loads(line)["name"] == "a"
 
     def test_chrome_trace_complete_events(self, tmp_path):
@@ -131,7 +134,10 @@ class TestExports:
         assert all("cpu_seconds" in e["args"] for e in events)
         path = tmp_path / "chrome.json"
         assert tracer.export_chrome(path) == 2
-        assert isinstance(json.loads(path.read_text()), list)
+        payload = json.loads(path.read_text())
+        assert [e["name"] for e in payload["traceEvents"]] == ["outer", "inner"]
+        assert payload["metadata"]["epoch_unix"] == tracer.epoch_unix
+        assert payload["metadata"]["clock"] == "perf_counter"
 
     def test_span_record_end(self):
         record = SpanRecord(name="x", span_id=1, parent_id=None,

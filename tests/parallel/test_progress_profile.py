@@ -1,0 +1,131 @@
+"""Pool progress events and worker-side profiling through the merge path."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.prof import Profiler, clear_profile_env, set_profile_env
+from repro.obs.telemetry import DISABLED, Telemetry
+from repro.parallel.merge import capture_worker_dump, merge_worker_dump
+from repro.parallel.pool import WorkerPool, supports_process_pool
+
+
+# Task functions must be module-level so they cross the fork boundary.
+def instant(payload, ctx):
+    return payload
+
+
+def burn_cpu(payload, ctx):
+    deadline = time.perf_counter() + 0.2
+    total = 0.0
+    while time.perf_counter() < deadline:
+        total += sum(float(i) for i in range(200))
+    return total
+
+
+def _progress_events(tel):
+    return [e for e in tel.events() if e.kind == "progress"]
+
+
+class TestProgressEvents:
+    def test_serial_map_emits_final_progress(self):
+        tel = Telemetry.enabled_default()
+        pool = WorkerPool(workers=1, name="serial.batch", telemetry=tel)
+        pool.map(instant, [1, 2, 3])
+        events = _progress_events(tel)
+        assert events
+        final = events[-1]
+        assert final.pool == "serial.batch"
+        assert (final.done, final.total, final.failed) == (3, 3, 0)
+        assert final.elapsed_seconds >= 0.0
+
+    def test_failed_tasks_counted(self):
+        tel = Telemetry.enabled_default()
+        pool = WorkerPool(workers=1, name="p", telemetry=tel)
+
+        def boom(payload, ctx):
+            raise RuntimeError("nope")
+
+        pool.map(boom, [1, 2])
+        final = _progress_events(tel)[-1]
+        assert final.done == 2
+        assert final.failed == 2
+
+    def test_disabled_telemetry_emits_nothing(self):
+        pool = WorkerPool(workers=1, name="p", telemetry=DISABLED)
+        outcomes = pool.map(instant, [1, 2])
+        assert [o.value for o in outcomes] == [1, 2]
+
+    @pytest.mark.skipif(
+        not supports_process_pool(), reason="platform lacks fork"
+    )
+    def test_process_map_emits_final_progress(self):
+        tel = Telemetry.enabled_default()
+        pool = WorkerPool(workers=2, name="proc.batch", telemetry=tel)
+        pool.map(instant, [1, 2, 3])
+        final = _progress_events(tel)[-1]
+        assert (final.done, final.total) == (3, 3)
+
+    def test_eta_math(self):
+        from repro.parallel.pool import _BatchProgress, _TaskState, TaskOutcome
+
+        tel = Telemetry.enabled_default()
+        states = [_TaskState(i, i) for i in range(4)]
+        progress = _BatchProgress("p", tel, states)
+        states[0].outcome = TaskOutcome(0, value=0)
+        states[1].outcome = TaskOutcome(1, value=1)
+        progress.t0 -= 2.0  # pretend 2 s elapsed for 2 of 4 tasks
+        progress.update(force=True)
+        event = _progress_events(tel)[-1]
+        assert event.eta_seconds == pytest.approx(2.0, rel=0.2)
+
+
+class TestWorkerProfileMerge:
+    def teardown_method(self):
+        clear_profile_env()
+
+    def test_dump_carries_profile_when_armed(self):
+        tel = Telemetry.enabled_default()
+        tel.profiler = Profiler(interval=0.001)
+        tel.profiler.sampler.counts[("m:f",)] = 5
+        tel.profiler.sampler.total_samples = 5
+        dump = capture_worker_dump(tel, worker=0)
+        assert dump["profile"]["samples"] == 5
+
+    def test_dump_profile_none_when_unarmed(self):
+        dump = capture_worker_dump(Telemetry.enabled_default(), worker=0)
+        assert dump["profile"] is None
+
+    def test_merge_folds_into_parent_profiler(self):
+        worker_tel = Telemetry.enabled_default()
+        worker_tel.profiler = Profiler(interval=0.001)
+        worker_tel.profiler.sampler.counts[("m:f", "m:g")] = 3
+        worker_tel.profiler.sampler.total_samples = 3
+        dump = capture_worker_dump(worker_tel, worker=1)
+
+        parent = Telemetry.enabled_default()
+        parent.profiler = Profiler(interval=0.001)
+        merge_worker_dump(parent, dump)
+        assert parent.profiler.total_samples == 3
+
+    def test_merge_without_parent_profiler_is_noop(self):
+        worker_tel = Telemetry.enabled_default()
+        worker_tel.profiler = Profiler(interval=0.001)
+        worker_tel.profiler.sampler.total_samples = 1
+        dump = capture_worker_dump(worker_tel, worker=1)
+        merge_worker_dump(Telemetry.enabled_default(), dump)  # must not raise
+
+    @pytest.mark.skipif(
+        not supports_process_pool(), reason="platform lacks fork"
+    )
+    def test_forked_workers_sample_and_merge_back(self):
+        set_profile_env(0.002, memory=False)
+        tel = Telemetry.enabled_default()
+        tel.profiler = Profiler(interval=0.002)
+        pool = WorkerPool(workers=2, name="prof.batch", telemetry=tel)
+        pool.map(burn_cpu, [0, 1])
+        assert tel.profiler.total_samples > 0
+        leaves = {stack[-1] for stack in tel.profiler.sampler.counts}
+        assert any("burn_cpu" in leaf for leaf in leaves)

@@ -1,0 +1,50 @@
+"""Regression tests for scripts/audit_run.py input handling."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+
+_spec = importlib.util.spec_from_file_location(
+    "scripts_audit_run", SCRIPTS / "audit_run.py"
+)
+audit_run_mod = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(audit_run_mod)
+sys.modules["scripts_audit_run"] = audit_run_mod
+
+
+class TestInputHandling:
+    def test_missing_table3_reports_cleanly(self, tmp_path, capsys):
+        # Regression: this used to crash with a bare KeyError('table3').
+        results = tmp_path / "results.json"
+        results.write_text(json.dumps({"table2": [], "meta": {}}))
+        assert audit_run_mod.main([str(results)]) == 2
+        err = capsys.readouterr().err
+        assert "no 'table3' section" in err
+        assert "table2" in err  # names the keys that are present
+
+    def test_non_dict_payload_reports_cleanly(self, tmp_path, capsys):
+        results = tmp_path / "results.json"
+        results.write_text(json.dumps([1, 2, 3]))
+        assert audit_run_mod.main([str(results)]) == 2
+        assert "no 'table3' section" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert audit_run_mod.main([str(tmp_path / "absent.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_json_exits_2(self, tmp_path, capsys):
+        results = tmp_path / "results.json"
+        results.write_text("{not json")
+        assert audit_run_mod.main([str(results)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_empty_table3_prints_header_only(self, tmp_path, capsys):
+        results = tmp_path / "results.json"
+        results.write_text(json.dumps({"table3": []}))
+        assert audit_run_mod.main([str(results)]) == 0
+        assert "circuit" in capsys.readouterr().out

@@ -143,3 +143,75 @@ class TestCli:
         payload = check_bench_mod.load_snapshot(baseline)
         assert payload["counters"]["solver.iterations"] > 0
         assert check_bench_mod.check_bench(payload, payload) == []
+
+class TestLedgerGate:
+    def _append(self, path, snapshot):
+        from repro.obs.ledger import append_record, make_record, run_manifest
+
+        append_record(
+            path,
+            make_record(
+                manifest=run_manifest(label="bench", seed=0, config={}),
+                metrics=snapshot,
+            ),
+        )
+
+    def write(self, path: Path, payload) -> Path:
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_matching_run_passes_against_window(self, tmp_path, snapshot):
+        ledger = tmp_path / "ledger.jsonl"
+        for _ in range(3):
+            self._append(ledger, snapshot)
+        current = self.write(tmp_path / "current.json", snapshot)
+        assert check_bench_mod.main([str(current), "--ledger", str(ledger)]) == 0
+
+    def test_counter_perturbation_fails_against_window(self, tmp_path, snapshot):
+        ledger = tmp_path / "ledger.jsonl"
+        self._append(ledger, snapshot)
+        drifted = copy.deepcopy(snapshot)
+        drifted["counters"]["solver.iterations"] += 1.0
+        current = self.write(tmp_path / "current.json", drifted)
+        assert check_bench_mod.main([str(current), "--ledger", str(ledger)]) == 1
+
+    def test_window_median_absorbs_one_slow_record(self, tmp_path, snapshot):
+        ledger = tmp_path / "ledger.jsonl"
+        slow = copy.deepcopy(snapshot)
+        slow["gauges"]["harness.qbp_seconds"] = 500.0  # one outlier machine
+        self._append(ledger, snapshot)
+        self._append(ledger, slow)
+        self._append(ledger, snapshot)
+        current = self.write(tmp_path / "current.json", snapshot)
+        assert check_bench_mod.main([str(current), "--ledger", str(ledger)]) == 0
+
+    def test_window_flag_limits_history(self, tmp_path, snapshot):
+        ledger = tmp_path / "ledger.jsonl"
+        old = copy.deepcopy(snapshot)
+        old["counters"]["solver.iterations"] = 999.0
+        self._append(ledger, old)
+        for _ in range(2):
+            self._append(ledger, snapshot)
+        current = self.write(tmp_path / "current.json", snapshot)
+        assert (
+            check_bench_mod.main(
+                [str(current), "--ledger", str(ledger), "--window", "2"]
+            )
+            == 0
+        )
+
+    def test_empty_ledger_passes_with_notice(self, tmp_path, snapshot, capsys):
+        current = self.write(tmp_path / "current.json", snapshot)
+        ledger = tmp_path / "absent.jsonl"
+        assert check_bench_mod.main([str(current), "--ledger", str(ledger)]) == 0
+        assert "no records" in capsys.readouterr().err
+
+    def test_baseline_and_ledger_are_exclusive(self, tmp_path, snapshot):
+        current = self.write(tmp_path / "current.json", snapshot)
+        baseline = self.write(tmp_path / "baseline.json", snapshot)
+        with pytest.raises(SystemExit):
+            check_bench_mod.main(
+                [str(current), "--baseline", str(baseline), "--ledger", "x"]
+            )
+        with pytest.raises(SystemExit):
+            check_bench_mod.main([str(current)])

@@ -1,0 +1,136 @@
+"""The run-ledger report CLI (repro.tools.runledger)."""
+
+from __future__ import annotations
+
+from repro.obs.ledger import append_record, make_record, run_manifest
+from repro.obs.metrics import empty_snapshot
+from repro.tools.runledger import compare_records, main as runledger_main
+
+
+def _snapshot(counters=None, gauges=None):
+    snapshot = empty_snapshot()
+    snapshot["counters"] = dict(counters or {})
+    snapshot["gauges"] = dict(gauges or {})
+    return snapshot
+
+
+def _append(path, counters=None, gauges=None, config=None, **kwargs):
+    record = make_record(
+        manifest=run_manifest(
+            label="eval.run", seed=0, workers=1, config=config or {"x": 1}
+        ),
+        metrics=_snapshot(counters, gauges),
+        **kwargs,
+    )
+    append_record(path, record)
+    return record
+
+
+class TestCompareRecords:
+    def test_identical_records_have_no_regressions(self, tmp_path):
+        ledger = tmp_path / "l.jsonl"
+        for _ in range(2):
+            _append(ledger, counters={"c": 5.0}, gauges={"t_seconds": 1.0})
+        from repro.obs.ledger import read_ledger
+
+        a, b = read_ledger(ledger)
+        assert compare_records(a, b) == []
+
+    def test_counter_change_is_a_regression(self, tmp_path):
+        ledger = tmp_path / "l.jsonl"
+        _append(ledger, counters={"c": 5.0})
+        _append(ledger, counters={"c": 6.0})
+        from repro.obs.ledger import read_ledger
+
+        a, b = read_ledger(ledger)
+        problems = compare_records(a, b)
+        assert any("counter c changed" in p for p in problems)
+
+    def test_timing_growth_beyond_tolerance(self, tmp_path):
+        ledger = tmp_path / "l.jsonl"
+        _append(ledger, gauges={"t_seconds": 1.0})
+        _append(ledger, gauges={"t_seconds": 2.0})
+        from repro.obs.ledger import read_ledger
+
+        a, b = read_ledger(ledger)
+        assert compare_records(a, b, time_tolerance=1.5)
+        assert compare_records(a, b, time_tolerance=3.0) == []
+
+    def test_config_change_is_flagged(self, tmp_path):
+        ledger = tmp_path / "l.jsonl"
+        _append(ledger, config={"x": 1})
+        _append(ledger, config={"x": 2})
+        from repro.obs.ledger import read_ledger
+
+        a, b = read_ledger(ledger)
+        assert any("config digest changed" in p for p in compare_records(a, b))
+
+
+class TestCli:
+    def test_show_lists_records(self, tmp_path, capsys):
+        ledger = tmp_path / "l.jsonl"
+        _append(ledger, elapsed_seconds=1.25, profile_samples=10)
+        assert runledger_main(["show", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "1 record(s)" in out
+        assert "eval.run" in out
+
+    def test_show_empty_ledger(self, tmp_path, capsys):
+        assert runledger_main(["show", str(tmp_path / "none.jsonl")]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_compare_identical_exits_zero(self, tmp_path, capsys):
+        ledger = tmp_path / "l.jsonl"
+        for _ in range(2):
+            _append(ledger, counters={"c": 5.0}, gauges={"t_seconds": 1.0})
+        assert runledger_main(["compare", str(ledger)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_regression_exits_one(self, tmp_path, capsys):
+        ledger = tmp_path / "l.jsonl"
+        _append(ledger, counters={"c": 5.0})
+        _append(ledger, counters={"c": 7.0})
+        assert runledger_main(["compare", str(ledger)]) == 1
+        assert "regression(s)" in capsys.readouterr().out
+
+    def test_compare_needs_two_records(self, tmp_path, capsys):
+        ledger = tmp_path / "l.jsonl"
+        _append(ledger)
+        assert runledger_main(["compare", str(ledger)]) == 2
+        assert "need at least 2" in capsys.readouterr().err
+
+    def test_compare_explicit_indices(self, tmp_path):
+        ledger = tmp_path / "l.jsonl"
+        _append(ledger, counters={"c": 5.0})
+        _append(ledger, counters={"c": 9.0})
+        _append(ledger, counters={"c": 5.0})
+        assert (
+            runledger_main(
+                ["compare", str(ledger), "--base", "0", "--current", "2"]
+            )
+            == 0
+        )
+
+    def test_trend_reports_and_flags(self, tmp_path, capsys):
+        ledger = tmp_path / "l.jsonl"
+        for v in (1.0, 1.0, 1.0, 10.0):
+            _append(ledger, gauges={"t_seconds": v}, elapsed_seconds=v)
+        assert runledger_main(["trend", str(ledger)]) == 1
+        out = capsys.readouterr().out
+        assert "t_seconds" in out
+        assert "REGRESSED" in out
+
+    def test_trend_stable_exits_zero(self, tmp_path, capsys):
+        ledger = tmp_path / "l.jsonl"
+        for _ in range(3):
+            _append(ledger, gauges={"t_seconds": 1.0})
+        assert runledger_main(["trend", str(ledger)]) == 0
+        assert "REGRESSED" not in capsys.readouterr().out
+
+    def test_trend_single_metric(self, tmp_path, capsys):
+        ledger = tmp_path / "l.jsonl"
+        _append(ledger, gauges={"a_seconds": 1.0, "b_seconds": 2.0})
+        assert runledger_main(["trend", str(ledger), "--metric", "a_seconds"]) == 0
+        out = capsys.readouterr().out
+        assert "a_seconds" in out
+        assert "b_seconds" not in out

@@ -16,6 +16,9 @@ from repro.obs.events import (
 )
 from repro.tools.traceview import (
     aggregate_spans,
+    flame_tree,
+    parse_collapsed,
+    render_flame,
     load_trace,
     main as traceview_main,
     render_checkpoints,
@@ -169,3 +172,100 @@ class TestCheckTrace:
 
     def test_unreadable_input_exits_2(self, tmp_path):
         assert check_trace_mod.main([str(tmp_path / "missing.jsonl")]) == 2
+
+class TestMetaRecords:
+    def test_load_trace_skips_meta_header(self, sample_records, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        meta = {"type": "meta", "schema": 1, "epoch_unix": 1700000000.0,
+                "clock": "perf_counter"}
+        _write_trace(trace, [meta] + sample_records)
+        spans, events = load_trace(trace)
+        assert len(spans) == 4
+        assert all(e["type"] == "event" for e in events)
+
+    def test_check_trace_counts_meta_as_neither(self, sample_records, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        meta = {"type": "meta", "schema": 1, "epoch_unix": 1700000000.0}
+        _write_trace(trace, [meta] + sample_records)
+        assert check_trace_mod.check_trace(trace, min_spans=4, min_events=5) == []
+        # min_events just above the real count proves meta was not counted.
+        problems = check_trace_mod.check_trace(trace, min_events=len(sample_records) - 3)
+        assert problems
+
+
+class TestFlame:
+    def _write_profile(self, path):
+        path.write_text(
+            "repro:main;repro:solve;repro:eta 60\n"
+            "repro:main;repro:solve;repro:gap 30\n"
+            "repro:main;repro:io 10\n"
+        )
+
+    def test_parse_collapsed(self, tmp_path):
+        prof = tmp_path / "p.txt"
+        self._write_profile(prof)
+        counts = parse_collapsed(prof)
+        assert counts[("repro:main", "repro:solve", "repro:eta")] == 60
+        assert sum(counts.values()) == 100
+
+    def test_parse_collapsed_rejects_malformed(self, tmp_path):
+        prof = tmp_path / "p.txt"
+        prof.write_text("no-count-here\n")
+        with pytest.raises(ValueError, match="p.txt:1"):
+            parse_collapsed(prof)
+
+    def test_parse_collapsed_merges_duplicate_stacks(self, tmp_path):
+        prof = tmp_path / "p.txt"
+        prof.write_text("a:f;b:g 2\na:f;b:g 3\n")
+        assert parse_collapsed(prof) == {("a:f", "b:g"): 5}
+
+    def test_flame_tree_counts_are_inclusive(self):
+        tree = flame_tree({("a", "b"): 3, ("a", "c"): 1})
+        assert tree["count"] == 4
+        assert tree["children"]["a"]["count"] == 4
+        assert tree["children"]["a"]["children"]["b"]["count"] == 3
+
+    def test_render_orders_hottest_first(self, tmp_path):
+        prof = tmp_path / "p.txt"
+        self._write_profile(prof)
+        text = render_flame(parse_collapsed(prof))
+        lines = text.splitlines()
+        assert "100 samples" in lines[0]
+        assert lines[1].startswith("repro:main")
+        solve = next(i for i, l in enumerate(lines) if "repro:solve" in l)
+        io_line = next(i for i, l in enumerate(lines) if "repro:io" in l)
+        assert solve < io_line
+        assert "60.0%" in text
+
+    def test_render_min_percent_hides_cold_branches(self, tmp_path):
+        prof = tmp_path / "p.txt"
+        self._write_profile(prof)
+        text = render_flame(parse_collapsed(prof), min_percent=20.0)
+        assert "repro:io" not in text
+
+    def test_render_depth_limit(self, tmp_path):
+        prof = tmp_path / "p.txt"
+        self._write_profile(prof)
+        text = render_flame(parse_collapsed(prof), max_depth=1)
+        assert "repro:solve" not in text
+        assert "repro:main" in text
+
+    def test_render_empty_profile(self):
+        assert render_flame({}) == "no samples in profile"
+
+    def test_cli_subcommand(self, tmp_path, capsys):
+        prof = tmp_path / "p.txt"
+        self._write_profile(prof)
+        assert traceview_main(["flame", str(prof)]) == 0
+        assert "repro:solve" in capsys.readouterr().out
+
+    def test_cli_out_file(self, tmp_path, capsys):
+        prof = tmp_path / "p.txt"
+        self._write_profile(prof)
+        out = tmp_path / "flame.txt"
+        assert traceview_main(["flame", str(prof), "--out", str(out)]) == 0
+        assert "repro:main" in out.read_text()
+
+    def test_cli_missing_profile_exits_2(self, tmp_path, capsys):
+        assert traceview_main(["flame", str(tmp_path / "absent.txt")]) == 2
+        assert "error:" in capsys.readouterr().err
