@@ -174,17 +174,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.ledger is not None:
         from repro.obs.ledger import DEFAULT_WINDOW, read_ledger, window_baseline
 
+        if not Path(args.ledger).exists():
+            print(
+                f"check_bench: ledger {args.ledger} does not exist; run a "
+                "--ledger workload first or gate with --baseline",
+                file=sys.stderr,
+            )
+            return 2
         records = read_ledger(args.ledger)
         baseline = window_baseline(
             records, window=args.window if args.window is not None else DEFAULT_WINDOW
         )
         if baseline is None:
             print(
-                f"check_bench: ledger {args.ledger} has no records yet; "
-                "nothing to gate against (pass)",
+                f"check_bench: ledger {args.ledger} holds no run-ledger-v1 "
+                "records; run a --ledger workload first or gate with --baseline",
                 file=sys.stderr,
             )
-            return 0
+            return 2
         baseline_label = f"{args.ledger} (window of {len(records)} record(s))"
     else:
         try:

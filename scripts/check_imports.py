@@ -40,6 +40,7 @@ FORBIDDEN = {
         "repro.obs",
         "repro.tools",
         "repro.apps",
+        "repro.service",
     ),
     "repro.engine": (
         "repro.solvers",
@@ -47,9 +48,23 @@ FORBIDDEN = {
         "repro.eval",
         "repro.tools",
         "repro.apps",
+        "repro.service",
     ),
-    "repro.solvers": ("repro.eval", "repro.tools", "repro.apps"),
-    "repro.baselines": ("repro.eval", "repro.tools", "repro.apps"),
+    "repro.solvers": (
+        "repro.eval",
+        "repro.tools",
+        "repro.apps",
+        "repro.service",
+    ),
+    "repro.baselines": (
+        "repro.eval",
+        "repro.tools",
+        "repro.apps",
+        "repro.service",
+    ),
+    # The service builds on the solver stack but must not reach into
+    # the consumers beside it (the CLI servectl sits in tools/, above).
+    "repro.service": ("repro.eval", "repro.tools", "repro.apps"),
 }
 
 

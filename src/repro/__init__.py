@@ -13,6 +13,7 @@ Most users need only the re-exports below::
     )
 """
 
+from repro._version import __version__
 from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.objective import ObjectiveEvaluator
@@ -25,8 +26,6 @@ from repro.runtime.supervisor import SolverSupervisor
 from repro.solvers.burkard import bootstrap_initial_solution, solve_qbp
 from repro.timing.constraints import TimingConstraints
 from repro.topology.grid import grid_topology
-
-__version__ = "1.0.0"
 
 __all__ = [
     "Assignment",

@@ -1,0 +1,31 @@
+"""The package version, importable from every layer.
+
+Lives in its own leaf module (no imports) so low-level code - the run
+ledger's manifest, the tracer's meta header - can stamp the version
+without importing the :mod:`repro` package root, which would create an
+import cycle through the solver re-exports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__version__ = "1.0.0"
+
+
+def dist_version() -> Optional[str]:
+    """The *installed* distribution's version, or ``None``.
+
+    Differs from :data:`__version__` when the environment runs a stale
+    install against fresh sources (e.g. ``pip install -e`` followed by a
+    checkout switch) - exactly the drift cross-run comparisons need to
+    detect, which is why the ledger manifest records both.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py<3.8 never runs here
+        return None
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return None

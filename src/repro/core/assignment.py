@@ -72,7 +72,8 @@ class Assignment:
     def __setitem__(self, j: int, i: int) -> None:
         if self._frozen:
             raise AssignmentFrozenError(
-                "assignment was hashed and is frozen; mutate a .copy() instead"
+                f"assignment was hashed and is frozen; cannot move "
+                f"component {j} to partition {i} - mutate a .copy() instead"
             )
         if not 0 <= i < self.num_partitions:
             raise ValueError(f"partition {i} out of range [0, {self.num_partitions})")
@@ -124,7 +125,8 @@ class Assignment:
         """Exchange the partitions of components ``j1`` and ``j2`` (in place)."""
         if self._frozen:
             raise AssignmentFrozenError(
-                "assignment was hashed and is frozen; mutate a .copy() instead"
+                f"assignment was hashed and is frozen; cannot swap "
+                f"components {j1} and {j2} - mutate a .copy() instead"
             )
         self.part[j1], self.part[j2] = self.part[j2], self.part[j1]
         return self

@@ -136,16 +136,24 @@ def parse_net_list(
 
 
 def write_edge_list(circuit: Circuit) -> str:
-    """Serialise a circuit to the edge-list format (round-trips)."""
+    """Serialise a circuit to the edge-list format.
+
+    Numbers are written with ``repr`` (the shortest string that parses
+    back to the exact float), so parse -> write -> parse is the identity
+    and a written circuit keeps its content digest - load-bearing for
+    the service layer's content-addressed result cache.
+    """
     lines = [f"# circuit {circuit.name}: {circuit.num_components} components"]
     for comp in circuit.components:
         if comp.intrinsic_delay:
-            lines.append(f"component {comp.name} {comp.size:g} {comp.intrinsic_delay:g}")
+            lines.append(
+                f"component {comp.name} {comp.size!r} {comp.intrinsic_delay!r}"
+            )
         else:
-            lines.append(f"component {comp.name} {comp.size:g}")
+            lines.append(f"component {comp.name} {comp.size!r}")
     names = [c.name for c in circuit.components]
     for wire in circuit.wires():
-        lines.append(f"wire {names[wire.source]} {names[wire.target]} {wire.weight:g}")
+        lines.append(f"wire {names[wire.source]} {names[wire.target]} {wire.weight!r}")
     return "\n".join(lines) + "\n"
 
 

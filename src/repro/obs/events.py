@@ -17,7 +17,9 @@ of ad-hoc callbacks:
 * :class:`IntegrityEvent` - one worker result rejected by the parent's
   integrity gate before acceptance,
 * :class:`ProgressEvent` - one periodic batch-progress heartbeat from a
-  running worker pool (rows done / running / ETA).
+  running worker pool (rows done / running / ETA),
+* :class:`ServiceRequestEvent` - one admission decision in the
+  partitioning service (cache hit, coalesce, enqueue, or load-shed).
 
 Every event serialises (:func:`event_to_dict`) to a JSONL line tagged
 ``type: "event"`` and ``schema: EVENT_SCHEMA_VERSION``; the required
@@ -196,6 +198,29 @@ class ProgressEvent:
     kind = "progress"
 
 
+@dataclass(frozen=True)
+class ServiceRequestEvent:
+    """One admission decision in the partitioning service.
+
+    ``status`` records what the service did with the request:
+    ``cached`` (served from the content-addressed result cache),
+    ``coalesced`` (attached to an in-flight identical solve),
+    ``queued`` (a fresh job entered the queue), or ``rejected``
+    (load-shed by the bounded queue - the 429 path).  ``digest`` is the
+    request's content address, so a trace can be joined against the
+    cache spill file and the run ledger.
+    """
+
+    digest: str
+    solver: str
+    status: str
+    queue_depth: int = 0
+    job_id: Optional[str] = None
+    worker: Optional[int] = None
+
+    kind = "service"
+
+
 EVENT_TYPES = (
     IterationEvent,
     RestartEvent,
@@ -205,6 +230,7 @@ EVENT_TYPES = (
     QuarantineEvent,
     IntegrityEvent,
     ProgressEvent,
+    ServiceRequestEvent,
 )
 
 EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {

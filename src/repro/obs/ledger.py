@@ -32,6 +32,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro._version import __version__, dist_version
 from repro.obs.metrics import METRICS_SNAPSHOT_FORMAT, empty_snapshot
 
 logger = logging.getLogger(__name__)
@@ -99,6 +100,12 @@ def run_manifest(
     return {
         "label": label,
         "git_rev": git_revision(),
+        # Both the source version and the installed distribution's
+        # version: a mismatch between them (or a drift across records)
+        # tells `runledger compare` that two runs executed different
+        # code even when the config digests agree.
+        "version": __version__,
+        "dist_version": dist_version(),
         "config_digest": config_digest(config),
         "seed": seed,
         "workers": workers,

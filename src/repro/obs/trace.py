@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro._version import __version__
+
 TRACE_SCHEMA_VERSION = 1
 """Version stamped on every exported span line (see docs/OBSERVABILITY.md)."""
 
@@ -226,13 +228,16 @@ class Tracer:
         """The trace-file header record (``type: "meta"``).
 
         Carries the wall-clock epoch so span starts (monotonic offsets)
-        can be mapped to real time: ``epoch_unix + start``.
+        can be mapped to real time: ``epoch_unix + start``, and the
+        package version that produced the trace so cross-run trace
+        comparisons can detect code drift.
         """
         return {
             "type": "meta",
             "schema": TRACE_SCHEMA_VERSION,
             "epoch_unix": self.epoch_unix,
             "clock": "perf_counter",
+            "repro_version": __version__,
         }
 
     def meta_line(self) -> str:
@@ -286,6 +291,7 @@ class Tracer:
                 "epoch_unix": self.epoch_unix,
                 "clock": "perf_counter",
                 "trace_schema": TRACE_SCHEMA_VERSION,
+                "repro_version": __version__,
             },
         }
         Path(path).write_text(json.dumps(payload))

@@ -58,13 +58,25 @@ Fault sites in the repo::
                                          injected failure silently tampers
                                          with the result so the parent's
                                          integrity gate must catch it
+    service.reject                       at service admission, hit with the
+                                         request index; an injected failure
+                                         load-sheds the request exactly as
+                                         a full queue would (the 429 path,
+                                         ``service.rejected`` increments)
+    service.stall                        top of each service job execution,
+                                         hit with the job's admission
+                                         sequence number; a ``slow`` rule
+                                         simulates a wedged solve (the
+                                         request deadline then truncates it
+                                         cooperatively), a ``fail`` rule an
+                                         executor crash (the job fails)
 
 Site-naming conventions: ``<layer>.<step>``, lowercase, dot-separated;
 the layer prefix is the module family that owns the site (``gap``,
-``qbp``, ``bootstrap``, ``checkpoint``, ``worker``).  All ``worker.*``
-sites are task-scoped; everything else is call-ordered.  A new site
-must be listed here and, if task-scoped, hit through
-:func:`maybe_fault_task` only.
+``qbp``, ``bootstrap``, ``checkpoint``, ``worker``, ``service``).  All
+``worker.*`` and ``service.*`` sites are task-scoped; everything else
+is call-ordered.  A new site must be listed here and, if task-scoped,
+hit through :func:`maybe_fault_task` only.
 """
 
 from __future__ import annotations

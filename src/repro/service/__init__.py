@@ -1,0 +1,59 @@
+"""Long-running partitioning service: queue, cache, coalescing, drain.
+
+The service layer turns the one-shot solvers into an always-on
+daemon: JSON solve requests over HTTP, scheduled on a bounded priority
+queue, executed by the existing solver stack under runtime budgets,
+with a content-addressed result cache and in-flight request coalescing
+so identical problems are solved exactly once.
+
+Quickstart::
+
+    python -m repro.tools.servectl serve --port 8321 &
+    python -m repro.tools.servectl solve circuit.json --grid 4x4
+
+Layering: ``repro.service`` sits beside the consumer layer - it builds
+on the solvers, engine, and runtime services, and must not import the
+``eval``/``tools``/``apps`` consumers (machine-checked by
+``scripts/check_imports.py``).  ``repro.tools.servectl`` is the CLI on
+top of it.
+"""
+
+from repro.service.cache import CACHE_FORMAT, ResultCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.executor import (
+    RESULT_FORMAT,
+    STALL_SITE,
+    ServiceExecutor,
+    execute_request,
+)
+from repro.service.jobs import Job, JobQueue, QueueClosedError, QueueFullError
+from repro.service.request import BadRequestError, SolveRequest
+from repro.service.server import (
+    REJECT_SITE,
+    PartitionService,
+    ServiceExecutionError,
+    serve,
+    start_http_server,
+)
+
+__all__ = [
+    "BadRequestError",
+    "CACHE_FORMAT",
+    "Job",
+    "JobQueue",
+    "PartitionService",
+    "QueueClosedError",
+    "QueueFullError",
+    "REJECT_SITE",
+    "RESULT_FORMAT",
+    "ResultCache",
+    "STALL_SITE",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceExecutionError",
+    "ServiceExecutor",
+    "SolveRequest",
+    "execute_request",
+    "serve",
+    "start_http_server",
+]

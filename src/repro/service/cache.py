@@ -1,0 +1,146 @@
+"""Content-addressed result cache: LRU memory tier + optional JSONL spill.
+
+Keys are :meth:`repro.service.request.SolveRequest.digest` values, so
+identical problems hit the same entry regardless of key order, transport
+fields, or which client sent them.  Values are the ``service-result-v1``
+payload dicts the executor produces; because only ``completed`` results
+are ever stored (see :mod:`repro.service.executor`), a hit is bit-
+identical to re-running the solve.
+
+The spill tier is append-only JSONL (one ``service-cache-v1`` record per
+line), the same crash-tolerant shape as the run ledger: a torn final
+line is skipped on load, replays are last-writer-wins, and warm restarts
+repopulate the memory tier from the file so a service restart keeps its
+answers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+CACHE_FORMAT = "service-cache-v1"
+"""Schema tag on every spill record."""
+
+DEFAULT_CAPACITY = 128
+
+
+class ResultCache:
+    """A thread-safe LRU cache of solve results keyed by request digest.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries held in memory; the least-recently-used entry is
+        evicted beyond it.  The spill file (when configured) is never
+        pruned - it is the durable tier.
+    spill_path:
+        Optional JSONL file.  Existing records are loaded on
+        construction (warm restart); every :meth:`put` appends one
+        record eagerly.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        spill_path: Optional[str] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.spill_path = None if spill_path is None else Path(spill_path)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.spilled = 0
+        if self.spill_path is not None and self.spill_path.exists():
+            self._load_spill()
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``digest``, or ``None`` (counts stats)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return entry
+
+    def put(self, digest: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``digest`` (idempotent, evicts LRU)."""
+        with self._lock:
+            fresh = digest not in self._entries
+            self._entries[digest] = payload
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            if fresh and self.spill_path is not None:
+                self._append_spill(digest, payload)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop the memory tier (the spill file is left untouched)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the metrics endpoint (a consistent snapshot)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "spilled": self.spilled,
+            }
+
+    # ------------------------------------------------------------------
+    def _append_spill(self, digest: str, payload: Dict[str, Any]) -> None:
+        record = {"format": CACHE_FORMAT, "digest": digest, "result": payload}
+        self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.spill_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+        self.spilled += 1
+
+    def _load_spill(self) -> None:
+        """Warm the memory tier from the spill file (tolerates torn tails)."""
+        for line in self.spill_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # a torn line from a crashed writer
+            if (
+                not isinstance(record, dict)
+                or record.get("format") != CACHE_FORMAT
+                or "digest" not in record
+                or not isinstance(record.get("result"), dict)
+            ):
+                continue
+            self._entries[str(record["digest"])] = record["result"]
+            self._entries.move_to_end(str(record["digest"]))
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+
+__all__ = ["CACHE_FORMAT", "DEFAULT_CAPACITY", "ResultCache"]

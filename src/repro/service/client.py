@@ -1,0 +1,144 @@
+"""A stdlib HTTP client for the partitioning service.
+
+Wraps :mod:`urllib.request` - the service promises no new dependencies
+on either side of the wire.  Every transport or HTTP-level failure
+surfaces as :class:`ServiceError` carrying the status code and the
+server's one-line ``error`` string, so callers (and ``servectl``) never
+parse tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+DEFAULT_URL = "http://127.0.0.1:8321"
+
+
+class ServiceError(RuntimeError):
+    """An HTTP request to the service failed.
+
+    ``status`` is the HTTP status code (0 for transport failures such
+    as a refused connection); ``retry_after`` is populated on 429s.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 0,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """A thin JSON-over-HTTP client; one instance per base URL."""
+
+    def __init__(self, url: str = DEFAULT_URL, *, timeout: float = 60.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def solve(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Synchronous solve: returns the ``service-result-v1`` payload."""
+        return self._call("POST", "/v1/solve", body=request)
+
+    def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Asynchronous submit: returns the job handle (or cached result)."""
+        return self._call("POST", "/v1/jobs", body=request)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def result(
+        self,
+        job_id: str,
+        *,
+        wait: bool = True,
+        poll_seconds: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """The job's result payload, polling until done when ``wait``.
+
+        Raises :class:`ServiceError` on job failure or when ``timeout``
+        elapses with the job still pending.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            payload, status = self._call_with_status(
+                "GET", f"/v1/jobs/{job_id}/result"
+            )
+            if status != 202:
+                return payload
+            if not wait:
+                return payload
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still pending after {timeout:g}s", status=202
+                )
+            time.sleep(poll_seconds)
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._call("GET", "/metrics")
+
+    def health(self) -> Dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    # ------------------------------------------------------------------
+    def _call(self, method: str, path: str, *, body: Any = None) -> Dict[str, Any]:
+        payload, _ = self._call_with_status(method, path, body=body)
+        return payload
+
+    def _call_with_status(
+        self, method: str, path: str, *, body: Any = None
+    ) -> tuple:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return self._decode(response.read()), response.status
+        except urllib.error.HTTPError as exc:
+            detail = self._decode(exc.read(), tolerant=True)
+            message = detail.get("error") or f"HTTP {exc.code}"
+            retry_after = None
+            raw = exc.headers.get("Retry-After") if exc.headers else None
+            if raw is not None:
+                try:
+                    retry_after = float(raw)
+                except ValueError:
+                    retry_after = None
+            raise ServiceError(
+                f"{method} {path}: {message}",
+                status=exc.code,
+                retry_after=retry_after,
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"{method} {path}: cannot reach service at {self.url}: "
+                f"{getattr(exc, 'reason', exc)}"
+            ) from exc
+
+    @staticmethod
+    def _decode(raw: bytes, *, tolerant: bool = False) -> Dict[str, Any]:
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+            return parsed if isinstance(parsed, dict) else {"body": parsed}
+        except (UnicodeDecodeError, ValueError):
+            if tolerant:
+                return {}
+            raise ServiceError("service returned a non-JSON response") from None
+
+
+__all__ = ["DEFAULT_URL", "ServiceClient", "ServiceError"]

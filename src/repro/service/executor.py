@@ -1,0 +1,269 @@
+"""Request execution: one :class:`SolveRequest` in, one payload dict out.
+
+:func:`execute_request` is the whole solve path of
+``repro.tools.partition`` distilled into a library call: build the
+problem, construct a starting assignment through the same degrading
+fallback ladder (QBP bootstrap -> greedy+repair -> plain greedy), run
+the requested solver under the request's budget lease, and report the
+uniform ``SolveOutcome`` fields as a JSON-ready ``service-result-v1``
+payload.  ``restarts > 1`` on the QBP solver fans out over the existing
+:class:`~repro.parallel.WorkerPool` via ``solve_qbp_multistart`` -
+the service adds no second parallel substrate.
+
+:class:`ServiceExecutor` is the thread side: N daemon threads claiming
+jobs from a :class:`~repro.service.jobs.JobQueue`, executing them, and
+settling the shared job handles (which is what releases every coalesced
+waiter at once).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.baselines.gfm import gfm_partition
+from repro.baselines.gkl import gkl_partition
+from repro.core.assignment import Assignment
+from repro.core.constraints import check_feasibility
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.problem import PartitioningProblem
+from repro.obs.telemetry import Telemetry, resolve
+from repro.runtime.budget import STOP_COMPLETED, Budget, BudgetExceededError
+from repro.runtime.faults import maybe_fault_task
+from repro.runtime.supervisor import (
+    Attempt,
+    SolverSupervisor,
+    SupervisorExhaustedError,
+)
+from repro.service.jobs import Job, JobQueue
+from repro.service.request import SolveRequest
+from repro.solvers.burkard import (
+    bootstrap_initial_solution,
+    solve_qbp,
+    solve_qbp_multistart,
+)
+from repro.solvers.greedy import greedy_feasible_assignment
+from repro.solvers.repair import repair_feasibility
+
+RESULT_FORMAT = "service-result-v1"
+"""Schema tag on every result payload."""
+
+STALL_SITE = "service.stall"
+"""Task-scoped fault site at the top of each job execution.
+
+Hit with the job's admission sequence number, so a ``slow`` rule in a
+fault plan (``service.stall:slow:tasks=0:seconds=5``) simulates a
+wedged solve: the request's deadline budget then truncates it
+cooperatively and the result reports ``stop_reason="deadline"``.  A
+``fail`` rule simulates an executor crash, surfacing as a failed job.
+"""
+
+
+class ExecutionFailedError(RuntimeError):
+    """No initial solution could be constructed for the request."""
+
+
+def _initial_solution(
+    problem: PartitioningProblem,
+    seed: int,
+    budget: Optional[Budget],
+) -> tuple:
+    """The partitioner's degrading initial-solution ladder (see module doc)."""
+
+    def qbp_bootstrap(attempt_budget: Optional[Budget]) -> Assignment:
+        return bootstrap_initial_solution(problem, seed=seed, budget=attempt_budget)
+
+    def repaired_greedy(attempt_budget: Optional[Budget]) -> Assignment:
+        base = greedy_feasible_assignment(problem, seed=seed)
+        repaired = repair_feasibility(problem, base, seed=seed)
+        if repaired is None:
+            raise RuntimeError("min-conflicts repair exhausted its move budget")
+        return repaired
+
+    def greedy_capacity_only(attempt_budget: Optional[Budget]) -> Assignment:
+        return greedy_feasible_assignment(problem, seed=seed)
+
+    supervisor = SolverSupervisor(
+        [
+            Attempt("qbp-bootstrap", qbp_bootstrap),
+            Attempt("greedy+repair", repaired_greedy),
+            Attempt("greedy-capacity-only", greedy_capacity_only),
+        ],
+        transient=(RuntimeError,),
+        budget=budget,
+        name="service.initial",
+    )
+    try:
+        outcome = supervisor.run()
+    except BudgetExceededError:
+        return greedy_feasible_assignment(problem, seed=seed), "greedy-capacity-only"
+    except SupervisorExhaustedError as exc:
+        raise ExecutionFailedError(
+            f"no initial solution could be constructed: {exc}"
+        ) from exc
+    return outcome.value, outcome.attempt
+
+
+def execute_request(
+    request: SolveRequest,
+    *,
+    budget: Optional[Budget] = None,
+    workers: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> Dict[str, Any]:
+    """Solve ``request`` and return its ``service-result-v1`` payload.
+
+    ``budget`` is the already-leased budget for this execution (the
+    caller combines the request deadline with the server's drain
+    budget); ``workers`` caps the pool fan-out when the request asks
+    for parallel restarts.
+    """
+    tel = resolve(telemetry)
+    started = time.perf_counter()
+    problem = request.build_problem()
+    with tel.span(
+        "service.execute", solver=request.solver, digest=request.digest()
+    ):
+        initial, initial_rung = _initial_solution(problem, request.seed, budget)
+        if request.solver == "qbp":
+            if request.restarts > 1:
+                result = solve_qbp_multistart(
+                    problem,
+                    restarts=request.restarts,
+                    iterations=request.iterations,
+                    initial=initial,
+                    seed=request.seed,
+                    budget=budget,
+                    workers=workers,
+                    telemetry=tel,
+                )
+            else:
+                result = solve_qbp(
+                    problem,
+                    iterations=request.iterations,
+                    initial=initial,
+                    seed=request.seed,
+                    budget=budget,
+                    telemetry=tel,
+                )
+        elif request.solver == "gfm":
+            result = gfm_partition(problem, initial, budget=budget, telemetry=tel)
+        else:
+            result = gkl_partition(problem, initial, budget=budget, telemetry=tel)
+
+    # Uniform SolveOutcome API: report .solution, fall back to the start.
+    assignment = result.solution if result.solution is not None else initial
+    evaluator = ObjectiveEvaluator(problem)
+    feasibility = check_feasibility(problem, assignment)
+    return {
+        "format": RESULT_FORMAT,
+        "digest": request.digest(),
+        "solver": request.solver,
+        "assignment": [int(p) for p in assignment.part],
+        "num_partitions": int(assignment.num_partitions),
+        "cost": float(evaluator.cost(assignment)),
+        "feasible": bool(feasibility.feasible),
+        "feasibility": feasibility.summary(),
+        "stop_reason": result.stop_reason,
+        "initial_rung": initial_rung,
+        "elapsed_seconds": time.perf_counter() - started,
+    }
+
+
+def cacheable(payload: Dict[str, Any]) -> bool:
+    """Whether a result payload may enter the content-addressed cache.
+
+    Only natural completions are cached: a deadline- or drain-truncated
+    incumbent depends on wall-clock luck, and caching it would serve a
+    worse-than-deterministic answer to every later identical request.
+    """
+    return payload.get("stop_reason") == STOP_COMPLETED
+
+
+class ServiceExecutor:
+    """Daemon worker threads draining a :class:`JobQueue`.
+
+    ``on_done(job, payload_or_None)`` fires after each job settles -
+    the service core uses it to cache completed results and bump
+    metrics.  Thread count is deliberately small (solves are CPU-bound;
+    heavy parallelism belongs to the restart fan-out inside a solve).
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        threads: int = 2,
+        budget: Optional[Budget] = None,
+        workers: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+        on_done: Optional[Callable[[Job, Optional[Dict[str, Any]]], None]] = None,
+    ) -> None:
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.queue = queue
+        self.budget = budget
+        self.workers = workers
+        self.telemetry = telemetry
+        self.on_done = on_done
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"service-exec-{i}", daemon=True
+            )
+            for i in range(threads)
+        ]
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for thread in self._threads:
+            thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the worker threads to exit (after ``queue.close()``)."""
+        if not self._started:
+            return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            job = self.queue.claim(timeout=0.2)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            payload: Optional[Dict[str, Any]] = None
+            try:
+                maybe_fault_task(STALL_SITE, job.seq, 0)
+                payload = execute_request(
+                    job.request,
+                    budget=job.request.make_budget(self.budget),
+                    workers=self.workers,
+                    telemetry=self.telemetry,
+                )
+                job.complete(payload)
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                job.fail(f"{type(exc).__name__}: {exc}")
+            finally:
+                self.queue.settle(job)
+                if self.on_done is not None:
+                    self.on_done(job, payload)
+
+
+__all__ = [
+    "ExecutionFailedError",
+    "RESULT_FORMAT",
+    "STALL_SITE",
+    "ServiceExecutor",
+    "cacheable",
+    "execute_request",
+]

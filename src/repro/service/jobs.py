@@ -1,0 +1,278 @@
+"""The service's job ledger: a bounded priority queue with coalescing.
+
+Three concerns live here, all under one lock:
+
+* **Scheduling** - submitted jobs wait in a priority heap (higher
+  ``priority`` first, FIFO within a priority level via the admission
+  sequence number) until an executor thread claims them.
+* **Backpressure** - the heap is bounded; admitting past ``max_depth``
+  raises :class:`QueueFullError`, which the HTTP layer maps to a 429
+  with ``Retry-After``.  A bounded queue is the honest contract: an
+  unbounded one converts overload into unbounded latency and memory.
+* **Coalescing** - an *active* (queued or running) job per request
+  digest is tracked; a concurrent identical submission attaches to it
+  instead of enqueueing a second solve.  All waiters share the one
+  result object - safe because results are immutable payload dicts.
+
+Jobs transition ``queued -> running -> done | failed``; ``cancelled``
+replaces ``queued`` when the queue is closed during drain.  Every
+transition sets data *before* the ``finished`` event, so a waiter that
+wakes observes a consistent job.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.request import SolveRequest
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+FINISHED_STATES = (DONE, FAILED, CANCELLED)
+
+
+class QueueFullError(RuntimeError):
+    """The bounded queue is at depth; the caller should retry later."""
+
+    def __init__(self, depth: int, retry_after: float = 1.0) -> None:
+        super().__init__(
+            f"job queue is full ({depth} queued); retry after {retry_after:g}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class QueueClosedError(RuntimeError):
+    """The queue stopped admitting work (the service is draining)."""
+
+
+class Job:
+    """One admitted solve request and its lifecycle.
+
+    ``seq`` is the admission sequence number - it breaks priority ties
+    FIFO and doubles as the task identity for the ``service.*`` fault
+    sites (deterministic under any thread schedule, same contract as
+    the pool's task-scoped ``worker.*`` sites).
+    """
+
+    __slots__ = (
+        "id",
+        "request",
+        "digest",
+        "seq",
+        "state",
+        "result",
+        "error",
+        "coalesced",
+        "finished",
+    )
+
+    def __init__(self, job_id: str, request: SolveRequest, digest: str, seq: int) -> None:
+        self.id = job_id
+        self.request = request
+        self.digest = digest
+        self.seq = seq
+        self.state = QUEUED
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        self.coalesced = 0
+        """How many extra submissions attached to this job."""
+        self.finished = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.state in FINISHED_STATES
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; ``False`` on timeout."""
+        return self.finished.wait(timeout)
+
+    def complete(self, result: Dict[str, Any]) -> None:
+        self.result = result
+        self.state = DONE
+        self.finished.set()
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.state = FAILED
+        self.finished.set()
+
+    def cancel(self, reason: str = "service draining") -> None:
+        self.error = reason
+        self.state = CANCELLED
+        self.finished.set()
+
+    def status_dict(self) -> Dict[str, Any]:
+        """The wire form of the job's current state (no result body)."""
+        return {
+            "job_id": self.id,
+            "digest": self.digest,
+            "state": self.state,
+            "coalesced": self.coalesced,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """Bounded priority queue + digest coalescing map + job registry.
+
+    The registry keeps every finished job (bounded by ``history``) so a
+    poll that races the completion still finds its handle.
+    """
+
+    def __init__(self, max_depth: int = 64, *, history: int = 1024) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = int(max_depth)
+        self.history = int(history)
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._active: Dict[str, Job] = {}  # digest -> queued/running job
+        self._jobs: Dict[str, Job] = {}  # id -> every known job
+        self._order: List[str] = []  # insertion order, for history pruning
+        self._seq = itertools.count()
+        self._closed = False
+        self._running = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: SolveRequest) -> Tuple[Job, bool]:
+        """Admit ``request``; returns ``(job, coalesced)``.
+
+        A queued or running job with the same digest absorbs the
+        submission (``coalesced=True``); otherwise a fresh job enters
+        the heap.  Raises :class:`QueueFullError` at depth and
+        :class:`QueueClosedError` while draining.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosedError("job queue is closed (service draining)")
+            digest = request.digest()
+            active = self._active.get(digest)
+            if active is not None and not active.done:
+                active.coalesced += 1
+                return active, True
+            if len(self._heap) >= self.max_depth:
+                raise QueueFullError(len(self._heap))
+            seq = next(self._seq)
+            job = Job(f"job-{seq:06d}", request, digest, seq)
+            heapq.heappush(self._heap, (-request.priority, seq, job))
+            self._active[digest] = job
+            self._register(job)
+            self._ready.notify()
+            return job, False
+
+    def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the next job for an executor thread (``None`` on timeout/close).
+
+        The job is marked ``running`` while still under the lock, so a
+        coalescing submission can never observe a claimed-but-stateless
+        job.
+        """
+        with self._ready:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._ready.wait(timeout):
+                    return None
+            _, _, job = heapq.heappop(self._heap)
+            job.state = RUNNING
+            self._running += 1
+            return job
+
+    def settle(self, job: Job) -> None:
+        """Record that an executor finished ``job`` (any terminal state)."""
+        with self._lock:
+            if self._active.get(job.digest) is job:
+                del self._active[job.digest]
+            self._running = max(0, self._running - 1)
+            self._ready.notify_all()
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def depth(self) -> int:
+        """Queued (not yet running) jobs."""
+        with self._lock:
+            return len(self._heap)
+
+    def in_flight(self) -> int:
+        """Queued plus running jobs."""
+        with self._lock:
+            return len(self._heap) + self._running
+
+    # ------------------------------------------------------------------
+    def close(self) -> List[Job]:
+        """Stop admissions; cancel queued jobs; return the cancelled ones.
+
+        Running jobs are untouched - the drain path lets them finish
+        (cooperatively truncated through the shared budget).
+        """
+        with self._lock:
+            self._closed = True
+            cancelled = [job for _, _, job in self._heap]
+            self._heap.clear()
+            for job in cancelled:
+                job.cancel()
+                if self._active.get(job.digest) is job:
+                    del self._active[job.digest]
+            self._ready.notify_all()
+            return cancelled
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is queued or running; ``False`` on timeout."""
+        start = time.monotonic()
+        with self._ready:
+            while self._heap or self._running:
+                remaining = None
+                if timeout is not None:
+                    remaining = timeout - (time.monotonic() - start)
+                    if remaining <= 0:
+                        return False
+                self._ready.wait(remaining if remaining is not None else 0.5)
+            return True
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    def _register(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        self._order.append(job.id)
+        while len(self._order) > self.history:
+            oldest = self._order[0]
+            candidate = self._jobs.get(oldest)
+            if candidate is not None and not candidate.done:
+                break  # never forget a live job
+            self._order.pop(0)
+            self._jobs.pop(oldest, None)
+
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "FINISHED_STATES",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "QUEUED",
+    "QueueClosedError",
+    "QueueFullError",
+    "RUNNING",
+]

@@ -33,7 +33,12 @@ def greedy_feasible_assignment(
     Components are placed largest-first into the partition with the most
     residual capacity (random tie-breaking among near-equal partitions
     when ``randomize``).  Retries ``attempts`` times with fresh
-    randomness before failing.
+    randomness, then makes one final *deterministic* largest-first /
+    most-residual (LPT) attempt before failing: on tightly packed
+    instances the randomized diversification can keep missing a packing
+    the deterministic rule finds, and the extra attempt only runs where
+    the constructor previously raised, so succeeding runs are
+    bit-identical to before.
 
     Raises
     ------
@@ -46,7 +51,9 @@ def greedy_feasible_assignment(
     n, m = problem.num_components, problem.num_partitions
     order = np.argsort(-sizes, kind="stable")
 
-    for _ in range(max(1, attempts)):
+    randomized = max(1, attempts)
+    for attempt in range(randomized + 1):
+        deterministic = not randomize or attempt == randomized
         residual = capacities.astype(float).copy()
         part = np.full(n, -1, dtype=int)
         ok = True
@@ -55,7 +62,7 @@ def greedy_feasible_assignment(
             if fits.size == 0:
                 ok = False
                 break
-            if randomize and fits.size > 1:
+            if not deterministic and fits.size > 1:
                 # Prefer roomy partitions but keep diversity: sample among
                 # the fitting partitions weighted by residual capacity.
                 weights = residual[fits] + 1e-9

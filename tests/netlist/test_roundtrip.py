@@ -1,0 +1,91 @@
+"""Round-trip guarantees for every netlist serialisation format.
+
+The service layer's content-addressed cache keys solve requests by the
+serialised circuit document, so parse -> serialize -> parse must be the
+identity on every format: a circuit that drifts through a round trip
+would silently change its digest (cache misses) or, worse, its physics.
+The bundled example circuits are the synthetic twins of the paper's
+ckta..cktg (small ``scale`` so the suite stays fast).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.workloads import build_workload, workload_names
+from repro.netlist.circuit import Circuit
+from repro.netlist.io import circuit_from_dict, circuit_to_dict, load_circuit, save_circuit
+from repro.netlist.parsers import (
+    NetlistParseError,
+    parse_edge_list,
+    write_edge_list,
+)
+
+
+def circuits_equal(a: Circuit, b: Circuit) -> bool:
+    """Structural equality: names, components, and the full wire set."""
+    if a.name != b.name or a.num_components != b.num_components:
+        return False
+    for ca, cb in zip(a.components, b.components):
+        if (ca.name, ca.size, ca.intrinsic_delay) != (cb.name, cb.size, cb.intrinsic_delay):
+            return False
+    wires_a = {(w.source, w.target): w.weight for w in a.wires()}
+    wires_b = {(w.source, w.target): w.weight for w in b.wires()}
+    return wires_a == wires_b
+
+
+@pytest.fixture(scope="module")
+def example_circuits():
+    return [
+        build_workload(name, scale=0.05).circuit for name in workload_names()
+    ]
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip_is_identity(self, example_circuits):
+        for circuit in example_circuits:
+            document = circuit_to_dict(circuit)
+            rebuilt = circuit_from_dict(document)
+            assert circuits_equal(circuit, rebuilt), circuit.name
+            # Second lap: the document itself must be stable too.
+            assert circuit_to_dict(rebuilt) == document
+
+    def test_file_round_trip_is_identity(self, tmp_path, example_circuits):
+        circuit = example_circuits[0]
+        path = tmp_path / "circuit.json"
+        save_circuit(circuit, path)
+        assert circuits_equal(circuit, load_circuit(path))
+
+
+class TestEdgeListRoundTrip:
+    def test_text_round_trip_is_identity(self, example_circuits):
+        for circuit in example_circuits:
+            text = write_edge_list(circuit)
+            rebuilt = parse_edge_list(text, name=circuit.name)
+            assert circuits_equal(circuit, rebuilt), circuit.name
+            assert write_edge_list(rebuilt) == text
+
+
+class TestMalformedInputs:
+    def test_unknown_directive_is_rejected(self):
+        with pytest.raises(NetlistParseError) as err:
+            parse_edge_list("component u0 1.0\nfrobnicate u0\n")
+        assert err.value.line_number == 2
+
+    def test_wire_to_unknown_component_is_rejected(self):
+        with pytest.raises(NetlistParseError):
+            parse_edge_list("component u0 1.0\nwire u0 u1 2.0\n")
+
+    def test_json_missing_components_is_rejected(self):
+        with pytest.raises(ValueError, match="components"):
+            circuit_from_dict({"name": "bad", "wires": []})
+
+    def test_json_malformed_wire_is_rejected(self):
+        with pytest.raises(ValueError, match="wire"):
+            circuit_from_dict(
+                {"name": "bad", "components": [{"name": "u0"}], "wires": [[0]]}
+            )
+
+    def test_json_unknown_version_is_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            circuit_from_dict({"format_version": 99, "components": []})

@@ -49,11 +49,14 @@ class TestEventSerialisation:
             "quarantine",
             "integrity",
             "progress",
+            "service",
         }
         assert "best_feasible_cost" in EVENT_SCHEMA["iteration"]
         assert "payload_digest" in EVENT_SCHEMA["quarantine"]
         assert "delay_seconds" in EVENT_SCHEMA["retry"]
         assert "reason" in EVENT_SCHEMA["integrity"]
+        assert "digest" in EVENT_SCHEMA["service"]
+        assert "status" in EVENT_SCHEMA["service"]
 
 
 class TestValidateTraceLine:

@@ -96,11 +96,16 @@ def small_problems(draw):
     wires = draw(st.integers(n, 3 * n))
     spec = ClusteredCircuitSpec("p", num_components=n, num_wires=wires)
     circuit = generate_clustered_circuit(spec, seed=seed)
-    slack = draw(st.floats(1.2, 1.8))
-    # Every slot must at least fit the largest component, else no
-    # feasible assignment exists at all.
-    capacity = max(
-        circuit.total_size() / 4 * slack, float(circuit.sizes().max()) * 1.05
+    slack = draw(st.floats(1.01, 1.5))
+    # Guarantee a greedy packing exists: largest-first/most-residual
+    # placement (LPT scheduling) has makespan <= (4/3)*OPT with
+    # OPT >= max(total/m, max component), so any capacity at or above
+    # that bound is provably packable by the deterministic constructor.
+    # The previous max(total/4*slack, max*1.05) formula admitted
+    # instances (e.g. several near-capacity components) where no greedy
+    # packing - sometimes no packing at all - exists.
+    capacity = (
+        max(circuit.total_size() / 4, float(circuit.sizes().max())) * 4 / 3 * slack
     )
     topo = grid_topology(2, 2, capacity=capacity)
     return PartitioningProblem(circuit, topo), seed

@@ -1,0 +1,80 @@
+"""ResultCache: LRU behaviour, stats, and the JSONL spill tier."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.cache import CACHE_FORMAT, ResultCache
+
+
+def payload(n: int) -> dict:
+    return {"format": "service-result-v1", "cost": float(n)}
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get("a") is None
+        cache.put("a", payload(1))
+        assert cache.get("a") == payload(1)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_prefers_recently_used(self):
+        cache = ResultCache(2)
+        cache.put("a", payload(1))
+        cache.put("b", payload(2))
+        assert cache.get("a") is not None  # refresh a
+        cache.put("c", payload(3))  # evicts b (least recently used)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_is_idempotent(self):
+        cache = ResultCache(4)
+        cache.put("a", payload(1))
+        cache.put("a", payload(1))
+        assert len(cache) == 1
+
+    def test_clear_empties_memory(self):
+        cache = ResultCache(4)
+        cache.put("a", payload(1))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestSpillTier:
+    def test_put_appends_one_record_per_fresh_digest(self, tmp_path):
+        spill = tmp_path / "cache.jsonl"
+        cache = ResultCache(4, spill_path=spill)
+        cache.put("a", payload(1))
+        cache.put("b", payload(2))
+        cache.put("a", payload(1))  # refresh, no second record
+        records = [json.loads(l) for l in spill.read_text().splitlines()]
+        assert len(records) == 2
+        assert all(r["format"] == CACHE_FORMAT for r in records)
+
+    def test_warm_restart_reloads_entries(self, tmp_path):
+        spill = tmp_path / "cache.jsonl"
+        ResultCache(4, spill_path=spill).put("a", payload(1))
+        warmed = ResultCache(4, spill_path=spill)
+        assert warmed.get("a") == payload(1)
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        spill = tmp_path / "cache.jsonl"
+        ResultCache(4, spill_path=spill).put("a", payload(1))
+        with open(spill, "a") as fh:
+            fh.write('{"format": "service-cache-v1", "digest": "b", "res')
+        warmed = ResultCache(4, spill_path=spill)
+        assert "a" in warmed
+        assert "b" not in warmed
+
+    def test_load_respects_capacity(self, tmp_path):
+        spill = tmp_path / "cache.jsonl"
+        big = ResultCache(8, spill_path=spill)
+        for i in range(6):
+            big.put(f"d{i}", payload(i))
+        small = ResultCache(2, spill_path=spill)
+        assert len(small) == 2
+        # Last writers win: the newest spill records survive.
+        assert "d5" in small and "d4" in small

@@ -1,0 +1,69 @@
+"""Chaos coverage: the ``service.*`` fault sites under a fault plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.faults import inject_faults, parse_fault_plan
+from repro.service.jobs import QueueFullError
+from repro.service.request import SolveRequest
+from repro.service.server import PartitionService, ServiceExecutionError
+
+
+class TestRejectSite:
+    def test_injected_reject_sheds_the_targeted_request(self, request_doc):
+        service = PartitionService(queue_depth=8, executor_threads=1).start()
+        plan = parse_fault_plan("service.reject:fail:tasks=1")
+        try:
+            with inject_faults(plan):
+                first = service.solve(
+                    SolveRequest.from_dict({**request_doc, "seed": 1}), timeout=60
+                )
+                assert first["stop_reason"] == "completed"
+                with pytest.raises(QueueFullError):
+                    service.admit(
+                        SolveRequest.from_dict({**request_doc, "seed": 2})
+                    )
+            assert ("service.reject", 1, "fail") in plan.injected
+            stats = service.metrics()["snapshot"]["counters"]
+            assert stats["service.rejected"] == 1
+        finally:
+            service.shutdown(drain=False, timeout=2.0)
+
+    def test_reject_plan_is_fork_safe(self):
+        assert parse_fault_plan("service.reject:fail:tasks=0").fork_safe
+
+
+class TestStallSite:
+    def test_injected_stall_failure_fails_the_job_and_skips_the_cache(
+        self, request_doc
+    ):
+        service = PartitionService(queue_depth=8, executor_threads=1).start()
+        plan = parse_fault_plan("service.stall:fail:tasks=0")
+        try:
+            with inject_faults(plan):
+                with pytest.raises(ServiceExecutionError, match="InjectedFault"):
+                    service.solve(SolveRequest.from_dict(request_doc), timeout=60)
+                # The failure is attempt-scoped to the first job; the same
+                # request resubmitted gets a fresh job (seq 1) and succeeds.
+                payload = service.solve(SolveRequest.from_dict(request_doc), timeout=60)
+            assert payload["stop_reason"] == "completed"
+            assert ("service.stall", 0, "fail") in plan.injected
+            stats = service.metrics()["snapshot"]["counters"]
+            assert stats["service.failed"] == 1
+            assert stats["service.completed"] == 1
+        finally:
+            service.shutdown(drain=False, timeout=2.0)
+
+    def test_injected_slow_stall_delays_but_completes(self, request_doc):
+        service = PartitionService(queue_depth=8, executor_threads=1).start()
+        plan = parse_fault_plan("service.stall:slow:tasks=0:seconds=0.05")
+        try:
+            with inject_faults(plan):
+                payload = service.solve(
+                    SolveRequest.from_dict(request_doc), timeout=60
+                )
+            assert payload["stop_reason"] == "completed"
+            assert ("service.stall", 0, "slow") in plan.injected
+        finally:
+            service.shutdown(drain=False, timeout=2.0)

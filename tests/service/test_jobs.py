@@ -1,0 +1,126 @@
+"""JobQueue: priority scheduling, bounded depth, coalescing, drain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    JobQueue,
+    QueueClosedError,
+    QueueFullError,
+)
+from repro.service.request import SolveRequest
+
+
+def make_request(request_doc: dict, *, seed: int = 11, priority: int = 0):
+    return SolveRequest.from_dict(
+        {**request_doc, "seed": seed, "priority": priority}
+    )
+
+
+class TestScheduling:
+    def test_priority_order_then_fifo(self, request_doc):
+        queue = JobQueue(8)
+        low, _ = queue.submit(make_request(request_doc, seed=1, priority=0))
+        high, _ = queue.submit(make_request(request_doc, seed=2, priority=5))
+        low2, _ = queue.submit(make_request(request_doc, seed=3, priority=0))
+        assert queue.claim(0.1) is high
+        assert queue.claim(0.1) is low  # FIFO within a priority level
+        assert queue.claim(0.1) is low2
+
+    def test_claim_times_out_on_empty_queue(self, request_doc):
+        assert JobQueue(2).claim(timeout=0.05) is None
+
+    def test_settle_releases_the_digest(self, request_doc):
+        queue = JobQueue(4)
+        job, _ = queue.submit(make_request(request_doc))
+        assert queue.claim(0.1) is job
+        job.complete({"cost": 1.0})
+        queue.settle(job)
+        fresh, coalesced = queue.submit(make_request(request_doc))
+        assert not coalesced
+        assert fresh is not job
+
+
+class TestBackpressure:
+    def test_depth_bound_rejects_with_retry_hint(self, request_doc):
+        queue = JobQueue(2)
+        queue.submit(make_request(request_doc, seed=1))
+        queue.submit(make_request(request_doc, seed=2))
+        with pytest.raises(QueueFullError) as err:
+            queue.submit(make_request(request_doc, seed=3))
+        assert err.value.retry_after > 0
+        assert err.value.depth == 2
+
+    def test_coalesced_submissions_do_not_count_against_depth(self, request_doc):
+        queue = JobQueue(1)
+        first, _ = queue.submit(make_request(request_doc))
+        again, coalesced = queue.submit(make_request(request_doc))
+        assert coalesced and again is first
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_job(self, request_doc):
+        queue = JobQueue(4)
+        a, ca = queue.submit(make_request(request_doc))
+        b, cb = queue.submit(make_request(request_doc))
+        assert not ca and cb
+        assert a is b
+        assert a.coalesced == 1
+
+    def test_transport_fields_still_coalesce(self, request_doc):
+        queue = JobQueue(4)
+        a, _ = queue.submit(make_request(request_doc))
+        b, coalesced = queue.submit(
+            SolveRequest.from_dict({**request_doc, "deadline_seconds": 2.0})
+        )
+        assert coalesced and a is b
+
+    def test_different_requests_do_not_coalesce(self, request_doc):
+        queue = JobQueue(4)
+        a, _ = queue.submit(make_request(request_doc, seed=1))
+        b, coalesced = queue.submit(make_request(request_doc, seed=2))
+        assert not coalesced and a is not b
+
+    def test_running_job_still_coalesces(self, request_doc):
+        queue = JobQueue(4)
+        job, _ = queue.submit(make_request(request_doc))
+        assert queue.claim(0.1) is job  # now running
+        again, coalesced = queue.submit(make_request(request_doc))
+        assert coalesced and again is job
+
+
+class TestDrain:
+    def test_close_cancels_queued_jobs(self, request_doc):
+        queue = JobQueue(4)
+        job, _ = queue.submit(make_request(request_doc))
+        cancelled = queue.close()
+        assert cancelled == [job]
+        assert job.state == CANCELLED
+        assert job.finished.is_set()
+
+    def test_closed_queue_rejects_submissions(self, request_doc):
+        queue = JobQueue(4)
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.submit(make_request(request_doc))
+
+    def test_wait_idle_waits_for_running_jobs(self, request_doc):
+        queue = JobQueue(4)
+        job, _ = queue.submit(make_request(request_doc))
+        queue.claim(0.1)
+        assert not queue.wait_idle(timeout=0.05)  # still running
+        job.complete({"cost": 0.0})
+        queue.settle(job)
+        assert queue.wait_idle(timeout=1.0)
+
+    def test_registry_keeps_finished_jobs(self, request_doc):
+        queue = JobQueue(4)
+        job, _ = queue.submit(make_request(request_doc))
+        queue.claim(0.1)
+        job.complete({"cost": 0.0})
+        queue.settle(job)
+        assert queue.get(job.id) is job
+        assert job.state == DONE

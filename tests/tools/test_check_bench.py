@@ -200,11 +200,26 @@ class TestLedgerGate:
             == 0
         )
 
-    def test_empty_ledger_passes_with_notice(self, tmp_path, snapshot, capsys):
+    def test_missing_ledger_fails_with_one_line_error(
+        self, tmp_path, snapshot, capsys
+    ):
         current = self.write(tmp_path / "current.json", snapshot)
         ledger = tmp_path / "absent.jsonl"
-        assert check_bench_mod.main([str(current), "--ledger", str(ledger)]) == 0
-        assert "no records" in capsys.readouterr().err
+        assert check_bench_mod.main([str(current), "--ledger", str(ledger)]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_empty_ledger_fails_with_one_line_error(
+        self, tmp_path, snapshot, capsys
+    ):
+        current = self.write(tmp_path / "current.json", snapshot)
+        ledger = tmp_path / "empty.jsonl"
+        ledger.write_text("")
+        assert check_bench_mod.main([str(current), "--ledger", str(ledger)]) == 2
+        err = capsys.readouterr().err
+        assert "no run-ledger-v1 records" in err
+        assert len(err.strip().splitlines()) == 1
 
     def test_baseline_and_ledger_are_exclusive(self, tmp_path, snapshot):
         current = self.write(tmp_path / "current.json", snapshot)
