@@ -62,9 +62,27 @@ FORBIDDEN = {
         "repro.apps",
         "repro.service",
     ),
-    # The service builds on the solver stack but must not reach into
-    # the consumers beside it (the CLI servectl sits in tools/, above).
-    "repro.service": ("repro.eval", "repro.tools", "repro.apps"),
+    # The pipeline wires solver implementations to registry names; it
+    # sits above solvers/baselines and below every consumer package.
+    "repro.pipeline": (
+        "repro.eval",
+        "repro.tools",
+        "repro.apps",
+        "repro.service",
+    ),
+    # Consumer packages dispatch through repro.pipeline only - never
+    # import a solver implementation directly.
+    "repro.tools": ("repro.solvers", "repro.baselines"),
+    "repro.eval": ("repro.solvers", "repro.baselines"),
+    # The service builds on the pipeline but must not reach into the
+    # consumers beside it (the CLI servectl sits in tools/, above).
+    "repro.service": (
+        "repro.eval",
+        "repro.tools",
+        "repro.apps",
+        "repro.solvers",
+        "repro.baselines",
+    ),
 }
 
 

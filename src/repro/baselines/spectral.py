@@ -35,21 +35,23 @@ from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
+from repro.engine.outcome import SolveOutcome
 from repro.obs.events import IterationEvent
 from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
 from repro.solvers.gap import GapInfeasibleError, solve_gap
 from repro.utils.rng import RandomSource, ensure_rng
 
 
-@dataclass(frozen=True)
-class SpectralResult:
-    """Outcome of a spectral partitioning run."""
+@dataclass
+class SpectralResult(SolveOutcome):
+    """Outcome of a spectral partitioning run (a :class:`SolveOutcome`).
 
-    assignment: Assignment
-    cost: float
-    feasible: bool
-    embedding_dimensions: int
-    elapsed_seconds: float
+    Spectral runs are one-shot (no iteration budget), so
+    ``stop_reason`` is always ``completed``; ``cost`` is the exact
+    recomputed wire length of the reported assignment.
+    """
+
+    embedding_dimensions: int = 0
 
 
 def spectral_embedding(problem: PartitioningProblem, dimensions: int) -> np.ndarray:

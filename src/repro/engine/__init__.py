@@ -14,7 +14,12 @@ algorithm packages that build on it:
 * :class:`~repro.engine.outcome.SolveOutcome` — the unified result type
   every solver's result subclasses,
 * :mod:`~repro.engine.fanout` — the shared fold helpers for parallel
-  fan-out (best-restart selection, ordered outcome routing).
+  fan-out (best-restart selection, ordered outcome routing),
+* :mod:`~repro.engine.registry` — the solver-registry vocabulary
+  (:class:`SolverSpec` capability records, :class:`SolverConfig`
+  canonical-digest config dataclasses, :class:`SolverRegistry`).  Only
+  the *infrastructure* lives here; the built-in registrations live one
+  layer up in :mod:`repro.pipeline`, which may import the solvers.
 
 Layering (machine-enforced by ``scripts/check_imports.py`` and
 ``tests/test_layering.py``): this package imports only ``repro.core``,
@@ -26,13 +31,27 @@ from repro.engine.context import SolverContext
 from repro.engine.delta import ETA_MODES, DeltaCache, DeltaStats
 from repro.engine.fanout import BestFold, fold_outcomes
 from repro.engine.outcome import SolveOutcome
+from repro.engine.registry import (
+    RunContext,
+    SolverConfig,
+    SolverRegistry,
+    SolverSpec,
+    UnknownSolverError,
+    config_field,
+)
 
 __all__ = [
     "BestFold",
     "DeltaCache",
     "DeltaStats",
     "ETA_MODES",
+    "RunContext",
     "SolveOutcome",
+    "SolverConfig",
     "SolverContext",
+    "SolverRegistry",
+    "SolverSpec",
+    "UnknownSolverError",
+    "config_field",
     "fold_outcomes",
 ]

@@ -1,0 +1,257 @@
+"""Solver registry infrastructure: specs, configs, capability flags.
+
+This module is the *vocabulary* of the unified solver surface — it
+knows what a solver entry looks like (:class:`SolverSpec`), how its
+configuration is declared, validated and digested (:class:`SolverConfig`),
+and how specs are looked up (:class:`SolverRegistry`).  It deliberately
+imports **no** solver implementation: the engine sits below
+``repro.solvers`` and ``repro.baselines`` in the layer diagram, so the
+actual registrations live one layer up, in :mod:`repro.pipeline`
+(machine-enforced by ``scripts/check_imports.py``).
+
+The division of labour:
+
+* ``engine.registry`` — *what a solver is* (name, capabilities, config
+  schema, uniform ``run(problem, initial, config, ctx) -> SolveOutcome``
+  adapter signature).
+* ``pipeline`` — *which solvers exist* (the six built-ins) and *how a
+  solve is orchestrated* (initial-solution ladder, checkpointer wiring,
+  multistart fan-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple, Type
+
+from repro.obs.ledger import config_digest
+
+INITIAL_REQUIRED = "required"
+"""The solver refuses to run without a starting assignment (GFM/GKL)."""
+
+INITIAL_OPTIONAL = "optional"
+"""The solver accepts a start but can construct its own (QBP)."""
+
+INITIAL_UNUSED = "unused"
+"""The solver ignores any starting assignment (spectral, exact)."""
+
+INITIAL_MODES = (INITIAL_REQUIRED, INITIAL_OPTIONAL, INITIAL_UNUSED)
+
+
+class UnknownSolverError(ValueError):
+    """Lookup of a solver name that no registry entry claims.
+
+    The message is one line and lists every registered name, so CLI and
+    HTTP front ends can surface it verbatim (exit-with-error, 400).
+    """
+
+    def __init__(self, name: str, registered: Iterable[str]) -> None:
+        self.name = name
+        self.registered = tuple(registered)
+        super().__init__(
+            f"unknown solver {name!r}; registered solvers: "
+            + ", ".join(self.registered)
+        )
+
+
+def config_field(
+    default: Any,
+    *,
+    coerce: Optional[Callable[[Any], Any]] = None,
+    help: str = "",  # noqa: A002 - mirrors dataclasses.field metadata use
+    cli: bool = True,
+):
+    """Declare one :class:`SolverConfig` field with wire/CLI metadata.
+
+    ``coerce`` normalises values arriving from JSON documents or CLI
+    strings (e.g. ``int``/``float``); ``cli=False`` keeps a field out of
+    auto-generated command-line flags while still accepting it from
+    config documents.
+    """
+    return field(
+        default=default,
+        metadata={"coerce": coerce, "help": help, "cli": cli},
+    )
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Base class for per-solver configuration dataclasses.
+
+    Subclasses declare their knobs as frozen dataclass fields (usually
+    via :func:`config_field`).  Every config serialises to a canonical
+    JSON-plain mapping (:meth:`canonical`) whose
+    :func:`~repro.obs.ledger.config_digest` is stable across key order —
+    the same digesting rules the run ledger and the service's request
+    digests use, so a solver config folds into a content address
+    without any per-solver code.
+    """
+
+    def canonical(self) -> Dict[str, Any]:
+        """Every field in declaration order, JSON-plain."""
+        return {
+            f.name: getattr(self, f.name) for f in dataclass_fields(self)
+        }
+
+    def digest(self) -> str:
+        """Content digest of :meth:`canonical` (stable across key order)."""
+        return config_digest(self.canonical())
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range values (subclass hook)."""
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in dataclass_fields(cls))
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: Optional[Mapping[str, Any]] = None, *, solver: str = "solver"
+    ) -> "SolverConfig":
+        """Validate and normalise a config document into an instance.
+
+        Unknown keys are rejected with a one-line error naming the known
+        fields; per-field ``coerce`` callables normalise JSON/CLI values.
+        Raises ``ValueError`` (callers map it to exit codes / 400s).
+        """
+        data = dict(mapping or {})
+        known = {f.name: f for f in dataclass_fields(cls)}
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise ValueError(
+                f"unknown {solver} config field(s): {', '.join(unknown)}; "
+                f"known: {', '.join(known) or '(none)'}"
+            )
+        kwargs: Dict[str, Any] = {}
+        for name, value in data.items():
+            coerce = known[name].metadata.get("coerce")
+            if coerce is not None and value is not None:
+                try:
+                    value = coerce(value)
+                except (TypeError, ValueError) as exc:
+                    raise ValueError(
+                        f"bad {solver} config field {name!r}: {exc}"
+                    ) from exc
+            kwargs[name] = value
+        config = cls(**kwargs)
+        config.validate()
+        return config
+
+
+@dataclass
+class RunContext:
+    """Everything a solver adapter may need beyond problem/initial/config.
+
+    One bundle instead of five keyword arguments: the orchestration
+    layer (:class:`repro.pipeline.SolvePipeline`) fills it in once and
+    every adapter picks what it supports.  Adapters must tolerate unset
+    fields (``None``) — e.g. the exact solver ignores ``budget`` and
+    ``workers`` entirely.
+    """
+
+    seed: Any = None
+    budget: Any = None
+    telemetry: Any = None
+    workers: Optional[int] = None
+    checkpointer: Any = None
+    resume: Any = None
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registered solver: identity, capabilities, config, adapter.
+
+    ``run(problem, initial, config, ctx)`` must return a
+    :class:`~repro.engine.outcome.SolveOutcome` (or subclass).  The
+    capability flags let orchestration and front ends reason about a
+    solver without naming it: flag checks replace ``solver == "qbp"``
+    chains everywhere above the registry.
+    """
+
+    name: str
+    summary: str
+    config_cls: Type[SolverConfig]
+    run: Callable[..., Any]
+    supports_restarts: bool = False
+    supports_checkpoint: bool = False
+    initial: str = INITIAL_REQUIRED
+    recompute_report_cost: bool = False
+    """Report ``min(evaluator.cost(solution), start_cost)`` instead of the
+    outcome's own cost — QBP reports its best *fully feasible* iterate,
+    whose cost is not the penalized incumbent's."""
+    paper: bool = False
+    """Part of the paper's Table II/III method set (qbp/gfm/gkl)."""
+
+    def __post_init__(self) -> None:
+        if self.initial not in INITIAL_MODES:
+            raise ValueError(
+                f"initial must be one of {INITIAL_MODES}, got {self.initial!r}"
+            )
+
+    @property
+    def uses_initial(self) -> bool:
+        return self.initial != INITIAL_UNUSED
+
+    def make_config(
+        self, mapping: Optional[Mapping[str, Any]] = None
+    ) -> SolverConfig:
+        """Build this solver's config from a document (``None`` = defaults)."""
+        if isinstance(mapping, SolverConfig):
+            if not isinstance(mapping, self.config_cls):
+                raise ValueError(
+                    f"config for solver {self.name!r} must be "
+                    f"{self.config_cls.__name__}, got {type(mapping).__name__}"
+                )
+            mapping.validate()
+            return mapping
+        return self.config_cls.from_mapping(mapping, solver=self.name)
+
+
+class SolverRegistry:
+    """Name-keyed :class:`SolverSpec` store, iteration in registration order.
+
+    Registration order is meaningful: it is the order front ends list
+    solvers in (``--solver`` help, error messages) and the order the
+    default paper method set runs in.
+    """
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, SolverSpec] = {}
+
+    def register(self, spec: SolverSpec, *, replace: bool = False) -> SolverSpec:
+        if not replace and spec.name in self._specs:
+            raise ValueError(f"solver {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> SolverSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownSolverError(name, self._specs) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._specs)
+
+    def specs(self) -> Tuple[SolverSpec, ...]:
+        return tuple(self._specs.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+__all__ = [
+    "INITIAL_MODES",
+    "INITIAL_OPTIONAL",
+    "INITIAL_REQUIRED",
+    "INITIAL_UNUSED",
+    "RunContext",
+    "SolverConfig",
+    "SolverRegistry",
+    "SolverSpec",
+    "UnknownSolverError",
+    "config_field",
+]

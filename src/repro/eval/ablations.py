@@ -20,10 +20,14 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.assignment import Assignment
 from repro.core.objective import ObjectiveEvaluator
+from repro.engine import ETA_MODES
 from repro.eval.harness import shared_initial_solution
 from repro.eval.workloads import Workload, build_workload
-from repro.solvers.burkard import ETA_MODES, resolve_penalty, solve_qbp
-from repro.solvers.greedy import greedy_feasible_assignment
+from repro.pipeline import (
+    SolvePipeline,
+    greedy_feasible_assignment,
+    resolve_penalty,
+)
 from repro.utils.tables import TextTable
 
 
@@ -44,14 +48,17 @@ class AblationRecord:
         return 100.0 * (self.start_cost - self.final_cost) / self.start_cost
 
 
-def _solve(workload: Workload, initial: Assignment, *, with_timing=True, **kwargs):
+def _solve(workload: Workload, initial: Assignment, *, with_timing=True,
+           seed=None, **config):
     problem = workload.problem if with_timing else workload.problem_no_timing
     evaluator = ObjectiveEvaluator(problem)
     start = evaluator.cost(initial)
     t0 = time.perf_counter()
-    result = solve_qbp(problem, initial=initial, **kwargs)
+    run = SolvePipeline().run(
+        "qbp", problem, config=config, initial=initial, seed=seed
+    )
     elapsed = time.perf_counter() - t0
-    assignment = result.best_feasible_assignment or initial
+    assignment = run.outcome.solution or initial
     return start, min(evaluator.cost(assignment), start), elapsed
 
 

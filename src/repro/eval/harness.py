@@ -1,33 +1,35 @@
-"""Experiment harness: run QBP / GFM / GKL exactly as the paper did.
+"""Experiment harness: run the paper's methods exactly as the paper did.
 
 Protocol (paper Section 5):
 
 1. Build the circuit's problem (with or without timing constraints -
    Table III vs Table II).
 2. Obtain one initial feasible solution via the paper's recipe (QBP with
-   ``B = 0``); *the same* initial solution is given to all three
-   methods.
+   ``B = 0``); *the same* initial solution is given to every method.
 3. QBP runs a fixed iteration count (100 in the paper); GFM runs until
    no more improvement; GKL is cut off after 6 outer loops.
 4. Report, per method: final cost (total Manhattan wire length),
    percentage improvement over the start, and CPU seconds.
 5. Audit: every reported solution must be violation-free.
+
+The method set is open: ``run_circuit_experiment``/``run_table`` accept
+any solvers registered with :mod:`repro.pipeline` (``methods=``), and
+rows key their per-solver columns by name.  The default method tuple is
+the paper's (``qbp``, ``gfm``, ``gkl``) and reproduces the historical
+Table II/III rows bit-identically.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import asdict, dataclass, replace
+from dataclasses import dataclass, replace as dataclass_replace
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.baselines.gfm import gfm_partition
-from repro.baselines.gkl import gkl_partition
 from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.objective import ObjectiveEvaluator
-from repro.core.problem import PartitioningProblem
 from repro.engine.fanout import fold_outcomes
 from repro.eval.paper_data import GKL_OUTER_LOOPS, QBP_ITERATIONS
 from repro.eval.workloads import Workload, build_workload, workload_names
@@ -35,12 +37,18 @@ from repro.obs.metrics import METRICS_SNAPSHOT_FORMAT, diff_snapshots
 from repro.obs.telemetry import Telemetry, resolve as resolve_telemetry
 from repro.parallel.pool import WorkerPool
 from repro.parallel.retry import IntegrityError, RetryPolicy
+from repro.pipeline import (
+    SolvePipeline,
+    UnknownSolverError,
+    get_solver,
+    paper_initial_solution,
+    paper_solver_names,
+)
 from repro.runtime.budget import (
     STOP_COMPLETED,
     STOP_REASONS,
     STOP_STALLED,
     Budget,
-    BudgetExceededError,
 )
 from repro.runtime.faults import maybe_fault_task
 from repro.runtime.checkpoint import (
@@ -49,58 +57,123 @@ from repro.runtime.checkpoint import (
     atomic_write_json,
     try_load_json_checkpoint,
 )
-from repro.runtime.supervisor import (
-    Attempt,
-    SolverSupervisor,
-    SupervisorExhaustedError,
-)
-from repro.solvers.burkard import bootstrap_initial_solution, solve_qbp
 from repro.utils.rng import RandomSource
 
+_TIMING_GAUGE_PREFIX = "timing."
+_TIMING_GAUGE_SUFFIX = "_seconds"
+_TOTAL_GAUGE = "timing.total_seconds"
 
-@dataclass(frozen=True)
+
 class SolverTimings:
-    """Wall-clock seconds per solver for one circuit.
+    """Wall-clock seconds per solver for one circuit, keyed by name.
 
     Serialises as a ``metrics-snapshot-v1`` payload (gauges named
     ``timing.<solver>_seconds``), the same format
     :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` produces - so
     ``full_results.json`` carries timings and metric snapshots uniformly
-    and :meth:`from_dict` round-trips :meth:`to_dict` exactly.
+    and :meth:`from_dict` round-trips :meth:`to_dict` exactly.  Any
+    registered solver name is accepted: ``SolverTimings(qbp=1.0)``,
+    ``SolverTimings({"annealing": 2.0})``, or a mix.
     """
 
-    qbp: float
-    gfm: float
-    gkl: float
+    def __init__(
+        self, seconds: Optional[Mapping[str, float]] = None, **named: float
+    ) -> None:
+        data: Dict[str, float] = dict(seconds or {})
+        data.update(named)
+        self._seconds: Dict[str, float] = {
+            str(name): float(value) for name, value in data.items()
+        }
+
+    def names(self) -> Tuple[str, ...]:
+        """Solver names carried by this record, sorted."""
+        return tuple(sorted(self._seconds))
+
+    def seconds(self, name: str) -> float:
+        """Wall-clock seconds for ``name`` (raises ``KeyError`` if absent)."""
+        return self._seconds[name]
 
     @property
     def total(self) -> float:
-        """Combined wall-clock seconds across the three solvers."""
-        return self.qbp + self.gfm + self.gkl
+        """Combined wall-clock seconds across all solvers."""
+        return sum(self._seconds.values())
+
+    def __getattr__(self, name: str) -> float:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            return self.__dict__["_seconds"][name]
+        except KeyError:
+            raise AttributeError(
+                f"SolverTimings has no solver {name!r}"
+            ) from None
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SolverTimings):
+            return NotImplemented
+        return self._seconds == other._seconds
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._seconds.items()))
+        return f"SolverTimings({inner})"
 
     def to_dict(self) -> dict:
         """A ``metrics-snapshot-v1`` payload holding the timing gauges."""
+        gauges = {
+            f"{_TIMING_GAUGE_PREFIX}{name}{_TIMING_GAUGE_SUFFIX}": float(value)
+            for name, value in self._seconds.items()
+        }
+        gauges[_TOTAL_GAUGE] = float(self.total)
         return {
             "format": METRICS_SNAPSHOT_FORMAT,
             "counters": {},
-            "gauges": {
-                "timing.gfm_seconds": float(self.gfm),
-                "timing.gkl_seconds": float(self.gkl),
-                "timing.qbp_seconds": float(self.qbp),
-                "timing.total_seconds": float(self.total),
-            },
+            "gauges": {key: gauges[key] for key in sorted(gauges)},
             "histograms": {},
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "SolverTimings":
-        """Rebuild from a :meth:`to_dict` payload (snapshot gauges)."""
-        gauges = payload.get("gauges", {})
-        return cls(
-            qbp=float(gauges.get("timing.qbp_seconds", 0.0)),
-            gfm=float(gauges.get("timing.gfm_seconds", 0.0)),
-            gkl=float(gauges.get("timing.gkl_seconds", 0.0)),
-        )
+    def from_dict(
+        cls, payload: dict, *, expected: Optional[Sequence[str]] = None
+    ) -> "SolverTimings":
+        """Rebuild from a :meth:`to_dict` payload - strictly.
+
+        Every gauge must be a ``timing.<solver>_seconds`` entry (the
+        derived ``timing.total_seconds`` is skipped); a malformed gauge
+        name, a payload without timing gauges, or - when ``expected``
+        names are given - an unknown or missing solver raises
+        ``ValueError`` instead of silently zero-filling.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(f"timings payload must be a dict, got {payload!r}")
+        gauges = payload.get("gauges")
+        if not isinstance(gauges, dict):
+            raise ValueError("timings payload has no 'gauges' section")
+        seconds: Dict[str, float] = {}
+        for key, value in gauges.items():
+            if key == _TOTAL_GAUGE:
+                continue  # derived; recomputed from the per-solver entries
+            if not (
+                key.startswith(_TIMING_GAUGE_PREFIX)
+                and key.endswith(_TIMING_GAUGE_SUFFIX)
+                and len(key) > len(_TIMING_GAUGE_PREFIX) + len(_TIMING_GAUGE_SUFFIX)
+            ):
+                raise ValueError(
+                    f"gauge {key!r} is not a timing.<solver>_seconds entry"
+                )
+            name = key[len(_TIMING_GAUGE_PREFIX) : -len(_TIMING_GAUGE_SUFFIX)]
+            seconds[name] = float(value)
+        if not seconds:
+            raise ValueError("timings payload carries no timing gauges")
+        if expected is not None:
+            got, want = set(seconds), set(expected)
+            if got != want:
+                missing = sorted(want - got)
+                unknown = sorted(got - want)
+                raise ValueError(
+                    f"timing gauges do not match the expected solvers: "
+                    f"missing {missing}, unknown {unknown}"
+                )
+        return cls(seconds)
 
     @classmethod
     def merge(cls, timings: Iterable) -> "SolverTimings":
@@ -110,56 +183,178 @@ class SolverTimings:
         payloads, and ``None`` entries (rows restored from old
         checkpoints carry no timings); ``None`` entries are skipped, so
         ``SolverTimings.merge(row.timings for row in rows)`` aggregates a
-        whole table directly.
+        whole table directly.  The result carries the union of all the
+        solver names seen.
         """
-        qbp = gfm = gkl = 0.0
+        merged: Dict[str, float] = {}
         for item in timings:
             if item is None:
                 continue
             if isinstance(item, dict):
                 item = cls.from_dict(item)
-            qbp += item.qbp
-            gfm += item.gfm
-            gkl += item.gkl
-        return cls(qbp=qbp, gfm=gfm, gkl=gkl)
+            for name, value in item._seconds.items():
+                merged[name] = merged.get(name, 0.0) + value
+        return cls(merged)
 
 
 @dataclass(frozen=True)
-class ExperimentRow:
-    """One row of a Table II/III reproduction."""
+class SolverCell:
+    """One solver's columns in a table row: final cost, -%, CPU seconds."""
 
-    name: str
-    with_timing: bool
-    start_cost: float
-    qbp_cost: float
-    qbp_improvement: float
-    qbp_cpu: float
-    gfm_cost: float
-    gfm_improvement: float
-    gfm_cpu: float
-    gkl_cost: float
-    gkl_improvement: float
-    gkl_cpu: float
-    all_feasible: bool
-    stop_reason: str = STOP_COMPLETED
-    """``completed`` unless a budget cut some solver short
-    (``deadline`` / ``cancelled``); such rows hold each solver's best
-    incumbent at the stop, still feasible but possibly unconverged."""
-    timings: Optional[dict] = None
-    """Per-phase wall-clock seconds as a :meth:`SolverTimings.to_dict`
-    payload (``metrics-snapshot-v1``); ``None`` on rows restored from
-    older checkpoints."""
-    metrics: Optional[dict] = None
-    """Telemetry delta for this row (:func:`repro.obs.metrics.diff_snapshots`
-    of the registry around the circuit run); ``None`` when telemetry is
-    disabled."""
+    cost: float
+    improvement: float
+    cpu: float
+
+
+_CELL_FIELDS = ("cost", "improvement", "cpu")
+_ROW_FIELDS = (
+    "name",
+    "with_timing",
+    "start_cost",
+    "all_feasible",
+    "stop_reason",
+    "timings",
+    "metrics",
+)
+
+
+class ExperimentRow:
+    """One row of a Table II/III reproduction, keyed by solver name.
+
+    ``solvers`` maps each method name to its :class:`SolverCell`; the
+    historical flattened attributes (``row.qbp_cost``,
+    ``row.gfm_improvement``, ...) resolve through it for *any*
+    registered solver name, and the constructor accepts either the
+    nested mapping or the flattened ``<solver>_cost=...`` keyword
+    triples, so rows round-trip both schema generations.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        with_timing: bool,
+        start_cost: float,
+        *,
+        solvers: Optional[Mapping[str, object]] = None,
+        all_feasible: bool,
+        stop_reason: str = STOP_COMPLETED,
+        timings: Optional[dict] = None,
+        metrics: Optional[dict] = None,
+        **legacy: float,
+    ) -> None:
+        self.name = str(name)
+        self.with_timing = bool(with_timing)
+        self.start_cost = float(start_cost)
+        self.all_feasible = bool(all_feasible)
+        self.stop_reason = str(stop_reason)
+        self.timings = timings
+        self.metrics = metrics
+
+        cells: Dict[str, SolverCell] = {}
+        for solver, cell in (solvers or {}).items():
+            if not isinstance(cell, SolverCell):
+                cell = SolverCell(**{k: float(cell[k]) for k in _CELL_FIELDS})
+            cells[str(solver)] = cell
+        pending: Dict[str, Dict[str, float]] = {}
+        for key, value in legacy.items():
+            solver, sep, kind = key.rpartition("_")
+            if not sep or not solver or kind not in _CELL_FIELDS:
+                raise TypeError(f"unexpected keyword argument {key!r}")
+            if solver in cells:
+                raise TypeError(
+                    f"solver {solver!r} given both nested and flattened"
+                )
+            pending.setdefault(solver, {})[kind] = float(value)
+        for solver, parts in pending.items():
+            missing = [k for k in _CELL_FIELDS if k not in parts]
+            if missing:
+                raise TypeError(
+                    f"solver {solver!r} columns are incomplete: missing {missing}"
+                )
+            cells[solver] = SolverCell(**parts)
+        self.solvers: Dict[str, SolverCell] = cells
+
+    def __getattr__(self, attr: str):
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        solver, sep, kind = attr.rpartition("_")
+        if sep and kind in _CELL_FIELDS:
+            cell = self.__dict__.get("solvers", {}).get(solver)
+            if cell is not None:
+                return getattr(cell, kind)
+        raise AttributeError(f"ExperimentRow has no attribute {attr!r}")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ExperimentRow):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentRow(name={self.name!r}, with_timing={self.with_timing}, "
+            f"start_cost={self.start_cost!r}, solvers={self.solvers!r}, "
+            f"stop_reason={self.stop_reason!r})"
+        )
+
+    def replace(self, **changes) -> "ExperimentRow":
+        """A copy with ``changes`` applied (flattened keys reach cells)."""
+        solvers: Dict[str, SolverCell] = dict(self.solvers)
+        for key in list(changes):
+            solver, sep, kind = key.rpartition("_")
+            if sep and kind in _CELL_FIELDS and solver in solvers:
+                solvers[solver] = dataclass_replace(
+                    solvers[solver], **{kind: float(changes.pop(key))}
+                )
+        data = {field: getattr(self, field) for field in _ROW_FIELDS}
+        data.update(changes)
+        solvers_override = data.pop("solvers", solvers)
+        return ExperimentRow(
+            data.pop("name"),
+            data.pop("with_timing"),
+            data.pop("start_cost"),
+            solvers=solvers_override,
+            **data,
+        )
 
     def to_dict(self) -> dict:
-        """Plain-dict view for JSON export."""
-        return asdict(self)
+        """Plain-dict view for JSON export.
+
+        Emits both the nested ``"solvers"`` mapping and the historical
+        flattened ``<solver>_cost/_improvement/_cpu`` keys, so older
+        consumers of ``full_results.json`` keep working.
+        """
+        data: Dict[str, object] = {
+            "name": self.name,
+            "with_timing": self.with_timing,
+            "start_cost": self.start_cost,
+        }
+        for solver, cell in self.solvers.items():
+            data[f"{solver}_cost"] = cell.cost
+            data[f"{solver}_improvement"] = cell.improvement
+            data[f"{solver}_cpu"] = cell.cpu
+        data["all_feasible"] = self.all_feasible
+        data["stop_reason"] = self.stop_reason
+        data["timings"] = self.timings
+        data["metrics"] = self.metrics
+        data["solvers"] = {
+            solver: {k: getattr(cell, k) for k in _CELL_FIELDS}
+            for solver, cell in self.solvers.items()
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentRow":
+        """Rebuild from a :meth:`to_dict` payload (either schema shape)."""
+        data = dict(payload)
+        solvers = data.pop("solvers", None)
+        if solvers is not None:
+            for solver in solvers:
+                for kind in _CELL_FIELDS:
+                    data.pop(f"{solver}_{kind}", None)
+        return cls(solvers=solvers, **data)
 
     def solver_costs(self) -> Dict[str, float]:
-        return {"qbp": self.qbp_cost, "gfm": self.gfm_cost, "gkl": self.gkl_cost}
+        return {solver: cell.cost for solver, cell in self.solvers.items()}
 
 
 def shared_initial_solution(
@@ -175,48 +370,35 @@ def shared_initial_solution(
     running QBP with ``B = 0`` *with the timing constraints active*, and
     reuses it for both the timing-relaxed (Table II) and timing-enforced
     (Table III) runs - which is why the two tables share their "start"
-    columns.  This function reproduces that: the bootstrap always runs on
-    ``workload.problem`` (timing included).
-
-    On a synthetic workload the recipe can occasionally fail to reach
-    full feasibility (the published circuits are not available to tune
-    against); the workload's hidden reference assignment - feasible by
-    construction - then stands in, playing the same role as the
-    designer's initial assignment in the MCM flow.  The fallback runs as
-    a :class:`~repro.runtime.supervisor.SolverSupervisor` ladder, and an
-    exhausted ``budget`` also falls through to the reference so callers
-    always get *some* feasible start.
+    columns.  The ladder itself lives in
+    :func:`repro.pipeline.paper_initial_solution`; this wrapper binds it
+    to a workload (bootstrap on ``workload.problem``, timing included,
+    with ``workload.reference`` as the known-feasible fallback).
     """
-
-    def paper_bootstrap(attempt_budget: Optional[Budget]) -> Assignment:
-        return bootstrap_initial_solution(
-            workload.problem,
-            iterations=bootstrap_iterations,
-            seed=seed,
-            budget=attempt_budget,
-        )
-
-    def reference_fallback(attempt_budget: Optional[Budget]) -> Assignment:
-        return workload.reference.copy()
-
-    supervisor = SolverSupervisor(
-        [
-            Attempt("paper-bootstrap", paper_bootstrap),
-            Attempt("reference-fallback", reference_fallback),
-        ],
-        transient=(RuntimeError,),
+    return paper_initial_solution(
+        workload.problem,
+        workload.reference,
+        seed=seed,
+        bootstrap_iterations=bootstrap_iterations,
         budget=budget,
     )
-    try:
-        return supervisor.run().value
-    except (BudgetExceededError, SupervisorExhaustedError):
-        return workload.reference.copy()
+
+
+def _method_config_overrides(
+    name: str, qbp_iterations: int, gkl_outer_loops: int
+) -> Dict[str, object]:
+    """The harness's per-method config knobs (paper parameters)."""
+    return {
+        "qbp": {"iterations": qbp_iterations},
+        "gkl": {"max_outer_loops": gkl_outer_loops},
+    }.get(name, {})
 
 
 def run_circuit_experiment(
     workload: Workload,
     *,
     with_timing: bool,
+    methods: Optional[Sequence[str]] = None,
     qbp_iterations: int = QBP_ITERATIONS,
     gkl_outer_loops: int = GKL_OUTER_LOOPS,
     seed: RandomSource = 0,
@@ -225,20 +407,27 @@ def run_circuit_experiment(
     qbp_checkpoint_path=None,
     telemetry: Optional[Telemetry] = None,
 ) -> ExperimentRow:
-    """Run all three solvers on one circuit and assemble the table row.
+    """Run every method on one circuit and assemble the table row.
 
-    ``budget`` is shared by every stage (bootstrap, QBP, GFM, GKL); each
-    returns its best feasible incumbent on expiry, and the row's
-    ``stop_reason`` records any budget stop.  With
-    ``qbp_checkpoint_path``, the QBP solve snapshots its state there
-    periodically and resumes bit-exactly from an existing snapshot; the
-    file is cleared once QBP finishes on its own.
+    ``methods`` may name any registered solvers (default: the paper's
+    ``qbp``, ``gfm``, ``gkl``); each runs through the shared
+    :class:`~repro.pipeline.SolvePipeline` from the same initial
+    solution.  ``budget`` is shared by every stage (bootstrap plus each
+    method); each returns its best feasible incumbent on expiry, and the
+    row's ``stop_reason`` records any budget stop.  With
+    ``qbp_checkpoint_path``, the checkpoint-capable method (QBP)
+    snapshots its state there periodically and resumes bit-exactly from
+    an existing snapshot; the file is cleared once it finishes on its
+    own.
 
-    When telemetry is enabled (``telemetry=`` or ambient) each phase runs
-    inside a ``harness.*`` span, per-phase wall-clock gauges are set, and
-    the row's ``metrics`` field records the counter deltas attributable
-    to this circuit.
+    When telemetry is enabled (``telemetry=`` or ambient) each method
+    runs inside a ``harness.<method>`` span, per-method wall-clock
+    gauges (``harness.<method>_seconds``) are set, and the row's
+    ``metrics`` field records the counter deltas attributable to this
+    circuit.
     """
+    method_names = tuple(methods) if methods else paper_solver_names()
+    specs = [get_solver(name) for name in method_names]
     tel = resolve_telemetry(telemetry)
     metrics_before = tel.metrics_snapshot() if tel.enabled else None
     problem = workload.problem if with_timing else workload.problem_no_timing
@@ -254,83 +443,71 @@ def run_circuit_experiment(
     evaluator = ObjectiveEvaluator(problem)
     start_cost = evaluator.cost(initial)
 
-    checkpointer = None
-    resume = None
-    if qbp_checkpoint_path is not None:
-        checkpointer = QbpCheckpointer(
-            qbp_checkpoint_path, label=workload.name, telemetry=telemetry
-        )
-        resume = checkpointer.load()
-
-    t0 = time.perf_counter()
-    with tel.span("harness.qbp", circuit=workload.name):
-        qbp = solve_qbp(
-            problem,
-            iterations=qbp_iterations,
-            initial=initial,
-            seed=seed,
-            budget=budget,
-            checkpointer=checkpointer,
-            resume=resume,
-            telemetry=telemetry,
-        )
-    qbp_cpu = time.perf_counter() - t0
-    if checkpointer is not None and qbp.stop_reason in (STOP_COMPLETED, STOP_STALLED):
-        checkpointer.clear()  # finished on its own merits; nothing to resume
-    qbp_assignment = qbp.solution  # best fully feasible iterate (SolveOutcome API)
-    if qbp_assignment is None:  # initial is feasible, so this cannot regress
-        qbp_assignment = initial
-    qbp_cost = min(evaluator.cost(qbp_assignment), start_cost)
-
-    with tel.span("harness.gfm", circuit=workload.name):
-        gfm = gfm_partition(problem, initial, budget=budget, telemetry=telemetry)
-    with tel.span("harness.gkl", circuit=workload.name):
-        gkl = gkl_partition(
-            problem, initial, max_outer_loops=gkl_outer_loops, budget=budget,
-            telemetry=telemetry,
-        )
-
-    feasible = all(
-        check_feasibility(problem, a).feasible
-        for a in (qbp_assignment, gfm.assignment, gkl.assignment)
-    )
-
     def pct(final: float) -> float:
         return 0.0 if start_cost == 0 else 100.0 * (start_cost - final) / start_cost
 
-    # A budget stop in any stage marks the whole row; QBP's natural
+    pipeline = SolvePipeline()
+    cells: Dict[str, SolverCell] = {}
+    assignments = []
+    stop_reasons = []
+    for spec in specs:
+        checkpointer = None
+        if qbp_checkpoint_path is not None and spec.supports_checkpoint:
+            checkpointer = QbpCheckpointer(
+                qbp_checkpoint_path, label=workload.name, telemetry=telemetry
+            )
+        t0 = time.perf_counter()
+        with tel.span(f"harness.{spec.name}", circuit=workload.name):
+            run = pipeline.run(
+                spec,
+                problem,
+                config=_method_config_overrides(
+                    spec.name, qbp_iterations, gkl_outer_loops
+                ),
+                initial=initial,
+                seed=seed,
+                budget=budget,
+                checkpointer=checkpointer,
+                telemetry=telemetry,
+            )
+        cpu = time.perf_counter() - t0
+        outcome = run.outcome
+        assignment = outcome.solution
+        if assignment is None:  # initial is feasible, so this cannot regress
+            assignment = initial
+        if spec.recompute_report_cost:
+            cost = min(evaluator.cost(assignment), start_cost)
+        else:
+            cost = float(outcome.cost)
+        cells[spec.name] = SolverCell(cost=cost, improvement=pct(cost), cpu=cpu)
+        assignments.append(assignment)
+        stop_reasons.append(outcome.stop_reason)
+
+    feasible = all(
+        check_feasibility(problem, a).feasible for a in assignments
+    )
+
+    # A budget stop in any stage marks the whole row; a solver's natural
     # "stalled" exit is a completion, not an interruption.
     budget_reasons = [
-        r
-        for r in (qbp.stop_reason, gfm.stop_reason, gkl.stop_reason)
-        if r not in (STOP_COMPLETED, STOP_STALLED)
+        r for r in stop_reasons if r not in (STOP_COMPLETED, STOP_STALLED)
     ]
     stop_reason = budget_reasons[0] if budget_reasons else STOP_COMPLETED
 
-    timings = SolverTimings(qbp=qbp_cpu, gfm=gfm.elapsed_seconds, gkl=gkl.elapsed_seconds)
+    timings = SolverTimings(
+        {name: cell.cpu for name, cell in cells.items()}
+    )
     row_metrics = None
     if tel.enabled:
-        for gauge_name, seconds in (
-            ("harness.qbp_seconds", qbp_cpu),
-            ("harness.gfm_seconds", gfm.elapsed_seconds),
-            ("harness.gkl_seconds", gkl.elapsed_seconds),
-        ):
-            tel.gauge(gauge_name).set(seconds)
+        for name, cell in cells.items():
+            tel.gauge(f"harness.{name}_seconds").set(cell.cpu)
         row_metrics = diff_snapshots(metrics_before, tel.metrics_snapshot())
 
     return ExperimentRow(
-        name=workload.name,
-        with_timing=with_timing,
-        start_cost=start_cost,
-        qbp_cost=qbp_cost,
-        qbp_improvement=pct(qbp_cost),
-        qbp_cpu=qbp_cpu,
-        gfm_cost=gfm.cost,
-        gfm_improvement=pct(gfm.cost),
-        gfm_cpu=gfm.elapsed_seconds,
-        gkl_cost=gkl.cost,
-        gkl_improvement=pct(gkl.cost),
-        gkl_cpu=gkl.elapsed_seconds,
+        workload.name,
+        with_timing,
+        start_cost,
+        solvers=cells,
         all_feasible=feasible,
         stop_reason=stop_reason,
         timings=timings.to_dict(),
@@ -347,8 +524,8 @@ class TableCheckpoint:
     (``table{N}-{circuit}-qbp.json``).  On resume, completed circuits
     are skipped outright and an interrupted circuit restarts from its
     QBP snapshot, so a killed sweep loses no finished work.  A
-    parameter mismatch (different scale/seed/iterations) invalidates
-    the record rather than mixing incompatible rows.
+    parameter mismatch (different scale/seed/iterations/methods)
+    invalidates the record rather than mixing incompatible rows.
     """
 
     def __init__(
@@ -378,8 +555,8 @@ class TableCheckpoint:
         ):
             for entry in payload.get("rows", []):
                 try:
-                    row = ExperimentRow(**entry)
-                except TypeError:
+                    row = ExperimentRow.from_dict(entry)
+                except (TypeError, KeyError, ValueError):
                     continue  # written by an older/newer schema: recompute
                 if row.stop_reason == STOP_COMPLETED:
                     self._rows[row.name] = row
@@ -427,11 +604,12 @@ def verify_table_row(row, payload) -> None:
     A row carries no assignments (those stay worker-side), so the gate
     checks everything that is re-derivable from the row itself: identity
     against the payload, finiteness, the improvement percentages against
-    their own costs, and the QBP never-worsens invariant the harness
-    enforces by construction.  A worker that silently corrupted its row
-    (the ``worker.corrupt`` fault site, a miscompiled numpy, a bad DIMM)
-    fails one of these and is rejected-and-retried instead of entering
-    the table.
+    their own costs, and - for methods whose registry spec declares the
+    clamp (``recompute_report_cost``) - the never-worsens invariant the
+    harness enforces by construction.  A worker that silently corrupted
+    its row (the ``worker.corrupt`` fault site, a miscompiled numpy, a
+    bad DIMM) fails one of these and is rejected-and-retried instead of
+    entering the table.
     """
     name, table = payload[0], payload[1]
     if not isinstance(row, ExperimentRow):
@@ -442,34 +620,36 @@ def verify_table_row(row, payload) -> None:
         raise IntegrityError(
             f"row.with_timing={row.with_timing} does not match table {table}"
         )
-    costs = {
-        "start_cost": row.start_cost,
-        "qbp_cost": row.qbp_cost,
-        "gfm_cost": row.gfm_cost,
-        "gkl_cost": row.gkl_cost,
-    }
-    for label, value in costs.items():
-        if not math.isfinite(value) or value < 0:
-            raise IntegrityError(f"{label}={value!r} is not a finite cost")
-    if row.qbp_cost > row.start_cost + 1e-6:
-        raise IntegrityError(
-            f"qbp_cost {row.qbp_cost!r} exceeds start_cost {row.start_cost!r} "
-            "(the harness clamps QBP to never worsen)"
-        )
-    for label, final, claimed in (
-        ("qbp", row.qbp_cost, row.qbp_improvement),
-        ("gfm", row.gfm_cost, row.gfm_improvement),
-        ("gkl", row.gkl_cost, row.gkl_improvement),
-    ):
+    if not row.solvers:
+        raise IntegrityError("row carries no solver columns")
+    if not math.isfinite(row.start_cost) or row.start_cost < 0:
+        raise IntegrityError(f"start_cost={row.start_cost!r} is not a finite cost")
+    for solver, cell in row.solvers.items():
+        try:
+            spec = get_solver(solver)
+        except UnknownSolverError as exc:
+            raise IntegrityError(str(exc)) from None
+        if not math.isfinite(cell.cost) or cell.cost < 0:
+            raise IntegrityError(
+                f"{solver}_cost={cell.cost!r} is not a finite cost"
+            )
+        if spec.recompute_report_cost and cell.cost > row.start_cost + 1e-6:
+            raise IntegrityError(
+                f"{solver}_cost {cell.cost!r} exceeds start_cost "
+                f"{row.start_cost!r} (the harness clamps {solver} to never "
+                "worsen)"
+            )
         expected = (
             0.0
             if row.start_cost == 0
-            else 100.0 * (row.start_cost - final) / row.start_cost
+            else 100.0 * (row.start_cost - cell.cost) / row.start_cost
         )
-        if not math.isclose(expected, claimed, rel_tol=1e-9, abs_tol=1e-6):
+        if not math.isclose(
+            expected, cell.improvement, rel_tol=1e-9, abs_tol=1e-6
+        ):
             raise IntegrityError(
-                f"{label}_improvement {claimed!r} inconsistent with its "
-                f"costs (expected {expected!r})"
+                f"{solver}_improvement {cell.improvement!r} inconsistent with "
+                f"its costs (expected {expected!r})"
             )
     if row.stop_reason not in STOP_REASONS:
         raise IntegrityError(f"unknown stop_reason {row.stop_reason!r}")
@@ -485,13 +665,24 @@ def _table_circuit_task(payload, ctx):
     circuit's lease under the sweep budget and ``ctx.telemetry`` the
     worker's own bundle, merged back by the pool.
     """
-    (name, table, scale, qbp_iterations, seed, workload, initial, ckpt_path) = payload
+    (
+        name,
+        table,
+        scale,
+        qbp_iterations,
+        seed,
+        workload,
+        initial,
+        ckpt_path,
+        methods,
+    ) = payload
     if workload is None:
         workload = build_workload(name, scale=scale)
     with ctx.telemetry.span("harness.circuit", circuit=name, table=table):
         row = run_circuit_experiment(
             workload,
             with_timing=(table == 3),
+            methods=methods,
             qbp_iterations=qbp_iterations,
             seed=seed,
             initial=initial.copy() if initial is not None else None,
@@ -504,7 +695,8 @@ def _table_circuit_task(payload, ctx):
     except Exception:
         # Silent tamper: a better cost whose improvement column no
         # longer adds up - only the parent's integrity gate catches it.
-        row = replace(row, qbp_cost=row.qbp_cost * 0.5)
+        first = next(iter(row.solvers))
+        row = row.replace(**{f"{first}_cost": row.solvers[first].cost * 0.5})
     return row
 
 
@@ -512,6 +704,7 @@ def run_table(
     table: int,
     *,
     scale: float = 1.0,
+    methods: Optional[Sequence[str]] = None,
     qbp_iterations: int = QBP_ITERATIONS,
     circuits: Optional[Sequence[str]] = None,
     seed: RandomSource = 0,
@@ -530,6 +723,11 @@ def run_table(
     ----------
     scale:
         Workload shrink factor for quick runs (1.0 = full Table I sizes).
+    methods:
+        Registered solver names to run per circuit (default: the
+        paper's ``qbp``, ``gfm``, ``gkl``).  Unknown names raise
+        :class:`~repro.pipeline.UnknownSolverError` up front, listing
+        the registered solvers.
     circuits:
         Subset of circuit names (default: all seven).
     workloads:
@@ -554,7 +752,7 @@ def run_table(
     telemetry:
         Optional :class:`~repro.obs.telemetry.Telemetry`; ``None`` uses
         the ambient instance.  Each circuit runs inside a
-        ``harness.circuit`` span and its row carries per-phase timings
+        ``harness.circuit`` span and its row carries per-method timings
         and metric deltas.
     workers:
         Process count for fanning circuits out over a
@@ -576,6 +774,9 @@ def run_table(
     """
     if table not in (2, 3):
         raise ValueError(f"table must be 2 or 3, got {table}")
+    method_names = tuple(methods) if methods else paper_solver_names()
+    for method in method_names:
+        get_solver(method)  # raises UnknownSolverError with the list
     names = tuple(circuits) if circuits else workload_names()
     checkpoint = None
     if checkpoint_dir is not None:
@@ -586,6 +787,7 @@ def run_table(
                 "scale": scale,
                 "qbp_iterations": qbp_iterations,
                 "seed": seed if isinstance(seed, int) else None,
+                "methods": list(method_names),
             },
             telemetry=telemetry,
         )
@@ -602,6 +804,7 @@ def run_table(
             return run_circuit_experiment(
                 workload,
                 with_timing=(table == 3),
+                methods=method_names,
                 qbp_iterations=qbp_iterations,
                 seed=seed,
                 initial=initial.copy() if initial is not None else None,
@@ -643,6 +846,7 @@ def run_table(
                 workloads.get(name) if workloads else None,
                 initials.get(name) if initials else None,
                 checkpoint.qbp_checkpoint_path(name) if checkpoint else None,
+                method_names,
             )
             for name in pending
         ]
@@ -696,12 +900,17 @@ def run_table(
 
 
 def summarize_rows(rows: Iterable[ExperimentRow]) -> Dict[str, float]:
-    """Mean improvement per solver over a set of rows."""
+    """Mean improvement per solver over a set of rows.
+
+    Keys follow the rows' own method sets (first-seen order); a solver
+    is averaged over the rows that actually ran it.  Empty input yields
+    an empty mapping.
+    """
     rows = list(rows)
-    if not rows:
-        return {"qbp": 0.0, "gfm": 0.0, "gkl": 0.0}
-    return {
-        "qbp": sum(r.qbp_improvement for r in rows) / len(rows),
-        "gfm": sum(r.gfm_improvement for r in rows) / len(rows),
-        "gkl": sum(r.gkl_improvement for r in rows) / len(rows),
-    }
+    means: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for row in rows:
+        for solver, cell in row.solvers.items():
+            means[solver] = means.get(solver, 0.0) + cell.improvement
+            counts[solver] = counts.get(solver, 0) + 1
+    return {solver: means[solver] / counts[solver] for solver in means}

@@ -34,6 +34,7 @@ from repro.eval.harness import (
     shared_initial_solution,
     summarize_rows,
 )
+from repro.pipeline import UnknownSolverError, get_solver, solver_names
 from repro.eval.paper_data import PAPER_TABLE2, PAPER_TABLE3, QBP_ITERATIONS
 from repro.eval.tables import render_table1, render_table23
 from repro.eval.workloads import all_workloads, build_workload, workload_names
@@ -68,6 +69,14 @@ def main(argv: List[str] | None = None) -> int:
         type=int,
         default=QBP_ITERATIONS,
         help=f"QBP iteration count (paper: {QBP_ITERATIONS})",
+    )
+    parser.add_argument(
+        "--methods",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="registered solvers to run per circuit (default: the paper's "
+        "qbp gfm gkl); any of: " + ", ".join(solver_names()),
     )
     parser.add_argument(
         "--circuits",
@@ -131,6 +140,13 @@ def main(argv: List[str] | None = None) -> int:
     add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 
+    if args.methods:
+        for method in args.methods:
+            try:
+                get_solver(method)
+            except UnknownSolverError as exc:
+                parser.error(str(exc))
+
     names = tuple(args.circuits) if args.circuits else workload_names()
     unknown = set(names) - set(workload_names())
     if unknown:
@@ -191,6 +207,7 @@ def main(argv: List[str] | None = None) -> int:
             rows = run_table(
                 table_num,
                 scale=args.scale,
+                methods=args.methods,
                 qbp_iterations=args.iterations,
                 circuits=names,
                 seed=args.seed,
@@ -212,8 +229,11 @@ def main(argv: List[str] | None = None) -> int:
             )
             means = summarize_rows(rows)
             print(
-                f"mean improvement: QBP {means['qbp']:.1f}%  "
-                f"GFM {means['gfm']:.1f}%  GKL {means['gkl']:.1f}%"
+                "mean improvement: "
+                + "  ".join(
+                    f"{method.upper()} {value:.1f}%"
+                    for method, value in means.items()
+                )
             )
             interrupted = [r for r in rows if r.stop_reason != STOP_COMPLETED]
             missing = len(names) - len(rows)

@@ -54,59 +54,41 @@ def render_table23(
     """Tables II/III: start cost and per-solver final / -% / cpu columns.
 
     ``rows`` is an iterable of :class:`repro.eval.harness.ExperimentRow`.
-    When ``paper`` (a dict of :class:`PaperResultRow`) is given, each row
-    is followed by the published row for side-by-side reading.
+    Columns follow the first row's method set (the paper's qbp/gfm/gkl
+    by default, but any registered solvers the harness ran).  When
+    ``paper`` (a dict of :class:`PaperResultRow`) is given, each row is
+    followed by the published row for side-by-side reading; methods the
+    paper did not publish render as ``-``.
     """
     title = (
         "III. With Timing Constraints:" if with_timing else "II. Without Timing Constraints:"
     )
-    table = TextTable(
-        [
-            "circuits",
-            "start",
-            "QBP final",
-            "(-%)",
-            "cpu",
-            "GFM final",
-            "(-%)",
-            "cpu",
-            "GKL final",
-            "(-%)",
-            "cpu",
-        ],
-        title=title,
-    )
+    rows = list(rows)
+    methods = list(rows[0].solvers) if rows else ["qbp", "gfm", "gkl"]
+    headers = ["circuits", "start"]
+    for method in methods:
+        headers.extend([f"{method.upper()} final", "(-%)", "cpu"])
+    table = TextTable(headers, title=title)
     for row in rows:
-        table.add_row(
-            [
-                row.name,
-                int(round(row.start_cost)),
-                int(round(row.qbp_cost)),
-                row.qbp_improvement,
-                row.qbp_cpu,
-                int(round(row.gfm_cost)),
-                row.gfm_improvement,
-                row.gfm_cpu,
-                int(round(row.gkl_cost)),
-                row.gkl_improvement,
-                row.gkl_cpu,
-            ]
-        )
+        cells = [row.name, int(round(row.start_cost))]
+        for method in methods:
+            cell = row.solvers[method]
+            cells.extend([int(round(cell.cost)), cell.improvement, cell.cpu])
+        table.add_row(cells)
         if paper and row.name in paper:
             p: PaperResultRow = paper[row.name]
-            table.add_row(
-                [
-                    f"  (paper)",
-                    p.start,
-                    p.qbp.final,
-                    p.qbp.improvement_percent,
-                    p.qbp.cpu_seconds,
-                    p.gfm.final,
-                    p.gfm.improvement_percent,
-                    p.gfm.cpu_seconds,
-                    p.gkl.final,
-                    p.gkl.improvement_percent,
-                    p.gkl.cpu_seconds,
-                ]
-            )
+            paper_cells = ["  (paper)", p.start]
+            for method in methods:
+                published = getattr(p, method, None)
+                if published is None:
+                    paper_cells.extend(["-", "-", "-"])
+                else:
+                    paper_cells.extend(
+                        [
+                            published.final,
+                            published.improvement_percent,
+                            published.cpu_seconds,
+                        ]
+                    )
+            table.add_row(paper_cells)
     return table.render()

@@ -1,0 +1,190 @@
+"""Configuration dataclasses for the built-in solvers.
+
+One frozen :class:`~repro.engine.registry.SolverConfig` subclass per
+registered solver.  Field defaults reproduce each entry point's
+historical defaults exactly — a config built from an empty document
+runs the solver the way the pre-registry call sites did, which is what
+keeps the qbp/gfm/gkl goldens bit-identical through the refactor.
+
+Every field declared with ``config_field`` surfaces automatically as
+
+* a ``--<solver>-<field>`` flag on ``repro.tools.partition``,
+* a key in the service request's ``config`` object (validated at
+  admission, folded into the request digest),
+* a ``run_table`` method override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.engine.registry import SolverConfig, config_field
+
+
+def _parse_penalty(value) -> Union[str, float, None]:
+    """Penalty B: ``auto``/``none`` -> None, regime names pass, else float."""
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("auto", "none", ""):
+            return None
+        if lowered in ("paper", "theorem1"):
+            return lowered
+        return float(value)
+    return float(value)
+
+
+def _parse_bool(value) -> bool:
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"expected a boolean, got {value!r}")
+    return bool(value)
+
+
+@dataclass(frozen=True)
+class QbpConfig(SolverConfig):
+    """The paper's QBP solver (Burkard heuristic on the QBP formulation)."""
+
+    iterations: int = config_field(
+        100, coerce=int, help="QBP iteration count (paper: 100)"
+    )
+    restarts: int = config_field(
+        1,
+        coerce=int,
+        help="independent restarts; the best result is kept "
+        "(parallelizes over the worker pool)",
+    )
+    penalty: Union[str, float, None] = config_field(
+        None,
+        coerce=_parse_penalty,
+        help="penalty regime B: auto (default), paper, theorem1, or a number",
+    )
+    eta_mode: str = config_field(
+        "symmetric",
+        coerce=str,
+        help="STEP-3 eta variant: symmetric (default), diagonal, or paper",
+    )
+
+    def validate(self) -> None:
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+        if self.restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {self.restarts}")
+
+
+@dataclass(frozen=True)
+class GfmConfig(SolverConfig):
+    """Generalized Fiduccia–Mattheyses passes until no improvement."""
+
+    max_passes: int = config_field(
+        50, coerce=int, help="pass limit (the paper's GFM runs to quiescence)"
+    )
+
+    def validate(self) -> None:
+        if self.max_passes < 1:
+            raise ValueError(f"max_passes must be >= 1, got {self.max_passes}")
+
+
+@dataclass(frozen=True)
+class GklConfig(SolverConfig):
+    """Generalized Kernighan–Lin, cut off after a fixed outer-loop count."""
+
+    max_outer_loops: int = config_field(
+        6, coerce=int, help="outer-loop cutoff (paper: 6)"
+    )
+
+    def validate(self) -> None:
+        if self.max_outer_loops < 1:
+            raise ValueError(
+                f"max_outer_loops must be >= 1, got {self.max_outer_loops}"
+            )
+
+
+@dataclass(frozen=True)
+class AnnealingConfig(SolverConfig):
+    """Simulated annealing over the same move/swap neighbourhood."""
+
+    temperature_steps: int = config_field(
+        40, coerce=int, help="cooling schedule length (default 40)"
+    )
+    moves_per_temperature: Optional[int] = config_field(
+        None, coerce=int, help="proposals per temperature step (default 8*N)"
+    )
+    initial_acceptance: float = config_field(
+        0.5, coerce=float, help="target acceptance rate used to calibrate T0"
+    )
+    cooling: float = config_field(
+        0.92, coerce=float, help="geometric cooling factor per step"
+    )
+    swap_probability: float = config_field(
+        0.4, coerce=float, help="fraction of proposals that are swaps"
+    )
+
+    def validate(self) -> None:
+        if self.temperature_steps < 1:
+            raise ValueError(
+                f"temperature_steps must be >= 1, got {self.temperature_steps}"
+            )
+        if self.moves_per_temperature is not None and self.moves_per_temperature < 1:
+            raise ValueError(
+                "moves_per_temperature must be >= 1, "
+                f"got {self.moves_per_temperature}"
+            )
+        if not 0.0 < self.cooling < 1.0:
+            raise ValueError(f"cooling must be in (0, 1), got {self.cooling}")
+        if not 0.0 <= self.swap_probability <= 1.0:
+            raise ValueError(
+                f"swap_probability must be in [0, 1], got {self.swap_probability}"
+            )
+
+
+@dataclass(frozen=True)
+class SpectralConfig(SolverConfig):
+    """Barnes-style spectral embedding + capacitated GAP assignment."""
+
+    dimensions: Optional[int] = config_field(
+        None, coerce=int, help="embedding dimensionality (default min(M, N-1))"
+    )
+    repair_timing: bool = config_field(
+        True,
+        coerce=_parse_bool,
+        help="post-repair timing violations with min-conflicts (default true)",
+    )
+
+    def validate(self) -> None:
+        if self.dimensions is not None and self.dimensions < 1:
+            raise ValueError(f"dimensions must be >= 1, got {self.dimensions}")
+
+
+@dataclass(frozen=True)
+class ExactConfig(SolverConfig):
+    """Branch-and-bound to the proven optimum (small instances only)."""
+
+    node_limit: int = config_field(
+        5_000_000,
+        coerce=int,
+        help="search-node safety valve; past it the incumbent is returned",
+    )
+    respect_timing: bool = config_field(
+        True,
+        coerce=_parse_bool,
+        help="enforce timing constraints during search (default true)",
+    )
+
+    def validate(self) -> None:
+        if self.node_limit < 1:
+            raise ValueError(f"node_limit must be >= 1, got {self.node_limit}")
+
+
+__all__ = [
+    "AnnealingConfig",
+    "ExactConfig",
+    "GfmConfig",
+    "GklConfig",
+    "QbpConfig",
+    "SpectralConfig",
+]

@@ -1,0 +1,162 @@
+"""The shared solve pipeline: one orchestration path for every front end.
+
+:class:`SolvePipeline` owns, exactly once, the plumbing the CLI, the
+service executor and the eval harness used to each reimplement:
+
+* spec lookup + config validation (``UnknownSolverError`` lists the
+  registered names, so front ends surface one-line errors),
+* capability checks (restarts, checkpointing) driven by the spec's
+  flags instead of ``solver == "qbp"`` chains,
+* checkpointer wiring: load an existing snapshot before the solve,
+  clear it when the run finishes on its own merits,
+* the multistart/WorkerPool fan-out (inside the qbp adapter, capped by
+  the pipeline's ``workers``).
+
+It deliberately does **not** build initial solutions implicitly: the
+ladders in :mod:`repro.pipeline.initial` are explicit calls, because
+which ladder applies (partitioner vs paper protocol) is the caller's
+protocol decision — and because a solver that self-starts (qbp with
+``initial=None``) must receive exactly that, bit-identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+from repro.core.problem import PartitioningProblem
+from repro.engine.outcome import SolveOutcome
+from repro.engine.registry import (
+    INITIAL_REQUIRED,
+    RunContext,
+    SolverConfig,
+    SolverRegistry,
+    SolverSpec,
+)
+from repro.obs.telemetry import Telemetry
+from repro.pipeline.builtin import default_registry
+from repro.runtime.budget import STOP_COMPLETED, STOP_STALLED, Budget
+from repro.runtime.checkpoint import QbpCheckpointer
+
+
+@dataclass
+class PipelineRun:
+    """One solve's record: the outcome plus orchestration facts."""
+
+    solver: str
+    outcome: SolveOutcome
+    config: SolverConfig
+    elapsed_seconds: float
+    resumed_iteration: Optional[int] = None
+    """Iteration the solve resumed from when a checkpoint was loaded."""
+
+
+class SolvePipeline:
+    """Uniform solve orchestration over a :class:`SolverRegistry`.
+
+    ``workers`` caps the pool fan-out for solvers that support restarts
+    (``None`` reads ``REPRO_WORKERS``); ``telemetry`` is threaded into
+    every solver run (``None`` uses the ambient instance).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SolverRegistry] = None,
+        *,
+        workers: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.workers = workers
+        self.telemetry = telemetry
+
+    def spec(self, solver: Union[str, SolverSpec]) -> SolverSpec:
+        """Resolve a name (or pass a spec through), raising UnknownSolverError."""
+        if isinstance(solver, SolverSpec):
+            return solver
+        return self.registry.get(solver)
+
+    def run(
+        self,
+        solver: Union[str, SolverSpec],
+        problem: PartitioningProblem,
+        *,
+        config: Union[SolverConfig, Mapping[str, Any], None] = None,
+        initial=None,
+        seed: Any = None,
+        budget: Optional[Budget] = None,
+        checkpoint=None,
+        checkpointer: Optional[QbpCheckpointer] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> PipelineRun:
+        """Run one solver under the uniform protocol.
+
+        ``config`` may be the solver's config instance or a plain
+        mapping (validated here).  ``checkpoint`` is a path convenience
+        (a :class:`QbpCheckpointer` is built on it); pass an existing
+        ``checkpointer`` to control label/cadence.  An existing snapshot
+        is resumed from and the file is cleared once the run stops on
+        its own merits (``completed``/``stalled``) — budget-truncated
+        runs keep their snapshot so the next invocation resumes.
+        """
+        spec = self.spec(solver)
+        cfg = spec.make_config(config)
+
+        restarts = int(getattr(cfg, "restarts", 1))
+        if restarts > 1 and not spec.supports_restarts:
+            raise ValueError(
+                f"solver {spec.name!r} does not support restarts"
+            )
+        if checkpoint is not None and checkpointer is not None:
+            raise ValueError("pass either checkpoint or checkpointer, not both")
+        ckpt = checkpointer
+        if checkpoint is not None:
+            ckpt = QbpCheckpointer(checkpoint, telemetry=telemetry or self.telemetry)
+        if ckpt is not None:
+            if not spec.supports_checkpoint:
+                raise ValueError(
+                    f"solver {spec.name!r} does not support checkpointing"
+                )
+            if restarts > 1:
+                # A checkpoint records ONE solve's state; restarts would
+                # fight over the file (parallel restarts cannot share it).
+                raise ValueError("checkpointing requires restarts == 1")
+        if initial is None and spec.initial == INITIAL_REQUIRED:
+            raise ValueError(
+                f"solver {spec.name!r} requires an initial assignment; "
+                "build one with supervised_initial_solution() or "
+                "paper_initial_solution()"
+            )
+
+        resume = ckpt.load() if ckpt is not None else None
+        ctx = RunContext(
+            seed=seed,
+            budget=budget,
+            telemetry=telemetry or self.telemetry,
+            workers=self.workers,
+            checkpointer=ckpt,
+            resume=resume,
+        )
+        started = time.perf_counter()
+        outcome = spec.run(
+            problem, initial if spec.uses_initial else None, cfg, ctx
+        )
+        elapsed = time.perf_counter() - started
+        if ckpt is not None and outcome.stop_reason in (
+            STOP_COMPLETED,
+            STOP_STALLED,
+        ):
+            ckpt.clear()  # finished on its own merits; nothing to resume
+        return PipelineRun(
+            solver=spec.name,
+            outcome=outcome,
+            config=cfg,
+            elapsed_seconds=elapsed,
+            resumed_iteration=(
+                None if resume is None else int(resume.iteration)
+            ),
+        )
+
+
+__all__ = ["PipelineRun", "SolvePipeline"]

@@ -1,14 +1,15 @@
 """Request execution: one :class:`SolveRequest` in, one payload dict out.
 
-:func:`execute_request` is the whole solve path of
-``repro.tools.partition`` distilled into a library call: build the
-problem, construct a starting assignment through the same degrading
-fallback ladder (QBP bootstrap -> greedy+repair -> plain greedy), run
-the requested solver under the request's budget lease, and report the
-uniform ``SolveOutcome`` fields as a JSON-ready ``service-result-v1``
-payload.  ``restarts > 1`` on the QBP solver fans out over the existing
-:class:`~repro.parallel.WorkerPool` via ``solve_qbp_multistart`` -
-the service adds no second parallel substrate.
+:func:`execute_request` runs the shared solve pipeline
+(:class:`repro.pipeline.SolvePipeline`) as a library call: build the
+problem, construct a starting assignment through the shared degrading
+fallback ladder (QBP bootstrap -> greedy+repair -> plain greedy) when
+the solver wants one, run the requested solver under the request's
+budget lease, and report the uniform ``SolveOutcome`` fields as a
+JSON-ready ``service-result-v1`` payload.  ``restarts > 1`` on a
+restart-capable solver fans out over the existing
+:class:`~repro.parallel.WorkerPool` inside the pipeline - the service
+adds no second parallel substrate.
 
 :class:`ServiceExecutor` is the thread side: N daemon threads claiming
 jobs from a :class:`~repro.service.jobs.JobQueue`, executing them, and
@@ -22,29 +23,18 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
-from repro.baselines.gfm import gfm_partition
-from repro.baselines.gkl import gkl_partition
-from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.objective import ObjectiveEvaluator
-from repro.core.problem import PartitioningProblem
 from repro.obs.telemetry import Telemetry, resolve
-from repro.runtime.budget import STOP_COMPLETED, Budget, BudgetExceededError
-from repro.runtime.faults import maybe_fault_task
-from repro.runtime.supervisor import (
-    Attempt,
-    SolverSupervisor,
-    SupervisorExhaustedError,
+from repro.pipeline import (
+    InitialSolutionError,
+    SolvePipeline,
+    supervised_initial_solution,
 )
+from repro.runtime.budget import STOP_COMPLETED, Budget
+from repro.runtime.faults import maybe_fault_task
 from repro.service.jobs import Job, JobQueue
 from repro.service.request import SolveRequest
-from repro.solvers.burkard import (
-    bootstrap_initial_solution,
-    solve_qbp,
-    solve_qbp_multistart,
-)
-from repro.solvers.greedy import greedy_feasible_assignment
-from repro.solvers.repair import repair_feasibility
 
 RESULT_FORMAT = "service-result-v1"
 """Schema tag on every result payload."""
@@ -60,49 +50,8 @@ cooperatively and the result reports ``stop_reason="deadline"``.  A
 """
 
 
-class ExecutionFailedError(RuntimeError):
+class ExecutionFailedError(InitialSolutionError):
     """No initial solution could be constructed for the request."""
-
-
-def _initial_solution(
-    problem: PartitioningProblem,
-    seed: int,
-    budget: Optional[Budget],
-) -> tuple:
-    """The partitioner's degrading initial-solution ladder (see module doc)."""
-
-    def qbp_bootstrap(attempt_budget: Optional[Budget]) -> Assignment:
-        return bootstrap_initial_solution(problem, seed=seed, budget=attempt_budget)
-
-    def repaired_greedy(attempt_budget: Optional[Budget]) -> Assignment:
-        base = greedy_feasible_assignment(problem, seed=seed)
-        repaired = repair_feasibility(problem, base, seed=seed)
-        if repaired is None:
-            raise RuntimeError("min-conflicts repair exhausted its move budget")
-        return repaired
-
-    def greedy_capacity_only(attempt_budget: Optional[Budget]) -> Assignment:
-        return greedy_feasible_assignment(problem, seed=seed)
-
-    supervisor = SolverSupervisor(
-        [
-            Attempt("qbp-bootstrap", qbp_bootstrap),
-            Attempt("greedy+repair", repaired_greedy),
-            Attempt("greedy-capacity-only", greedy_capacity_only),
-        ],
-        transient=(RuntimeError,),
-        budget=budget,
-        name="service.initial",
-    )
-    try:
-        outcome = supervisor.run()
-    except BudgetExceededError:
-        return greedy_feasible_assignment(problem, seed=seed), "greedy-capacity-only"
-    except SupervisorExhaustedError as exc:
-        raise ExecutionFailedError(
-            f"no initial solution could be constructed: {exc}"
-        ) from exc
-    return outcome.value, outcome.attempt
 
 
 def execute_request(
@@ -117,45 +66,43 @@ def execute_request(
     ``budget`` is the already-leased budget for this execution (the
     caller combines the request deadline with the server's drain
     budget); ``workers`` caps the pool fan-out when the request asks
-    for parallel restarts.
+    for parallel restarts.  The solver is dispatched through the
+    registry: its capability flags (not its name) decide whether an
+    initial solution is built and how fan-out is wired.
     """
     tel = resolve(telemetry)
     started = time.perf_counter()
     problem = request.build_problem()
+    pipeline = SolvePipeline(workers=workers, telemetry=telemetry)
+    spec = pipeline.spec(request.solver)
     with tel.span(
         "service.execute", solver=request.solver, digest=request.digest()
     ):
-        initial, initial_rung = _initial_solution(problem, request.seed, budget)
-        if request.solver == "qbp":
-            if request.restarts > 1:
-                result = solve_qbp_multistart(
-                    problem,
-                    restarts=request.restarts,
-                    iterations=request.iterations,
-                    initial=initial,
-                    seed=request.seed,
-                    budget=budget,
-                    workers=workers,
-                    telemetry=tel,
+        initial, initial_rung = None, None
+        if spec.uses_initial:
+            try:
+                initial, initial_rung = supervised_initial_solution(
+                    problem, request.seed, budget, name="service.initial"
                 )
-            else:
-                result = solve_qbp(
-                    problem,
-                    iterations=request.iterations,
-                    initial=initial,
-                    seed=request.seed,
-                    budget=budget,
-                    telemetry=tel,
-                )
-        elif request.solver == "gfm":
-            result = gfm_partition(problem, initial, budget=budget, telemetry=tel)
-        else:
-            result = gkl_partition(problem, initial, budget=budget, telemetry=tel)
+            except InitialSolutionError as exc:
+                raise ExecutionFailedError(str(exc)) from exc
+        run = pipeline.run(
+            spec,
+            problem,
+            config=request.solver_config(),
+            initial=initial,
+            seed=request.seed,
+            budget=budget,
+            telemetry=tel,
+        )
+    result = run.outcome
 
     # Uniform SolveOutcome API: report .solution, fall back to the start.
     assignment = result.solution if result.solution is not None else initial
     evaluator = ObjectiveEvaluator(problem)
     feasibility = check_feasibility(problem, assignment)
+    if tel.enabled:
+        tel.gauge(f"timing.{spec.name}_seconds").set(run.elapsed_seconds)
     return {
         "format": RESULT_FORMAT,
         "digest": request.digest(),

@@ -4,12 +4,17 @@ A :class:`SolveRequest` is the wire form of one partitioning problem
 plus its solver configuration.  Two groups of fields exist:
 
 * **semantic** fields (circuit, grid, capacity, timing, solver,
-  iterations, restarts, seed) - they determine the solution bit for
-  bit, because every solver in the repo is deterministic in
-  ``(problem, config, seed)``.  The canonical JSON of exactly these
-  fields feeds :meth:`SolveRequest.digest`, the content address the
-  result cache and in-flight coalescing key on (the same digesting
-  rules as the run ledger's config digest).
+  config, seed) - they determine the solution bit for bit, because
+  every solver in the repo is deterministic in ``(problem, config,
+  seed)``.  The solver name is validated against the registry at
+  admission (unknown solver -> 400 listing the registered names) and
+  ``config`` is normalised through the solver's
+  :class:`~repro.engine.registry.SolverConfig` - every field filled
+  with its default - before it is folded into
+  :meth:`SolveRequest.digest`, the content address the result cache
+  and in-flight coalescing key on (the same digesting rules as the run
+  ledger's config digest).  The top-level ``iterations``/``restarts``
+  keys remain accepted as aliases for the matching config fields.
 * **transport** fields (``deadline_seconds``, ``priority``) - they
   shape *how* a request is served (budget, queue order), never *what*
   the answer is, so they are excluded from the digest exactly as the
@@ -22,21 +27,26 @@ plus its solver configuration.  Two groups of fields exist:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.problem import PartitioningProblem
+from repro.engine.registry import SolverConfig, UnknownSolverError
 from repro.netlist.circuit import Circuit
 from repro.netlist.io import circuit_from_dict
 from repro.obs.ledger import config_digest
+from repro.pipeline import get_solver, solver_names
 from repro.runtime.budget import Budget
 from repro.timing.constraints import TimingConstraints
 from repro.topology.grid import grid_topology
 
-SOLVERS = ("qbp", "gfm", "gkl")
-"""Solver names a request may ask for."""
+SOLVERS = solver_names()
+"""Registered solver names a request may ask for (registry-derived)."""
 
 DEFAULT_CAPACITY_SLACK = 0.15
 """Headroom over balanced load when no explicit capacity is given."""
+
+LEGACY_CONFIG_FIELDS = ("iterations", "restarts")
+"""Top-level aliases for same-named solver config fields."""
 
 REQUEST_FIELDS = frozenset(
     {
@@ -46,6 +56,7 @@ REQUEST_FIELDS = frozenset(
         "capacity_slack",
         "timing",
         "solver",
+        "config",
         "iterations",
         "restarts",
         "seed",
@@ -89,11 +100,40 @@ class SolveRequest:
     capacity_slack: float = DEFAULT_CAPACITY_SLACK
     timing: Optional[Dict[str, Any]] = None
     solver: str = "qbp"
-    iterations: int = 100
-    restarts: int = 1
+    config: Dict[str, Any] = field(default_factory=dict)
     seed: int = 0
     deadline_seconds: Optional[float] = field(default=None, compare=False)
     priority: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        # Validate the solver against the registry and normalise the
+        # config to its full canonical form (every field present with
+        # its default), so equivalent requests digest identically no
+        # matter which subset of keys the document spelled out.
+        try:
+            spec = get_solver(self.solver)
+        except UnknownSolverError as exc:
+            raise BadRequestError(str(exc)) from None
+        if not isinstance(self.config, (dict, SolverConfig)):
+            raise BadRequestError("'config' must be a JSON object")
+        try:
+            normalised = spec.make_config(self.config).canonical()
+        except ValueError as exc:
+            raise BadRequestError(f"bad {self.solver} config: {exc}") from None
+        object.__setattr__(self, "config", normalised)
+
+    # Back-compat accessors for the pre-registry request shape.
+    @property
+    def iterations(self) -> int:
+        return int(self.config.get("iterations", 1))
+
+    @property
+    def restarts(self) -> int:
+        return int(self.config.get("restarts", 1))
+
+    def solver_config(self) -> SolverConfig:
+        """The request's config as its solver's typed config instance."""
+        return get_solver(self.solver).make_config(self.config)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -117,10 +157,7 @@ class SolveRequest:
             raise BadRequestError("'circuit' must be a circuit JSON document")
 
         solver = str(payload.get("solver", "qbp"))
-        if solver not in SOLVERS:
-            raise BadRequestError(
-                f"unknown solver {solver!r}; choose from {', '.join(SOLVERS)}"
-            )
+        config = _merge_config(solver, payload)
         try:
             request = cls(
                 circuit=circuit,
@@ -134,8 +171,7 @@ class SolveRequest:
                 ),
                 timing=payload.get("timing"),
                 solver=solver,
-                iterations=int(payload.get("iterations", 100)),
-                restarts=int(payload.get("restarts", 1)),
+                config=config,
                 seed=int(payload.get("seed", 0)),
                 deadline_seconds=(
                     None if payload.get("deadline_seconds") is None
@@ -143,16 +179,14 @@ class SolveRequest:
                 ),
                 priority=int(payload.get("priority", 0)),
             )
+        except BadRequestError:
+            raise
         except (TypeError, ValueError) as exc:
             raise BadRequestError(f"malformed request field: {exc}") from exc
         request.validate()
         return request
 
     def validate(self) -> None:
-        if self.iterations < 1:
-            raise BadRequestError(f"iterations must be >= 1, got {self.iterations}")
-        if self.restarts < 1:
-            raise BadRequestError(f"restarts must be >= 1, got {self.restarts}")
         if self.capacity is not None and self.capacity <= 0:
             raise BadRequestError(f"capacity must be > 0, got {self.capacity}")
         if self.capacity_slack < 0:
@@ -168,7 +202,12 @@ class SolveRequest:
 
     # ------------------------------------------------------------------
     def canonical(self) -> Dict[str, Any]:
-        """The semantic fields only, in their normalised form."""
+        """The semantic fields only, in their normalised form.
+
+        ``config`` is the solver's *full* canonical config (defaults
+        filled in), so spelling a default out explicitly does not
+        change the digest.
+        """
         return {
             "circuit": self.circuit,
             "grid": list(self.grid),
@@ -176,8 +215,7 @@ class SolveRequest:
             "capacity_slack": self.capacity_slack,
             "timing": self.timing,
             "solver": self.solver,
-            "iterations": self.iterations,
-            "restarts": self.restarts,
+            "config": dict(self.config),
             "seed": self.seed,
         }
 
@@ -251,6 +289,41 @@ class SolveRequest:
         return Budget(wall_seconds=self.deadline_seconds)
 
 
+def _merge_config(solver: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Fold the legacy top-level aliases into the ``config`` document.
+
+    ``iterations``/``restarts`` predate the per-solver ``config`` object
+    and remain accepted when the chosen solver's config has a field of
+    that name; a value that contradicts the ``config`` document is
+    rejected rather than silently resolved.
+    """
+    config = payload.get("config", {})
+    if config is None:
+        config = {}
+    if not isinstance(config, dict):
+        raise BadRequestError("'config' must be a JSON object")
+    config = dict(config)
+    try:
+        known = get_solver(solver).config_cls.field_names()
+    except UnknownSolverError as exc:
+        raise BadRequestError(str(exc)) from None
+    for key in LEGACY_CONFIG_FIELDS:
+        if key not in payload or payload[key] is None:
+            continue
+        if key not in known:
+            raise BadRequestError(
+                f"solver {solver!r} does not accept {key!r}"
+            )
+        value = payload[key]
+        if key in config and config[key] != value:
+            raise BadRequestError(
+                f"{key!r} given both at top level ({value!r}) and in "
+                f"config ({config[key]!r})"
+            )
+        config[key] = value
+    return config
+
+
 def _timing_from_dict(data: Dict[str, Any], num_components: int) -> TimingConstraints:
     """Build timing constraints from their JSON document.
 
@@ -278,6 +351,7 @@ def _timing_from_dict(data: Dict[str, Any], num_components: int) -> TimingConstr
 __all__ = [
     "BadRequestError",
     "DEFAULT_CAPACITY_SLACK",
+    "LEGACY_CONFIG_FIELDS",
     "REQUEST_FIELDS",
     "SOLVERS",
     "SolveRequest",

@@ -13,6 +13,12 @@ With timing constraints from a file, printing the designer report::
     python -m repro.tools.partition circuit.wires --grid 2x2 \\
         --timing budgets.json --solver gkl --report
 
+Any registered solver runs through the same pipeline; per-solver knobs
+surface as ``--<solver>-<field>`` flags::
+
+    python -m repro.tools.partition circuit.json --solver annealing \\
+        --annealing-temperature-steps 20
+
 Capture a full telemetry trace of the run, then inspect it::
 
     python -m repro.tools.partition circuit.json --trace out.jsonl
@@ -25,84 +31,25 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List
+from typing import Dict, List
 
 from repro.analysis.report import analyze_solution, render_report
-from repro.baselines.gfm import gfm_partition
-from repro.baselines.gkl import gkl_partition
-from repro.core.assignment import Assignment
 from repro.core.constraints import check_feasibility
 from repro.core.objective import ObjectiveEvaluator
 from repro.core.problem import PartitioningProblem
 from repro.obs.telemetry import add_telemetry_arguments, session_from_args
-from repro.runtime.budget import (
-    STOP_COMPLETED,
-    Budget,
-    BudgetExceededError,
+from repro.pipeline import (
+    InitialSolutionError,
+    SolvePipeline,
+    UnknownSolverError,
+    default_registry,
+    get_solver,
+    solver_names,
+    supervised_initial_solution,
 )
-from repro.runtime.checkpoint import QbpCheckpointer
-from repro.runtime.supervisor import (
-    Attempt,
-    SolverSupervisor,
-    SupervisorExhaustedError,
-)
-from repro.solvers.burkard import (
-    bootstrap_initial_solution,
-    solve_qbp,
-    solve_qbp_multistart,
-)
-from repro.solvers.greedy import greedy_feasible_assignment
-from repro.solvers.repair import repair_feasibility
+from repro.runtime.budget import Budget
 from repro.tools.files import assignment_to_dict, load_any_circuit, timing_from_dict
 from repro.topology.grid import grid_topology
-
-SOLVERS = ("qbp", "gfm", "gkl")
-
-
-def supervised_initial_solution(
-    problem: PartitioningProblem,
-    seed: int,
-    budget: Budget | None = None,
-) -> tuple[Assignment, str]:
-    """Build a starting assignment via a degrading fallback ladder.
-
-    Rungs, in order: the paper's QBP bootstrap (fully feasible), greedy
-    placement polished by min-conflicts repair (fully feasible), and
-    plain greedy placement (capacity-feasible only - timing violations
-    possible, but the partitioner still has *something* to improve).
-    Returns the assignment and the name of the rung that produced it.
-    """
-
-    def qbp_bootstrap(attempt_budget: Budget | None) -> Assignment:
-        return bootstrap_initial_solution(problem, seed=seed, budget=attempt_budget)
-
-    def repaired_greedy(attempt_budget: Budget | None) -> Assignment:
-        base = greedy_feasible_assignment(problem, seed=seed)
-        repaired = repair_feasibility(problem, base, seed=seed)
-        if repaired is None:
-            raise RuntimeError("min-conflicts repair exhausted its move budget")
-        return repaired
-
-    def greedy_capacity_only(attempt_budget: Budget | None) -> Assignment:
-        return greedy_feasible_assignment(problem, seed=seed)
-
-    supervisor = SolverSupervisor(
-        [
-            Attempt("qbp-bootstrap", qbp_bootstrap),
-            Attempt("greedy+repair", repaired_greedy),
-            Attempt("greedy-capacity-only", greedy_capacity_only),
-        ],
-        transient=(RuntimeError,),
-        budget=budget,
-        name="partition.initial",
-    )
-    try:
-        outcome = supervisor.run()
-    except BudgetExceededError:
-        # Budget gone before any rung finished: fall back to the cheap
-        # constructor outside supervision so the caller still gets a start.
-        return greedy_feasible_assignment(problem, seed=seed), "greedy-capacity-only"
-    return outcome.value, outcome.attempt
 
 
 def parse_grid(spec: str):
@@ -115,11 +62,43 @@ def parse_grid(spec: str):
         ) from None
 
 
+def _config_flag_dest(solver: str, field: str) -> str:
+    return f"cfg_{solver}_{field}"
+
+
+def _add_solver_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """One ``--<solver>-<field>`` flag per registered config field.
+
+    Defaults are ``None`` (= "not set"), so the solver's own config
+    defaults apply and the digest of an all-defaults run matches an
+    empty config document.
+    """
+    from dataclasses import fields as dataclass_fields
+
+    for spec in default_registry().specs():
+        config_fields = [
+            f
+            for f in dataclass_fields(spec.config_cls)
+            if f.metadata.get("cli", True)
+        ]
+        if not config_fields:
+            continue
+        group = parser.add_argument_group(f"{spec.name} solver options")
+        for field in config_fields:
+            group.add_argument(
+                f"--{spec.name}-{field.name.replace('_', '-')}",
+                dest=_config_flag_dest(spec.name, field.name),
+                default=None,
+                metavar="V",
+                help=field.metadata.get("help", ""),
+            )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.partition",
         description="Timing- and capacity-constrained circuit partitioning "
-        "(Shih & Kuh's QBP method plus GFM/GKL baselines).",
+        "(Shih & Kuh's QBP method plus the registered baselines).",
     )
     parser.add_argument("circuit", help="circuit file (.json or .wires)")
     parser.add_argument(
@@ -138,10 +117,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--timing", default=None, metavar="PATH",
         help="timing-constraint JSON (see repro.tools.files.timing_to_dict)",
     )
-    parser.add_argument("--solver", choices=SOLVERS, default="qbp")
-    parser.add_argument("--iterations", type=int, default=100, help="QBP iterations")
     parser.add_argument(
-        "--restarts", type=int, default=1,
+        "--solver", default="qbp", metavar="NAME",
+        help="registered solver to run: " + ", ".join(solver_names()),
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="QBP iterations (alias for --qbp-iterations; default 100)",
+    )
+    parser.add_argument(
+        "--restarts", type=int, default=None,
         help="independent QBP restarts; the best result is kept (default 1). "
         "More restarts buy better solutions, and parallelize cleanly",
     )
@@ -159,8 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--checkpoint", default=None, metavar="PATH",
-        help="QBP checkpoint file: written periodically during the solve, "
-        "resumed from if present, removed on natural completion",
+        help="solver checkpoint file: written periodically during the solve, "
+        "resumed from if present, removed on natural completion "
+        "(checkpoint-capable solvers only)",
     )
     parser.add_argument(
         "--output", default=None, metavar="PATH", help="write the assignment JSON here"
@@ -168,8 +154,33 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--report", action="store_true", help="print the full solution report"
     )
+    _add_solver_config_arguments(parser)
     add_telemetry_arguments(parser)
     return parser
+
+
+def solver_config_overrides(args, spec) -> Dict[str, object]:
+    """Collect ``--<solver>-<field>`` values (plus legacy aliases) for ``spec``.
+
+    The legacy ``--iterations``/``--restarts`` flags map onto same-named
+    config fields when the chosen solver has them; using them with a
+    solver that does not is an error rather than a silent no-op.
+    """
+    overrides: Dict[str, object] = {}
+    for field in spec.config_cls.field_names():
+        value = getattr(args, _config_flag_dest(spec.name, field), None)
+        if value is not None:
+            overrides[field] = value
+    for legacy in ("iterations", "restarts"):
+        value = getattr(args, legacy, None)
+        if value is None:
+            continue
+        if legacy not in spec.config_cls.field_names():
+            raise ValueError(
+                f"--{legacy} does not apply to solver {spec.name!r}"
+            )
+        overrides.setdefault(legacy, value)
+    return overrides
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -180,6 +191,16 @@ def main(argv: List[str] | None = None) -> int:
 
 def _run(args) -> int:
     """The partitioner body, running inside the telemetry session."""
+    try:
+        spec = get_solver(args.solver)
+    except UnknownSolverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        config = spec.make_config(solver_config_overrides(args, spec))
+    except ValueError as exc:
+        build_parser().error(str(exc))
+
     circuit = load_any_circuit(args.circuit)
     rows, cols = args.grid
     if args.capacity is not None:
@@ -202,63 +223,44 @@ def _run(args) -> int:
         if args.budget <= 0:
             build_parser().error("--budget must be positive")
         budget = Budget(wall_seconds=args.budget)
-    if args.restarts < 1:
-        build_parser().error("--restarts must be >= 1")
+    restarts = int(getattr(config, "restarts", 1))
     if args.workers is not None and args.workers < 1:
         build_parser().error("--workers must be >= 1")
-    if args.checkpoint and args.restarts > 1:
-        # A QBP checkpoint records ONE solve's state; restarts would
+    if args.checkpoint and not spec.supports_checkpoint:
+        build_parser().error(
+            f"--checkpoint is not supported by solver {spec.name!r}"
+        )
+    if args.checkpoint and restarts > 1:
+        # A solver checkpoint records ONE solve's state; restarts would
         # fight over the file (and parallel restarts cannot share it).
         build_parser().error("--checkpoint requires --restarts 1")
 
-    try:
-        initial, initial_rung = supervised_initial_solution(
-            problem, args.seed, budget
-        )
-    except SupervisorExhaustedError as exc:
-        print(f"error: no initial solution could be constructed: {exc}")
-        return 2
-    if initial_rung != "qbp-bootstrap":
-        print(f"note: initial solution from fallback rung '{initial_rung}'")
+    initial = None
+    if spec.uses_initial:
+        try:
+            initial, initial_rung = supervised_initial_solution(
+                problem, args.seed, budget, name="partition.initial"
+            )
+        except InitialSolutionError as exc:
+            print(f"error: {exc}")
+            return 2
+        if initial_rung != "qbp-bootstrap":
+            print(f"note: initial solution from fallback rung '{initial_rung}'")
 
-    stop_reason = STOP_COMPLETED
-    if args.solver == "qbp":
-        if args.restarts > 1:
-            result = solve_qbp_multistart(
-                problem,
-                restarts=args.restarts,
-                iterations=args.iterations,
-                initial=initial,
-                seed=args.seed,
-                budget=budget,
-                workers=args.workers,
-            )
-            checkpointer = None
-        else:
-            checkpointer = (
-                QbpCheckpointer(args.checkpoint) if args.checkpoint else None
-            )
-            resume = checkpointer.load() if checkpointer else None
-            if resume is not None:
-                print(f"resuming from checkpoint at iteration {resume.iteration}")
-            result = solve_qbp(
-                problem,
-                iterations=args.iterations,
-                initial=initial,
-                seed=args.seed,
-                budget=budget,
-                checkpointer=checkpointer,
-                resume=resume,
-            )
-        stop_reason = result.stop_reason
-        if checkpointer is not None and stop_reason == STOP_COMPLETED:
-            checkpointer.clear()
-    elif args.solver == "gfm":
-        result = gfm_partition(problem, initial, budget=budget)
-        stop_reason = result.stop_reason
-    else:
-        result = gkl_partition(problem, initial, budget=budget)
-        stop_reason = result.stop_reason
+    pipeline = SolvePipeline(workers=args.workers)
+    run = pipeline.run(
+        spec,
+        problem,
+        config=config,
+        initial=initial,
+        seed=args.seed,
+        budget=budget,
+        checkpoint=args.checkpoint or None,
+    )
+    if run.resumed_iteration is not None:
+        print(f"resumed from checkpoint at iteration {run.resumed_iteration}")
+    result = run.outcome
+    stop_reason = result.stop_reason
     # Uniform SolveOutcome API: every solver reports via ``.solution``
     # (QBP's is its best fully feasible iterate, possibly None).
     assignment = result.solution if result.solution is not None else initial
@@ -266,7 +268,7 @@ def _run(args) -> int:
     evaluator = ObjectiveEvaluator(problem)
     feasibility = check_feasibility(problem, assignment)
     print(
-        f"{args.solver}: cost {evaluator.cost(assignment):g} "
+        f"{spec.name}: cost {evaluator.cost(assignment):g} "
         f"({feasibility.summary()}; stop: {stop_reason})"
     )
     if args.report:
@@ -275,7 +277,8 @@ def _run(args) -> int:
     if args.output:
         payload = assignment_to_dict(assignment, circuit)
         payload["cost"] = evaluator.cost(assignment)
-        payload["solver"] = args.solver
+        payload["solver"] = spec.name
+        payload["config"] = config.canonical()
         payload["stop_reason"] = stop_reason
         Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"wrote {args.output}")

@@ -32,8 +32,8 @@ from pathlib import Path
 from typing import Any, Dict, List
 
 from repro.netlist.io import circuit_to_dict
+from repro.pipeline import UnknownSolverError, get_solver, solver_names
 from repro.service.client import DEFAULT_URL, ServiceClient, ServiceError
-from repro.service.request import SOLVERS
 from repro.service.server import serve
 from repro.tools.files import load_any_circuit
 from repro.tools.partition import parse_grid
@@ -98,9 +98,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--timing", default=None, metavar="PATH",
             help="timing-constraint JSON document",
         )
-        p.add_argument("--solver", choices=SOLVERS, default="qbp")
-        p.add_argument("--iterations", type=int, default=100)
-        p.add_argument("--restarts", type=int, default=1)
+        p.add_argument(
+            "--solver", default="qbp", metavar="NAME",
+            help="registered solver to run: " + ", ".join(solver_names()),
+        )
+        p.add_argument(
+            "--config", default=None, metavar="JSON",
+            help="solver config document, e.g. "
+            "'{\"temperature_steps\": 20}' (validated server-side too)",
+        )
+        p.add_argument("--iterations", type=int, default=None)
+        p.add_argument("--restarts", type=int, default=None)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument(
             "--deadline", type=float, default=None, metavar="SECONDS",
@@ -146,15 +154,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def build_request(args) -> Dict[str, Any]:
-    """The request document the solve/submit subcommands send."""
+    """The request document the solve/submit subcommands send.
+
+    The solver name is validated against the local registry before any
+    bytes go on the wire (the server re-validates at admission), so an
+    unknown name fails fast with the registered list.
+    """
+    get_solver(args.solver)  # raises UnknownSolverError with the list
     request: Dict[str, Any] = {
         "circuit": circuit_to_dict(load_any_circuit(args.circuit)),
         "grid": list(args.grid),
         "solver": args.solver,
-        "iterations": args.iterations,
-        "restarts": args.restarts,
         "seed": args.seed,
     }
+    if args.config:
+        config = json.loads(args.config)
+        if not isinstance(config, dict):
+            raise ValueError("--config must be a JSON object")
+        request["config"] = config
+    if args.iterations is not None:
+        request["iterations"] = args.iterations
+    if args.restarts is not None:
+        request["restarts"] = args.restarts
     if args.capacity is not None:
         request["capacity"] = args.capacity
     else:
@@ -187,6 +208,15 @@ def main(argv: List[str] | None = None) -> int:
         )
     client = ServiceClient(args.url)
     try:
+        if args.command in ("solve", "submit"):
+            try:
+                build_request(args)  # pre-flight validation only
+            except UnknownSolverError as exc:
+                print(f"servectl: error: {exc}", file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                print(f"servectl: error: bad --config: {exc}", file=sys.stderr)
+                return 2
         if args.command == "solve":
             payload = client.solve(build_request(args))
             if args.output:

@@ -108,4 +108,4 @@ def test_summarize_rows():
     )
     means = summarize_rows([row, row])
     assert means == {"qbp": 20.0, "gfm": 10.0, "gkl": 15.0}
-    assert summarize_rows([]) == {"qbp": 0.0, "gfm": 0.0, "gkl": 0.0}
+    assert summarize_rows([]) == {}

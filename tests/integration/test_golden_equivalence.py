@@ -121,3 +121,78 @@ def test_annealing_is_bit_identical(golden, replayed, case):
     )
     assert result.assignment.part.tolist() == expected["annealing"]["part"]
     assert result.cost == expected["annealing"]["cost"]
+
+
+class TestPipelineReplaysGoldens:
+    """The registry/pipeline dispatch path adds nothing to the numbers.
+
+    Every golden case replayed through ``SolvePipeline`` must reproduce
+    the direct-call goldens bit-identically - the adapters are pure
+    plumbing.  The multistart replay also runs with a 2-process pool to
+    pin the parallel path to the same bits.
+    """
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_qbp_via_pipeline_is_bit_identical(self, golden, replayed, case):
+        from repro.pipeline import SolvePipeline
+
+        expected, actual = _case(golden, replayed, case)
+        params = golden["params"]
+        run = SolvePipeline().run(
+            "qbp",
+            actual["problem"],
+            config={"iterations": params["qbp_iterations"]},
+            initial=actual["initial"],
+            seed=3,
+        )
+        result = run.outcome
+        assert result.assignment.part.tolist() == expected["qbp"]["part"]
+        assert result.cost == expected["qbp"]["cost"]
+        assert result.penalized_cost == expected["qbp"]["penalized_cost"]
+        if expected["qbp"]["best_feasible_cost"] is None:
+            assert result.best_feasible_assignment is None
+        else:
+            assert (
+                result.best_feasible_cost == expected["qbp"]["best_feasible_cost"]
+            )
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    @pytest.mark.parametrize("case", CASES)
+    def test_multistart_via_pipeline_is_bit_identical(
+        self, golden, replayed, case, workers
+    ):
+        from repro.parallel.pool import supports_process_pool
+        from repro.pipeline import SolvePipeline
+
+        if workers == 2 and not supports_process_pool():
+            pytest.skip("platform lacks fork")
+        expected, actual = _case(golden, replayed, case)
+        params = golden["params"]
+        run = SolvePipeline(workers=workers).run(
+            "qbp",
+            actual["problem"],
+            config={
+                "restarts": params["multistart_restarts"],
+                "iterations": params["multistart_iterations"],
+            },
+            seed=5,
+        )
+        result = run.outcome
+        assert result.assignment.part.tolist() == expected["multistart"]["part"]
+        assert result.cost == expected["multistart"]["cost"]
+        assert result.penalized_cost == expected["multistart"]["penalized_cost"]
+
+    @pytest.mark.parametrize("solver", ["gfm", "gkl"])
+    @pytest.mark.parametrize("case", CASES)
+    def test_baselines_via_pipeline_are_bit_identical(
+        self, golden, replayed, case, solver
+    ):
+        from repro.pipeline import SolvePipeline
+
+        expected, actual = _case(golden, replayed, case)
+        run = SolvePipeline().run(
+            solver, actual["problem"], initial=actual["initial"]
+        )
+        result = run.outcome
+        assert result.assignment.part.tolist() == expected[solver]["part"]
+        assert result.cost == expected[solver]["cost"]

@@ -69,7 +69,12 @@ class TestParallelCheckpoint:
         # ckta and still return rows in canonical order, identical to
         # an uninterrupted run.
         reference = run_table(2, workers=1, **RUN)
-        params = {"scale": 0.1, "qbp_iterations": 8, "seed": 0}
+        params = {
+            "scale": 0.1,
+            "qbp_iterations": 8,
+            "seed": 0,
+            "methods": ["qbp", "gfm", "gkl"],
+        }
         checkpoint = TableCheckpoint(tmp_path, 2, params=params)
         checkpoint.record(reference[1])  # cktb only
 
@@ -82,7 +87,14 @@ class TestParallelCheckpoint:
     def test_parallel_records_all_completed_rows(self, tmp_path):
         run_table(2, workers=2, checkpoint_dir=tmp_path, **RUN)
         checkpoint = TableCheckpoint(
-            tmp_path, 2, params={"scale": 0.1, "qbp_iterations": 8, "seed": 0}
+            tmp_path,
+            2,
+            params={
+                "scale": 0.1,
+                "qbp_iterations": 8,
+                "seed": 0,
+                "methods": ["qbp", "gfm", "gkl"],
+            },
         )
         assert checkpoint.completed("ckta") is not None
         assert checkpoint.completed("cktb") is not None
@@ -109,7 +121,7 @@ class TestSolverTimingsMerge:
         assert merged.qbp == 1.0
 
     def test_merge_empty_is_zero(self):
-        assert SolverTimings.merge([]) == SolverTimings(qbp=0.0, gfm=0.0, gkl=0.0)
+        assert SolverTimings.merge([]) == SolverTimings()
 
     def test_merge_roundtrips_through_to_dict(self):
         a = SolverTimings(qbp=1.0, gfm=2.0, gkl=3.0)

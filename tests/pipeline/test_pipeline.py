@@ -1,0 +1,131 @@
+"""SolvePipeline orchestration: dispatch, guards, checkpoint wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import check_feasibility
+from repro.pipeline import (
+    SolvePipeline,
+    UnknownSolverError,
+    solver_names,
+    supervised_initial_solution,
+)
+
+
+@pytest.fixture
+def start(small_problem):
+    initial, _rung = supervised_initial_solution(small_problem, 0)
+    return initial
+
+
+class TestDispatch:
+    def test_unknown_solver_lists_registered_names(self, small_problem):
+        with pytest.raises(UnknownSolverError) as err:
+            SolvePipeline().run("magic", small_problem)
+        message = str(err.value)
+        assert "magic" in message
+        for name in solver_names():
+            assert name in message
+
+    @pytest.mark.parametrize("solver", solver_names())
+    def test_every_registered_solver_produces_a_feasible_outcome(
+        self, solver, small_problem, start
+    ):
+        run = SolvePipeline().run(
+            solver,
+            small_problem,
+            config={
+                "qbp": {"iterations": 5},
+                "annealing": {"temperature_steps": 5},
+                "exact": {"node_limit": 20000},
+            }.get(solver, {}),
+            initial=start,
+            seed=0,
+        )
+        assert run.solver == solver
+        assignment = run.outcome.solution
+        if assignment is None:
+            assignment = start
+        assert check_feasibility(small_problem, assignment).feasible
+        assert run.elapsed_seconds >= 0.0
+
+    def test_config_mapping_is_validated(self, small_problem, start):
+        with pytest.raises(ValueError, match="iterations"):
+            SolvePipeline().run(
+                "qbp", small_problem, config={"iterations": 0}, initial=start
+            )
+        with pytest.raises(ValueError, match="max_passes"):
+            SolvePipeline().run(
+                "gfm", small_problem, config={"max_passes": -1}, initial=start
+            )
+
+    def test_unknown_config_key_names_the_field_set(self, small_problem, start):
+        with pytest.raises(ValueError, match="iterations"):
+            SolvePipeline().run(
+                "qbp", small_problem, config={"iterationz": 5}, initial=start
+            )
+
+
+class TestGuards:
+    def test_restarts_on_restartless_solver(self, small_problem, start):
+        # gfm's config has no restarts knob at all, so the rejection
+        # happens at config validation, naming the known fields.
+        with pytest.raises(ValueError, match="restarts"):
+            SolvePipeline().run(
+                "gfm", small_problem, config={"restarts": 3}, initial=start
+            )
+
+    def test_required_initial_is_enforced(self, small_problem):
+        with pytest.raises(ValueError, match="initial"):
+            SolvePipeline().run("gfm", small_problem)
+
+    def test_checkpoint_on_unsupported_solver(self, small_problem, start, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint"):
+            SolvePipeline().run(
+                "gfm",
+                small_problem,
+                initial=start,
+                checkpoint=tmp_path / "ck.json",
+            )
+
+    def test_checkpoint_with_restarts(self, small_problem, start, tmp_path):
+        with pytest.raises(ValueError, match="restarts == 1"):
+            SolvePipeline().run(
+                "qbp",
+                small_problem,
+                config={"restarts": 2, "iterations": 4},
+                initial=start,
+                checkpoint=tmp_path / "ck.json",
+            )
+
+    def test_checkpoint_and_checkpointer_are_exclusive(
+        self, small_problem, start, tmp_path
+    ):
+        from repro.runtime.checkpoint import QbpCheckpointer
+
+        with pytest.raises(ValueError, match="not both"):
+            SolvePipeline().run(
+                "qbp",
+                small_problem,
+                initial=start,
+                checkpoint=tmp_path / "a.json",
+                checkpointer=QbpCheckpointer(tmp_path / "b.json"),
+            )
+
+
+class TestCheckpointLifecycle:
+    def test_completed_run_clears_its_checkpoint(
+        self, small_problem, start, tmp_path
+    ):
+        path = tmp_path / "qbp.json"
+        run = SolvePipeline().run(
+            "qbp",
+            small_problem,
+            config={"iterations": 4},
+            initial=start,
+            seed=0,
+            checkpoint=path,
+        )
+        assert run.resumed_iteration is None
+        assert not path.exists()  # cleared on natural completion

@@ -1,0 +1,161 @@
+"""Unit tests for the registry infrastructure (repro.engine.registry)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.engine.registry import (
+    INITIAL_OPTIONAL,
+    INITIAL_REQUIRED,
+    INITIAL_UNUSED,
+    SolverConfig,
+    SolverRegistry,
+    SolverSpec,
+    UnknownSolverError,
+    config_field,
+)
+from repro.pipeline import (
+    QbpConfig,
+    default_registry,
+    paper_solver_names,
+    solver_names,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DemoConfig(SolverConfig):
+    steps: int = config_field(10, coerce=int, help="number of steps")
+    rate: float = config_field(0.5, coerce=float)
+
+    def validate(self) -> None:
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+
+
+def demo_run(problem, initial, config, ctx):  # pragma: no cover - never run
+    raise AssertionError("not called")
+
+
+def demo_spec(**overrides) -> SolverSpec:
+    kwargs = dict(
+        name="demo",
+        summary="a demo solver",
+        config_cls=DemoConfig,
+        run=demo_run,
+    )
+    kwargs.update(overrides)
+    return SolverSpec(**kwargs)
+
+
+class TestSolverConfig:
+    def test_from_mapping_applies_coercions(self):
+        cfg = DemoConfig.from_mapping({"steps": "25", "rate": "0.25"})
+        assert cfg.steps == 25
+        assert cfg.rate == 0.25
+
+    def test_unknown_key_lists_known_fields(self):
+        with pytest.raises(ValueError) as err:
+            DemoConfig.from_mapping({"stepz": 5})
+        assert "stepz" in str(err.value)
+        assert "steps" in str(err.value)
+
+    def test_validate_runs_on_from_mapping(self):
+        with pytest.raises(ValueError, match="steps must be >= 1"):
+            DemoConfig.from_mapping({"steps": 0})
+
+    def test_canonical_keeps_declaration_order(self):
+        assert list(DemoConfig().canonical()) == ["steps", "rate"]
+
+    def test_digest_ignores_explicit_defaults(self):
+        assert DemoConfig.from_mapping({}).digest() == DemoConfig.from_mapping(
+            {"steps": 10, "rate": 0.5}
+        ).digest()
+
+    def test_digest_changes_with_values(self):
+        assert DemoConfig().digest() != DemoConfig(steps=11).digest()
+
+
+class TestSolverSpec:
+    def test_rejects_bad_initial_mode(self):
+        with pytest.raises(ValueError):
+            demo_spec(initial="sometimes")
+
+    @pytest.mark.parametrize(
+        "mode, uses",
+        [
+            (INITIAL_REQUIRED, True),
+            (INITIAL_OPTIONAL, True),
+            (INITIAL_UNUSED, False),
+        ],
+    )
+    def test_uses_initial_follows_mode(self, mode, uses):
+        assert demo_spec(initial=mode).uses_initial is uses
+
+    def test_make_config_accepts_mapping_and_instance(self):
+        spec = demo_spec()
+        assert spec.make_config({"steps": 3}).steps == 3
+        cfg = DemoConfig(steps=4)
+        assert spec.make_config(cfg) is cfg
+        assert spec.make_config(None) == DemoConfig()
+
+    def test_make_config_rejects_wrong_config_type(self):
+        with pytest.raises(ValueError, match="DemoConfig"):
+            demo_spec().make_config(QbpConfig())
+
+
+class TestSolverRegistry:
+    def test_registration_order_is_listing_order(self):
+        registry = SolverRegistry()
+        registry.register(demo_spec())
+        registry.register(demo_spec(name="other"))
+        assert registry.names() == ("demo", "other")
+        assert "demo" in registry
+        assert len(registry) == 2
+
+    def test_duplicate_registration_is_an_error(self):
+        registry = SolverRegistry()
+        registry.register(demo_spec())
+        with pytest.raises(ValueError, match="demo"):
+            registry.register(demo_spec())
+        registry.register(demo_spec(summary="v2"), replace=True)
+        assert registry.get("demo").summary == "v2"
+
+    def test_unknown_solver_error_lists_registered_names(self):
+        registry = SolverRegistry()
+        registry.register(demo_spec())
+        with pytest.raises(UnknownSolverError) as err:
+            registry.get("nope")
+        message = str(err.value)
+        assert "nope" in message
+        assert "demo" in message
+
+
+class TestDefaultRegistry:
+    def test_builtin_solvers_in_order(self):
+        assert solver_names() == (
+            "qbp",
+            "gfm",
+            "gkl",
+            "annealing",
+            "spectral",
+            "exact",
+        )
+
+    def test_paper_solvers_are_the_table_trio(self):
+        assert paper_solver_names() == ("qbp", "gfm", "gkl")
+
+    def test_qbp_capabilities(self):
+        spec = default_registry().get("qbp")
+        assert spec.supports_restarts
+        assert spec.supports_checkpoint
+        assert spec.recompute_report_cost
+        assert spec.initial == INITIAL_OPTIONAL
+
+    def test_baselines_require_initial(self):
+        registry = default_registry()
+        for name in ("gfm", "gkl", "annealing"):
+            assert registry.get(name).initial == INITIAL_REQUIRED
+        for name in ("spectral", "exact"):
+            assert registry.get(name).initial == INITIAL_UNUSED

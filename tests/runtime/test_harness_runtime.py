@@ -128,13 +128,23 @@ class TestTableResume:
         checkpoint = TableCheckpoint(
             tmp_path,
             3,
-            params={"scale": SCALE, "qbp_iterations": QBP_ITERATIONS, "seed": 0},
+            params={
+                "scale": SCALE,
+                "qbp_iterations": QBP_ITERATIONS,
+                "seed": 0,
+                "methods": ["qbp", "gfm", "gkl"],
+            },
         )
         assert checkpoint.completed("cktb") is not None
         checkpoint.clear()
         fresh = TableCheckpoint(
             tmp_path,
             3,
-            params={"scale": SCALE, "qbp_iterations": QBP_ITERATIONS, "seed": 0},
+            params={
+                "scale": SCALE,
+                "qbp_iterations": QBP_ITERATIONS,
+                "seed": 0,
+                "methods": ["qbp", "gfm", "gkl"],
+            },
         )
         assert fresh.completed("cktb") is None

@@ -1,0 +1,85 @@
+"""Non-paper solvers through POST /v1/solve, with timing gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.telemetry import Telemetry
+from repro.service.executor import execute_request
+from repro.service.request import SolveRequest
+from repro.service.server import PartitionService, start_http_server
+from repro.service.client import ServiceClient
+
+
+def doc(circuit_doc, solver, config=None):
+    request = {"circuit": circuit_doc, "grid": [2, 2], "solver": solver, "seed": 11}
+    if config:
+        request["config"] = config
+    return request
+
+
+class TestExecuteRequestNonPaper:
+    @pytest.mark.parametrize(
+        "solver, config",
+        [
+            ("annealing", {"temperature_steps": 8}),
+            ("spectral", None),
+        ],
+    )
+    def test_solver_runs_and_sets_its_timing_gauge(
+        self, circuit_doc, solver, config
+    ):
+        tel = Telemetry.enabled_default()
+        payload = execute_request(
+            SolveRequest.from_dict(doc(circuit_doc, solver, config)),
+            telemetry=tel,
+        )
+        assert payload["solver"] == solver
+        assert payload["feasible"] is True
+        gauges = tel.metrics_snapshot()["gauges"]
+        assert gauges[f"timing.{solver}_seconds"] >= 0.0
+
+    def test_config_is_part_of_the_digest(self, circuit_doc):
+        base = SolveRequest.from_dict(doc(circuit_doc, "annealing"))
+        tuned = SolveRequest.from_dict(
+            doc(circuit_doc, "annealing", {"temperature_steps": 8})
+        )
+        assert base.digest() != tuned.digest()
+
+
+class TestHttpNonPaper:
+    @pytest.fixture
+    def live(self):
+        service = PartitionService(queue_depth=4, executor_threads=2).start()
+        httpd = start_http_server(service)
+        client = ServiceClient(f"http://127.0.0.1:{httpd.server_address[1]}")
+        yield service, client
+        service.shutdown(drain=False, timeout=5.0)
+        httpd.shutdown()
+        httpd.server_close()
+
+    def test_post_solve_runs_annealing(self, live, circuit_doc):
+        _, client = live
+        payload = client.solve(
+            doc(circuit_doc, "annealing", {"temperature_steps": 8})
+        )
+        assert payload["solver"] == "annealing"
+        assert payload["feasible"] is True
+        metrics = client.metrics()
+        assert "timing.annealing_seconds" in metrics["snapshot"]["gauges"]
+
+    def test_post_solve_runs_spectral(self, live, circuit_doc):
+        _, client = live
+        payload = client.solve(doc(circuit_doc, "spectral"))
+        assert payload["solver"] == "spectral"
+        assert payload["feasible"] is True
+
+    def test_unknown_solver_is_a_400_listing_names(self, live, circuit_doc):
+        from repro.service.client import ServiceError
+
+        _, client = live
+        with pytest.raises(ServiceError) as err:
+            client.solve(doc(circuit_doc, "magic"))
+        assert err.value.status == 400
+        assert "magic" in str(err.value)
+        assert "qbp" in str(err.value)

@@ -62,3 +62,22 @@ def test_engine_transitive_closure_stays_below_solvers():
         if m.startswith(("repro.solvers", "repro.baselines", "repro.eval"))
     )
     assert offenders == []
+
+
+def test_consumers_import_solvers_only_via_registry():
+    """tools/service/eval dispatch through repro.pipeline, never directly.
+
+    The registry is the one place where solver implementations are
+    wired to names; a consumer package importing ``repro.solvers`` or
+    ``repro.baselines`` directly would bypass it (and silently dodge
+    the capability flags and config validation the pipeline applies).
+    """
+    graph = check_imports.build_graph(SRC_ROOT)
+    offenders = []
+    for module, imported in sorted(graph.items()):
+        if not module.startswith(("repro.tools", "repro.service", "repro.eval")):
+            continue
+        for target in sorted(imported):
+            if target.startswith(("repro.solvers", "repro.baselines")):
+                offenders.append(f"{module} -> {target}")
+    assert offenders == []
