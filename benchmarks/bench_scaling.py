@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Scaling benchmark: batched vs scalar move-evaluation kernels.
+
+Sweeps synthetic clustered workloads over a grid of problem sizes
+(``N`` components x ``K`` partitions) and, for every cell, replays the
+same deterministic move sequence through both kernels of
+:class:`repro.engine.delta.DeltaCache`:
+
+* **batched** - :meth:`scan_move_deltas` is one
+  :meth:`all_move_deltas` call (whole-array sparse products), the
+  default production path,
+* **scalar** - the per-component :meth:`move_deltas` reference loop.
+
+Each replay step performs a full candidate scan, records the selected
+candidate (flat argmin - the deterministic tie-break shared with
+:meth:`DeltaCache.best_move`), then applies the next scripted move.
+The two kernels must agree on every selection, on the final maintained
+state, and on every ``delta.*`` stats counter; divergence aborts the
+benchmark.
+
+The output is a ``bench-scaling-v1`` JSON document (canonically named
+``BENCH_scaling.json``) that ``scripts/check_bench.py`` can gate
+against the committed ``benchmarks/baselines/scaling.json``: counters
+exactly, wall times within a wide ratio, and the batched/scalar
+speedup against each cell's ``min_speedup`` floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py --out BENCH_scaling.json
+    python scripts/check_bench.py BENCH_scaling.json \\
+        --baseline benchmarks/baselines/scaling.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.delta import KERNEL_MODES, DeltaCache
+from repro.core.problem import PartitioningProblem
+from repro.eval.workloads import cluster_reference
+from repro.netlist.generate import ClusteredCircuitSpec, generate_clustered_circuit
+from repro.timing.constraints import synthesize_feasible_constraints
+from repro.topology.grid import grid_topology
+
+BENCH_SCALING_FORMAT = "bench-scaling-v1"
+"""Schema tag; scripts/check_bench.py dispatches on it."""
+
+DEFAULT_SIZES = (64, 256, 1024)
+DEFAULT_PARTITIONS = (2, 8)
+DEFAULT_MOVES = 32
+SEED = 29
+WIRE_FACTOR = 3
+CAPACITY_SLACK = 0.2
+
+
+def build_cell_problem(n: int, k: int, seed: int) -> Tuple[PartitioningProblem, object]:
+    """One synthetic workload cell: clustered circuit, K-slot grid, timing."""
+    spec = ClusteredCircuitSpec(
+        name=f"scaling-n{n}-k{k}",
+        num_components=n,
+        num_wires=WIRE_FACTOR * n,
+        intra_cluster_probability=0.75,
+        size_range=(1.0, 100.0),
+    )
+    circuit = generate_clustered_circuit(spec, seed)
+    rows = 1 if k <= 4 else 2
+    capacity = circuit.total_size() * (1.0 + CAPACITY_SLACK) / k
+    capacity = max(capacity, float(circuit.sizes().max()) * (1.0 + CAPACITY_SLACK))
+    topology = grid_topology(rows, k // rows, capacity=capacity, name=f"grid-{k}")
+    reference = cluster_reference(circuit, topology)
+    timing = synthesize_feasible_constraints(
+        circuit,
+        topology.delay_matrix,
+        reference.part,
+        count=max(1, n // 4),
+        seed=seed + 1,
+    )
+    problem = PartitioningProblem(
+        circuit, topology, timing=timing, name=spec.name
+    )
+    return problem, reference
+
+
+def move_sequence(problem, initial, moves: int, rng) -> List[Tuple[int, int]]:
+    """A deterministic, capacity-respecting random move sequence."""
+    cache = DeltaCache(problem, initial)
+    sequence: List[Tuple[int, int]] = []
+    while len(sequence) < moves:
+        j = int(rng.integers(0, problem.num_components))
+        i = int(rng.integers(0, problem.num_partitions))
+        if i == int(cache.part[j]) or not cache.capacity.move_fits(j, i):
+            continue
+        cache.apply_move(j, i)
+        sequence.append((j, i))
+    return sequence
+
+
+def run_kernel(problem, initial, moves, kernel: str):
+    """Replay ``moves`` with full candidate scans through one kernel.
+
+    Returns ``(elapsed_seconds, picks, scan_sums, cache)``: the argmin
+    candidate chain, a per-scan checksum, and the finished cache for
+    state comparison.
+    """
+    cache = DeltaCache(problem, initial, kernel=kernel)
+    picks: List[int] = []
+    sums: List[float] = []
+    t0 = time.perf_counter()
+    for j, i in moves:
+        scan = cache.scan_move_deltas()
+        picks.append(int(np.argmin(scan)))
+        sums.append(float(scan.sum()))
+        cache.apply_move(j, i)
+    elapsed = time.perf_counter() - t0
+    return elapsed, picks, sums, cache
+
+
+def assert_equivalent(results: Dict[str, tuple], cell: str) -> None:
+    """Cross-kernel equivalence: selections, state, and counters agree."""
+    (_, picks_b, sums_b, cache_b) = results["batched"]
+    (_, picks_s, sums_s, cache_s) = results["scalar"]
+    if picks_b != picks_s:
+        raise AssertionError(f"{cell}: kernels selected different candidates")
+    if not np.allclose(sums_b, sums_s, rtol=0, atol=1e-8):
+        raise AssertionError(f"{cell}: scan checksums diverged")
+    if not np.allclose(cache_b.delta, cache_s.delta, rtol=0, atol=1e-8):
+        raise AssertionError(f"{cell}: final delta matrices diverged")
+    if not np.array_equal(cache_b.timing_block, cache_s.timing_block):
+        raise AssertionError(f"{cell}: timing blocks diverged")
+    if not np.array_equal(cache_b.part, cache_s.part):
+        raise AssertionError(f"{cell}: assignments diverged")
+    if cache_b.stats.as_dict() != cache_s.stats.as_dict():
+        raise AssertionError(f"{cell}: delta.* counters diverged")
+
+
+def run_cell(n: int, k: int, moves: int) -> Dict[str, object]:
+    """Benchmark one ``(N, K)`` cell through every kernel."""
+    problem, reference = build_cell_problem(n, k, seed=SEED)
+    sequence = move_sequence(
+        problem, reference, moves, np.random.default_rng(SEED + n + k)
+    )
+    results = {
+        kernel: run_kernel(problem, reference, sequence, kernel)
+        for kernel in KERNEL_MODES
+    }
+    assert_equivalent(results, f"n={n} k={k}")
+    kernels = {
+        kernel: {
+            "seconds": elapsed,
+            "counters": {
+                f"delta.{name}": float(value)
+                for name, value in cache.stats.as_dict().items()
+            },
+        }
+        for kernel, (elapsed, _, _, cache) in results.items()
+    }
+    batched_s = kernels["batched"]["seconds"]
+    scalar_s = kernels["scalar"]["seconds"]
+    return {
+        "n": n,
+        "k": k,
+        "moves": len(sequence),
+        "kernels": kernels,
+        "speedup": scalar_s / batched_s if batched_s > 0 else float("inf"),
+    }
+
+
+def run_sweep(
+    sizes: Sequence[int], partitions: Sequence[int], moves: int
+) -> Dict[str, object]:
+    cells = []
+    for n in sizes:
+        for k in partitions:
+            cell = run_cell(n, k, moves)
+            cells.append(cell)
+            print(
+                f"# n={n} k={k}: batched "
+                f"{cell['kernels']['batched']['seconds']:.4f}s, scalar "
+                f"{cell['kernels']['scalar']['seconds']:.4f}s "
+                f"({cell['speedup']:.1f}x)"
+            )
+    return {
+        "format": BENCH_SCALING_FORMAT,
+        "sizes": list(sizes),
+        "partitions": list(partitions),
+        "moves": moves,
+        "cells": cells,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Batched vs scalar kernel scaling sweep."
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        metavar="N", help=f"component counts (default {list(DEFAULT_SIZES)})",
+    )
+    parser.add_argument(
+        "--partitions", type=int, nargs="+", default=list(DEFAULT_PARTITIONS),
+        metavar="K", help=f"partition counts (default {list(DEFAULT_PARTITIONS)})",
+    )
+    parser.add_argument(
+        "--moves", type=int, default=DEFAULT_MOVES, metavar="M",
+        help=f"scan+apply steps per cell (default {DEFAULT_MOVES})",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="result path (default: print to stdout); the canonical "
+        "artifact name is BENCH_scaling.json",
+    )
+    args = parser.parse_args(argv)
+    if args.moves < 1:
+        parser.error("--moves must be >= 1")
+    for value in args.sizes + args.partitions:
+        if value < 2:
+            parser.error("--sizes and --partitions values must be >= 2")
+
+    payload = run_sweep(args.sizes, args.partitions, args.moves)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.out is not None:
+        args.out.write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,15 @@ All three are updated *incrementally* after a move: only the rows of the
 moved component's wire/constraint neighbours are recomputed, so a full
 GFM pass costs O(nnz(A) * M) instead of O(N^2 * M).
 
+Two kernel implementations back the maintenance (:data:`KERNEL_MODES`,
+selected per cache or via the ``REPRO_KERNEL`` environment variable):
+the default **batched** kernel refreshes all touched rows with whole-
+array sparse products (:meth:`DeltaCache.all_move_deltas` is its public
+full-scan form) and folds the timing constraints vectorised; the
+**scalar** kernel is the per-component reference
+(:meth:`DeltaCache.move_deltas`) the batched path is checked against.
+Solver trajectories are identical under either kernel.
+
 The same precomputed sparse views also back the Burkard iteration's
 STEP 3 vector: :meth:`eta` evaluates the per-component x per-partition
 marginal-cost rows of ``Q_hat`` directly from the sparse
@@ -33,7 +42,8 @@ solvers and baselines build on it, never the other way around.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import os
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +55,47 @@ from repro.core.problem import PartitioningProblem
 ETA_MODES = ("burkard", "diagonal", "symmetric")
 """How :meth:`DeltaCache.eta` treats the ``Q_hat`` diagonal (see
 :func:`repro.solvers.burkard.solve_qbp` for the semantics of each)."""
+
+KERNEL_MODES = ("batched", "scalar")
+"""Move-evaluation kernel implementations (see :func:`resolve_kernel`).
+
+* ``"batched"`` (default) — neighbour-row refreshes and timing-block
+  updates run as whole-array numpy/scipy operations: one sparse
+  row-slice product per direction for the wire term, one vectorised
+  fold over the constraint list for the timing term.
+* ``"scalar"`` — the per-component reference path: each touched row is
+  recomputed on its own (:meth:`DeltaCache.move_deltas` /
+  ``_timing_block_row``).  Solver results are identical either way
+  (the golden-equivalence replays run under both); the batched kernel
+  is simply faster, increasingly so as ``N`` grows
+  (``benchmarks/bench_scaling.py`` records the trajectory).
+"""
+
+KERNEL_ENV = "REPRO_KERNEL"
+"""Environment variable selecting the default kernel mode.
+
+Read when a :class:`DeltaCache` is built without an explicit
+``kernel=``; the env-crosses-fork channel keeps worker processes on the
+same kernel as the parent (the same pattern as ``REPRO_WORKERS``).
+"""
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """Normalise a kernel mode: explicit arg > ``REPRO_KERNEL`` env > batched.
+
+    Raises ``ValueError`` for anything outside :data:`KERNEL_MODES` so a
+    typo in the environment fails loudly at kernel construction, not as
+    a silent fall-back to the default.
+    """
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV, "").strip().lower() or "batched"
+    kernel = str(kernel).strip().lower()
+    if kernel not in KERNEL_MODES:
+        raise ValueError(
+            f"kernel must be one of {KERNEL_MODES}, got {kernel!r} "
+            f"(check the {KERNEL_ENV} environment variable)"
+        )
+    return kernel
 
 
 class DeltaStats:
@@ -124,6 +175,10 @@ class DeltaCache:
         An existing :class:`~repro.core.objective.ObjectiveEvaluator`
         for ``problem`` to share (its wire/constraint arrays are
         reused); ``None`` constructs one.
+    kernel:
+        Move-evaluation kernel mode, one of :data:`KERNEL_MODES`;
+        ``None`` resolves through :func:`resolve_kernel` (the
+        ``REPRO_KERNEL`` environment variable, default ``"batched"``).
     """
 
     def __init__(
@@ -132,8 +187,10 @@ class DeltaCache:
         assignment: Optional[Assignment] = None,
         *,
         evaluator: Optional[ObjectiveEvaluator] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.problem = problem
+        self.kernel = resolve_kernel(kernel)
         self.evaluator = evaluator if evaluator is not None else ObjectiveEvaluator(problem)
         self.timing_index = TimingIndex(problem.timing, problem.delay_matrix)
         self.n = problem.num_components
@@ -163,6 +220,11 @@ class DeltaCache:
         self.capacity: Optional[CapacityTracker] = None
         self.delta: Optional[np.ndarray] = None
         self.timing_block: Optional[np.ndarray] = None
+        # Batched-kernel views: row k holds B[part[k], :] / BT[part[k], :],
+        # kept in sync by apply_move so row refreshes skip the (N, M)
+        # gather a fresh B[part, :] would cost on every move.
+        self._b_part: Optional[np.ndarray] = None
+        self._bt_part: Optional[np.ndarray] = None
         if assignment is not None:
             self.reset(assignment)
 
@@ -176,6 +238,8 @@ class DeltaCache:
         self.capacity = CapacityTracker.for_assignment(
             Assignment(self.part, self.m), self.sizes, self.capacities
         )
+        self._b_part = self.B[self.part, :].copy()
+        self._bt_part = self.BT[self.part, :].copy()
         self.delta = self._full_delta()
         self.timing_block = self._full_timing_block()
 
@@ -267,11 +331,21 @@ class DeltaCache:
         np.add.at(eta, movers, adjustment)
 
     # ------------------------------------------------------------------
-    # Full recomputation (construction / audit)
+    # Batch move evaluation (the batched kernel's public surface)
     # ------------------------------------------------------------------
-    def _full_delta(self) -> np.ndarray:
-        """The complete ``(N, M)`` move-delta matrix."""
-        part = self.part
+    def all_move_deltas(self, part: Optional[np.ndarray] = None) -> np.ndarray:
+        """The complete ``(N, M)`` move-delta matrix, one shot of array ops.
+
+        ``delta[j, i]`` is the exact objective change of moving ``j`` to
+        ``i`` under assignment ``part`` (default: the tracked
+        assignment).  Wire terms are two sparse matrix products, the
+        linear term one broadcast add — no per-component Python loop,
+        which is what makes the full candidate scan scale
+        (``benchmarks/bench_scaling.py`` measures this against the
+        per-component :meth:`move_deltas` reference).
+        """
+        if part is None:
+            part = self.part
         # in_term[j, i]  = sum_k a[k, j] * B[part[k], i]
         # out_term[j, i] = sum_k a[j, k] * B[i, part[k]]
         in_term = self.in_rows(part)
@@ -282,25 +356,13 @@ class DeltaCache:
         current = total[np.arange(self.n), part]
         return total - current[:, None]
 
-    def _full_timing_block(self) -> np.ndarray:
-        """``(N, M)`` violated-constraint counts per candidate move."""
-        block = np.zeros((self.n, self.m), dtype=np.int32)
-        for j in self.timing_index.constrained_components():
-            block[j, :] = self._timing_block_row(j)
-        return block
+    def move_deltas(self, j: int) -> np.ndarray:
+        """Move deltas for one component against the current assignment.
 
-    def _timing_block_row(self, j: int) -> np.ndarray:
-        """Violation counts for moving ``j`` to each partition."""
-        row = np.zeros(self.m, dtype=np.int32)
-        part, d = self.part, self.D
-        for k, budget in self.timing_index._out[j]:
-            row += d[:, part[k]] > budget
-        for k, budget in self.timing_index._in[j]:
-            row += d[part[k], :] > budget
-        return row
-
-    def _delta_row(self, j: int) -> np.ndarray:
-        """Move deltas for one component against the current assignment."""
+        The scalar reference implementation: the ``(M,)`` row the
+        batched :meth:`all_move_deltas` computes for ``j``, evaluated on
+        its own from the component's wire neighbourhood.
+        """
         part = self.part
         total = np.zeros(self.m)
         out_k, out_w = self._out_adj[j]
@@ -312,6 +374,112 @@ class DeltaCache:
         if self.P is not None and self.alpha:
             total += self.alpha * self.P[:, j]
         return total - total[part[j]]
+
+    def scan_move_deltas(self) -> np.ndarray:
+        """Evaluate every candidate move through the active kernel.
+
+        The kernel-dispatched full candidate scan: ``"batched"`` is one
+        :meth:`all_move_deltas` call, ``"scalar"`` the per-component
+        reference loop.  Both return the same ``(N, M)`` matrix (up to
+        float summation order); the scaling benchmark times the two
+        against each other.
+        """
+        if self.kernel == "batched":
+            return self.all_move_deltas(self.part)
+        out = np.empty((self.n, self.m))
+        for j in range(self.n):
+            out[j, :] = self.move_deltas(j)
+        return out
+
+    # ------------------------------------------------------------------
+    # Full recomputation (construction / audit)
+    # ------------------------------------------------------------------
+    def _full_delta(self) -> np.ndarray:
+        """The complete ``(N, M)`` move-delta matrix (both kernel modes)."""
+        return self.all_move_deltas(self.part)
+
+    def _full_timing_block(self) -> np.ndarray:
+        """``(N, M)`` violated-constraint counts per candidate move."""
+        if self.kernel == "batched":
+            block = np.zeros((self.n, self.m), dtype=np.int32)
+            rows = np.asarray(
+                self.timing_index.constrained_components(), dtype=np.intp
+            )
+            if rows.size:
+                block[rows, :] = self._timing_rows_batched(rows)
+            return block
+        block = np.zeros((self.n, self.m), dtype=np.int32)
+        for j in self.timing_index.constrained_components():
+            block[j, :] = self._timing_block_row(j)
+        return block
+
+    def _timing_block_row(self, j: int) -> np.ndarray:
+        """Violation counts for moving ``j`` to each partition (scalar)."""
+        row = np.zeros(self.m, dtype=np.int32)
+        part, d = self.part, self.D
+        for k, budget in self.timing_index._out[j]:
+            row += d[:, part[k]] > budget
+        for k, budget in self.timing_index._in[j]:
+            row += d[part[k], :] > budget
+        return row
+
+    def _timing_rows_batched(self, rows: np.ndarray) -> np.ndarray:
+        """Violation-count rows for ``rows``, vectorised over constraints.
+
+        Integer accumulation, so the result is exactly the scalar
+        :meth:`_timing_block_row` regardless of fold order.
+        """
+        block = np.zeros((rows.size, self.m), dtype=np.int32)
+        if self.t_src.size == 0:
+            return block
+        row_of = np.full(self.n, -1, dtype=np.intp)
+        row_of[rows] = np.arange(rows.size)
+        part, d = self.part, self.D
+        out_sel = row_of[self.t_src] >= 0
+        if out_sel.any():
+            violated = d[:, part[self.t_dst[out_sel]]].T > self.t_budget[
+                out_sel, None
+            ]
+            np.add.at(block, row_of[self.t_src[out_sel]], violated.astype(np.int32))
+        in_sel = row_of[self.t_dst] >= 0
+        if in_sel.any():
+            violated = d[part[self.t_src[in_sel]], :] > self.t_budget[in_sel, None]
+            np.add.at(block, row_of[self.t_dst[in_sel]], violated.astype(np.int32))
+        return block
+
+    def _refresh_rows(self, rows: Iterable[int]) -> None:
+        """Recompute the delta rows of ``rows`` through the active kernel.
+
+        The batched path evaluates all rows with two sparse row-slice
+        products against the maintained ``B[part, :]`` views — the same
+        arithmetic (and therefore the same floats) as a full
+        :meth:`all_move_deltas` rebuild restricted to those rows.  The
+        scalar path recomputes each row on its own.
+        """
+        idx = np.asarray(sorted(rows), dtype=np.intp)
+        if self.kernel == "batched":
+            part = self.part
+            in_term = np.asarray(self._AT[idx, :] @ self._b_part)
+            out_term = np.asarray(self._A[idx, :] @ self._bt_part)
+            total = self.beta * (in_term + out_term)
+            if self.P is not None and self.alpha:
+                total = total + self.alpha * self.P.T[idx, :]
+            current = total[np.arange(idx.size), part[idx]]
+            self.delta[idx, :] = total - current[:, None]
+            return
+        for k in idx:
+            self.delta[k, :] = self.move_deltas(int(k))
+
+    def _refresh_timing_rows(self, rows: Iterable[int]) -> None:
+        """Recompute the timing-block rows of ``rows`` (kernel-dispatched)."""
+        idx = np.asarray(sorted(rows), dtype=np.intp)
+        if idx.size == 0:
+            return
+        if self.kernel == "batched":
+            self.timing_block[idx, :] = self._timing_rows_batched(idx)
+            return
+        for k in idx:
+            self.timing_block[k, :] = self._timing_block_row(int(k))
 
     # ------------------------------------------------------------------
     # Queries
@@ -334,6 +502,8 @@ class DeltaCache:
     ) -> Optional[Tuple[int, int, float]]:
         """The feasible move with the smallest delta (largest gain).
 
+        The batched candidate-selection path: one masked argmin over the
+        maintained ``(N, M)`` delta matrix, never a per-component scan.
         Returns ``(component, target_partition, delta)`` or ``None`` when
         no feasible move exists.  Deterministic tie-breaking by flattened
         index.
@@ -369,6 +539,8 @@ class DeltaCache:
         moved_delta = float(self.delta[j, new_i])
         self.part[j] = new_i
         self.capacity.apply_move(j, old_i, new_i)
+        self._b_part[j, :] = self.B[new_i, :]
+        self._bt_part[j, :] = self.BT[new_i, :]
         self.stats.moves += 1
 
         # Wire neighbours' deltas depend on j's position; refresh them.
@@ -377,18 +549,16 @@ class DeltaCache:
         in_k, _ = self._in_adj[j]
         touched.update(out_k.tolist())
         touched.update(in_k.tolist())
-        for k in touched:
-            self.delta[k, :] = self._delta_row(k)
+        self._refresh_rows(touched)
         self.stats.row_refreshes += len(touched)
 
         # Timing rows of constraint partners (and j itself) change too.
         timing_touched = {j}
         timing_touched.update(k for k, _ in self.timing_index._out[j])
         timing_touched.update(k for k, _ in self.timing_index._in[j])
-        for k in timing_touched:
-            if self.timing_index.degree(k):
-                self.timing_block[k, :] = self._timing_block_row(k)
-                self.stats.timing_row_refreshes += 1
+        constrained = [k for k in timing_touched if self.timing_index.degree(k)]
+        self._refresh_timing_rows(constrained)
+        self.stats.timing_row_refreshes += len(constrained)
         return moved_delta
 
     def apply_swap(self, j1: int, j2: int) -> float:

@@ -8,6 +8,8 @@ kernel instead of a private sparse implementation.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.assignment import Assignment
@@ -76,11 +78,12 @@ class IterationState:
         evaluator: ObjectiveEvaluator,
         penalty: float,
         eta_mode: str,
+        kernel: Optional[str] = None,
     ) -> None:
         self.problem = problem
         self.penalty = penalty
         self.eta_mode = eta_mode
-        self.kernel = DeltaCache(problem, evaluator=evaluator)
+        self.kernel = DeltaCache(problem, evaluator=evaluator, kernel=kernel)
         self.alpha, self.beta = problem.alpha, problem.beta
         self.B = self.kernel.B
         self.BT = self.kernel.BT

@@ -128,6 +128,7 @@ def solve_qbp(
     checkpointer: Optional[QbpCheckpointer] = None,
     resume: Optional[QbpCheckpoint] = None,
     telemetry: Optional[Telemetry] = None,
+    kernel: Optional[str] = None,
 ) -> BurkardResult:
     """Run the generalized Burkard heuristic on ``problem``.
 
@@ -156,7 +157,7 @@ def solve_qbp(
     rng = ctx.rng
     evaluator = ctx.evaluator
     pen_value = resolve_penalty(problem, penalty)
-    state = IterationState(problem, evaluator, pen_value, eta_mode)
+    state = IterationState(problem, evaluator, pen_value, eta_mode, kernel=kernel)
 
     n, m = problem.num_components, problem.num_partitions
     sizes = problem.sizes()
@@ -241,6 +242,7 @@ def solve_qbp(
         "qbp.solve",
         iterations=effective_iterations,
         eta_mode=eta_mode,
+        kernel=state.kernel.kernel,
         components=n,
         partitions=m,
         resumed=resume is not None,

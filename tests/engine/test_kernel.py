@@ -1,0 +1,142 @@
+"""The move-evaluation kernel switch (REPRO_KERNEL batched|scalar)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.problem import PartitioningProblem
+from repro.engine.delta import (
+    KERNEL_ENV,
+    KERNEL_MODES,
+    DeltaCache,
+    resolve_kernel,
+)
+from repro.netlist.circuit import Circuit
+from repro.timing.constraints import TimingConstraints
+from repro.topology.grid import grid_topology
+
+
+def small_problem(with_timing=True):
+    circuit = Circuit("kernel-test")
+    for j in range(6):
+        circuit.add_component(f"u{j}", size=1.0)
+    for j1, j2, w in [(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0), (3, 4, 1.0), (4, 5, 2.0), (0, 5, 1.0)]:
+        circuit.add_wire(j1, j2, w)
+    topo = grid_topology(1, 3, capacity=6.0)
+    timing = None
+    if with_timing:
+        timing = TimingConstraints(6)
+        timing.add(0, 3, 1.5)
+        timing.add(2, 5, 1.0)
+    return PartitioningProblem(circuit, topo, timing=timing)
+
+
+def initial(problem):
+    part = np.arange(problem.num_components) % problem.num_partitions
+    return Assignment(part, problem.num_partitions)
+
+
+class TestResolveKernel:
+    def test_explicit_values(self):
+        assert resolve_kernel("batched") == "batched"
+        assert resolve_kernel("scalar") == "scalar"
+
+    def test_normalises_case_and_whitespace(self):
+        assert resolve_kernel("  Batched ") == "batched"
+        assert resolve_kernel("SCALAR") == "scalar"
+
+    def test_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert resolve_kernel() == "batched"
+
+    def test_env_var_is_read(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "scalar")
+        assert resolve_kernel() == "scalar"
+
+    def test_empty_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "")
+        assert resolve_kernel() == "batched"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "scalar")
+        assert resolve_kernel("batched") == "batched"
+
+    def test_invalid_value_names_the_env_var(self):
+        with pytest.raises(ValueError, match=KERNEL_ENV):
+            resolve_kernel("vectorised")
+
+    def test_invalid_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "gpu")
+        with pytest.raises(ValueError, match="gpu"):
+            resolve_kernel()
+
+
+class TestDeltaCacheKernel:
+    def test_cache_records_resolved_mode(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        problem = small_problem()
+        assert DeltaCache(problem, initial(problem)).kernel == "batched"
+        assert (
+            DeltaCache(problem, initial(problem), kernel="scalar").kernel
+            == "scalar"
+        )
+
+    def test_cache_reads_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "scalar")
+        problem = small_problem()
+        assert DeltaCache(problem, initial(problem)).kernel == "scalar"
+
+    def test_scan_dispatch_matches_across_kernels(self):
+        problem = small_problem()
+        caches = {
+            k: DeltaCache(problem, initial(problem), kernel=k)
+            for k in KERNEL_MODES
+        }
+        scans = {k: c.scan_move_deltas() for k, c in caches.items()}
+        assert np.allclose(scans["batched"], scans["scalar"], atol=1e-8)
+        assert np.allclose(scans["batched"], caches["batched"].delta, atol=1e-8)
+
+    def test_replay_keeps_state_and_stats_identical(self):
+        problem = small_problem()
+        caches = {
+            k: DeltaCache(problem, initial(problem), kernel=k)
+            for k in KERNEL_MODES
+        }
+        rng = np.random.default_rng(7)
+        for _ in range(12):
+            j = int(rng.integers(0, problem.num_components))
+            i = int(rng.integers(0, problem.num_partitions))
+            deltas = {k: c.apply_move(j, i) for k, c in caches.items()}
+            assert abs(deltas["batched"] - deltas["scalar"]) < 1e-8
+        b, s = caches["batched"], caches["scalar"]
+        assert np.allclose(b.delta, s.delta, atol=1e-8)
+        assert np.array_equal(b.timing_block, s.timing_block)
+        assert np.array_equal(b.part, s.part)
+        assert np.allclose(b.loads, s.loads)
+        # Counter accounting is mode-independent: the bench gate relies
+        # on delta.* counters not changing with the kernel switch.
+        assert b.stats.as_dict() == s.stats.as_dict()
+        b.audit()
+        s.audit()
+
+    def test_best_move_identical_across_kernels(self):
+        problem = small_problem()
+        caches = {
+            k: DeltaCache(problem, initial(problem), kernel=k)
+            for k in KERNEL_MODES
+        }
+        locked = np.zeros(problem.num_components, dtype=bool)
+        for _ in range(3):
+            moves = {k: c.best_move(locked) for k, c in caches.items()}
+            assert (moves["batched"] is None) == (moves["scalar"] is None)
+            if moves["batched"] is None:
+                break
+            jb, ib, db = moves["batched"]
+            js, is_, ds = moves["scalar"]
+            assert (jb, ib) == (js, is_)
+            assert abs(db - ds) < 1e-8
+            for cache in caches.values():
+                cache.apply_move(jb, ib)
+            locked[jb] = True
